@@ -1,0 +1,117 @@
+// Command graphstat prints structural statistics of a graph —
+// vertices, edges, density, degree distribution, components,
+// clustering coefficient — and optionally writes a degree histogram
+// SVG. Useful for sanity-checking inputs before embedding them.
+//
+// Usage:
+//
+//	graphstat -in graph.txt [-directed] [-named] [-histogram deg.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"v2v"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input edge list (required)")
+		directed = flag.Bool("directed", false, "treat edges as directed")
+		named    = flag.Bool("named", false, "vertex names instead of integer indices")
+		histF    = flag.String("histogram", "", "write a degree-histogram SVG here")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := v2v.ReadEdgeList(f, v2v.EdgeListOptions{Directed: *directed, Named: *named})
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	n := g.NumVertices()
+	m := g.NumEdges()
+	fmt.Printf("vertices:             %d\n", n)
+	fmt.Printf("edges:                %d\n", m)
+	fmt.Printf("directed:             %v\n", g.Directed())
+	fmt.Printf("weighted:             %v\n", g.Weighted())
+	fmt.Printf("temporal:             %v\n", g.Temporal())
+	fmt.Printf("density:              %.6f\n", g.Density())
+
+	hist := g.DegreeHistogram()
+	var sum, maxD int
+	for d, c := range hist {
+		sum += d * c
+		if c > 0 {
+			maxD = d
+		}
+	}
+	if n > 0 {
+		fmt.Printf("mean degree:          %.3f\n", float64(sum)/float64(n))
+	}
+	fmt.Printf("max degree:           %d\n", maxD)
+	fmt.Printf("isolated vertices:    %d\n", countIsolated(hist))
+
+	_, comps := g.ConnectedComponents()
+	fmt.Printf("connected components: %d\n", comps)
+	if !g.Directed() {
+		fmt.Printf("avg clustering coef:  %.4f\n", g.AverageClusteringCoefficient())
+	}
+
+	// Degree percentiles.
+	degrees := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		degrees = append(degrees, g.Degree(v))
+	}
+	sort.Ints(degrees)
+	if n > 0 {
+		fmt.Printf("degree percentiles:   p50=%d p90=%d p99=%d\n",
+			degrees[n/2], degrees[n*9/10], degrees[n*99/100])
+	}
+
+	if *histF != "" {
+		chart := &v2v.BarChart{
+			Title:  "degree distribution",
+			XLabel: "degree",
+			YLabel: "vertices",
+		}
+		for d, c := range hist {
+			chart.Labels = append(chart.Labels, strconv.Itoa(d))
+			chart.Values = append(chart.Values, float64(c))
+		}
+		out, err := os.Create(*histF)
+		if err != nil {
+			fatal(err)
+		}
+		if err := chart.WriteSVG(out); err != nil {
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *histF)
+	}
+}
+
+func countIsolated(hist []int) int {
+	if len(hist) == 0 {
+		return 0
+	}
+	return hist[0]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Command v2v trains vertex embeddings for a graph given as an edge
+// list and writes them in the word2vec text format.
+//
+// Usage:
+//
+//	v2v -in graph.txt [-out vectors.txt] [-dim 50] [-walks 10]
+//	    [-length 80] [-window 5] [-epochs 3] [-directed] [-named]
+//	    [-strategy uniform|edge-weighted|vertex-weighted|temporal|node2vec]
+//	    [-objective cbow|skipgram] [-sampler ns|hs] [-seed 1]
+//
+// The input format is one edge per line: "u v [weight [time]]"; lines
+// starting with '#' are comments. With -named, u and v are arbitrary
+// vertex names rather than integer indices.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"v2v"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input edge list (required; '-' for stdin)")
+		out       = flag.String("out", "", "output vector file (default stdout)")
+		dim       = flag.Int("dim", 50, "embedding dimensions")
+		walks     = flag.Int("walks", 10, "random walks per vertex (paper default 1000)")
+		length    = flag.Int("length", 80, "walk length (paper default 1000)")
+		window    = flag.Int("window", 5, "context window n")
+		epochs    = flag.Int("epochs", 3, "training epochs")
+		directed  = flag.Bool("directed", false, "treat edges as directed")
+		named     = flag.Bool("named", false, "vertex names instead of integer indices")
+		strategy  = flag.String("strategy", "uniform", "walk strategy: uniform, edge-weighted, vertex-weighted, temporal, node2vec")
+		window64  = flag.Int64("temporal-window", 0, "temporal strategy: max timestamp gap (0 = unbounded)")
+		p         = flag.Float64("p", 1, "node2vec return parameter")
+		q         = flag.Float64("q", 1, "node2vec in-out parameter")
+		objective = flag.String("objective", "cbow", "cbow or skipgram")
+		sampler   = flag.String("sampler", "ns", "ns (negative sampling) or hs (hierarchical softmax)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		verbose   = flag.Bool("v", false, "log progress to stderr")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var input *os.File
+	if *in == "-" {
+		input = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		input = f
+	}
+	g, err := v2v.ReadEdgeList(input, v2v.EdgeListOptions{Directed: *directed, Named: *named})
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	}
+
+	opts := v2v.DefaultOptions(*dim)
+	opts.WalksPerVertex = *walks
+	opts.WalkLength = *length
+	opts.Window = *window
+	opts.Epochs = *epochs
+	opts.TemporalWindow = *window64
+	opts.ReturnParam = *p
+	opts.InOutParam = *q
+	opts.Seed = *seed
+	switch *strategy {
+	case "uniform":
+		opts.Strategy = v2v.UniformWalk
+	case "edge-weighted":
+		opts.Strategy = v2v.EdgeWeightedWalk
+	case "vertex-weighted":
+		opts.Strategy = v2v.VertexWeightedWalk
+	case "temporal":
+		opts.Strategy = v2v.TemporalWalk
+	case "node2vec":
+		opts.Strategy = v2v.Node2VecWalk
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	switch *objective {
+	case "cbow":
+		opts.Objective = v2v.CBOW
+	case "skipgram":
+		opts.Objective = v2v.SkipGram
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+	switch *sampler {
+	case "ns":
+		opts.Sampler = v2v.NegativeSampling
+	case "hs":
+		opts.Sampler = v2v.HierarchicalSoftmax
+	default:
+		fatal(fmt.Errorf("unknown sampler %q", *sampler))
+	}
+
+	start := time.Now()
+	emb, err := v2v.Embed(g, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "walks: %d tokens in %v; training: %v (%d epochs, final loss %.4f)\n",
+			emb.Tokens, emb.WalkTime.Round(time.Millisecond),
+			emb.TrainTime.Round(time.Millisecond), emb.Stats.Epochs, emb.Stats.FinalLoss)
+		fmt.Fprintf(os.Stderr, "total: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	var output *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		output = f
+	}
+	if err := emb.Model.Save(output, g.Name); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "v2v:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Airports: the paper's OpenFlights experiments (Sections IV and V)
+// on the synthetic route network. Embeds the directed route graph,
+// visualizes it with PCA (writing fig8-style SVG), and predicts
+// airport countries with cross-validated k-NN (fig9/fig10-style
+// sweeps).
+//
+//	go run ./examples/airports
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"v2v"
+)
+
+func main() {
+	// A mid-size world: ~2000 airports across 8 regions. Use
+	// v2v.DefaultOpenFlightsConfig for the full 10k-airport scale.
+	cfg := v2v.OpenFlightsConfig{
+		NumAirports: 2000, NumRegions: 8, CountriesPerRegion: 10,
+		HubFraction: 25, IntlDegree: 6, TrunkDegree: 4, Seed: 2,
+	}
+	ds, err := v2v.GenerateOpenFlights(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("route network: %d airports, %d routes, %d countries, %d continents\n",
+		ds.Graph.NumVertices(), ds.Graph.NumEdges(), ds.NumCountries, ds.NumRegions)
+
+	// Embed the directed route graph. Only topology goes in — no
+	// geographic metadata, exactly as in the paper.
+	opts := v2v.DefaultOptions(50)
+	opts.Seed = 9
+	emb, err := v2v.Embed(ds.Graph, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("embedded in %v (+%v walks)\n", emb.TrainTime, emb.WalkTime)
+
+	// --- Section IV: PCA visualization, colored by continent.
+	proj, _, err := emb.ProjectPCA(2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xs := make([]float64, len(proj))
+	ys := make([]float64, len(proj))
+	for i, p := range proj {
+		xs[i], ys[i] = p[0], p[1]
+	}
+	plot := &v2v.ScatterPlot{
+		Title: "Airport embeddings (PCA), colored by continent — no geography in training",
+		X:     xs, Y: ys,
+		Category: ds.Continent,
+		Labels:   ds.RegionNames,
+	}
+	f, err := os.Create("airports_pca.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := plot.WriteSVG(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Println("wrote airports_pca.svg (continents should form distinct clusters)")
+
+	// --- Section V: predict airport countries with k-NN.
+	fmt.Println("\ncountry prediction, 10-fold cross-validated k-NN (cosine):")
+	for _, k := range []int{1, 3, 5, 10} {
+		acc, err := emb.CrossValidateLabels(ds.Country, k, 10, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k = %2d: accuracy %.3f\n", k, acc)
+	}
+
+	// Recover deliberately hidden labels (the paper's missing-data
+	// scenario).
+	masked := append([]int(nil), ds.Country...)
+	hidden := []int{10, 100, 500, 1000, 1500}
+	for _, v := range hidden {
+		masked[v] = -1
+	}
+	completed, err := emb.PredictLabels(masked, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for _, v := range hidden {
+		if completed[v] == ds.Country[v] {
+			correct++
+		}
+	}
+	fmt.Printf("\nrecovered %d of %d deliberately hidden country labels\n", correct, len(hidden))
+}

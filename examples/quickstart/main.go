@@ -1,0 +1,55 @@
+// Quickstart: embed a small graph with V2V and explore the embedding
+// space — nearest neighbours, similarity, and a k-means community
+// partition.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"v2v"
+)
+
+func main() {
+	// Build the paper's synthetic benchmark at alpha = 0.5: ten
+	// communities of 100 vertices (the "1000 vertices and 25000
+	// edges" configuration of the paper's Section III).
+	g, truth := v2v.CommunityBenchmark(v2v.DefaultBenchmarkConfig(0.5, 1))
+	fmt.Printf("graph: %d vertices, %d edges, %d ground-truth communities\n",
+		g.NumVertices(), g.NumEdges(), 10)
+
+	// Embed each vertex as a 50-dimensional vector. DefaultOptions
+	// uses a laptop-scale walk budget; the paper's defaults are
+	// WalksPerVertex = WalkLength = 1000.
+	opts := v2v.DefaultOptions(50)
+	opts.Seed = 42
+	emb, err := v2v.Embed(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("embedded %d vertices in %v (walks) + %v (training, %d tokens)\n",
+		g.NumVertices(), emb.WalkTime, emb.TrainTime, emb.Tokens)
+
+	// Nearest neighbours of vertex 0 should be other members of
+	// community 0 (vertices 0-99).
+	fmt.Println("\nnearest neighbours of vertex 0 (community 0):")
+	for _, nb := range emb.Model.MostSimilar(0, 5) {
+		fmt.Printf("  vertex %4d  community %d  cosine %.3f\n",
+			nb.Word, truth[nb.Word], nb.Similarity)
+	}
+
+	// Cluster the embedding into 10 communities and score against
+	// ground truth with the paper's pairwise precision/recall.
+	res, err := emb.DetectCommunities(v2v.CommunityConfig{K: 10, Restarts: 100, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, r, err := v2v.EvaluateCommunities(truth, res.Partition)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncommunity detection: precision %.3f, recall %.3f (clustering took %v)\n",
+		p, r, res.ClusterTime)
+}

@@ -1,0 +1,252 @@
+package v2v
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// These tests exercise the thinner public wrappers so the facade has
+// the same behavioural coverage as the internal packages.
+
+func TestLinkPredictionThroughFacade(t *testing.T) {
+	g, _ := CommunityBenchmark(BenchmarkConfig{
+		NumCommunities: 6, CommunitySize: 30, Alpha: 0.5, InterEdges: 30, Seed: 31,
+	})
+	split, err := HoldOutEdges(g, 0.15, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := miniOptions(32)
+	emb, err := Embed(split.Train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorers := []LinkScorer{
+		EmbeddingLinkScorer(emb.Model, false),
+		EmbeddingLinkScorer(emb.Model, true),
+		CommonNeighborsScorer(split.Train),
+		JaccardScorer(split.Train),
+		AdamicAdarScorer(split.Train),
+		PreferentialAttachmentScorer(split.Train),
+	}
+	for _, s := range scorers {
+		res := EvaluateLinkScorer(s, split)
+		if res.AUC < 0 || res.AUC > 1 {
+			t.Fatalf("%s AUC out of range: %v", res.Scorer, res.AUC)
+		}
+	}
+	// The embedding scorer must clearly beat chance on a community
+	// graph.
+	embRes := EvaluateLinkScorer(scorers[0], split)
+	if embRes.AUC < 0.75 {
+		t.Fatalf("embedding link AUC %.3f", embRes.AUC)
+	}
+}
+
+func TestCorpusReuseMatchesPaperProtocol(t *testing.T) {
+	g, truth := miniBenchmark(0.7, 33)
+	opts := miniOptions(16)
+	corpus, err := GenerateWalks(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.NumWalks() != g.NumVertices()*opts.WalksPerVertex {
+		t.Fatalf("corpus has %d walks", corpus.NumWalks())
+	}
+	// Two models of different dimensionality trained on the SAME walk
+	// set (the paper's Figure 9 protocol).
+	for _, dim := range []int{8, 32} {
+		o := miniOptions(dim)
+		emb, err := EmbedWalks(g, corpus, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if emb.Model.Dim != dim {
+			t.Fatalf("dim %d model has dim %d", dim, emb.Model.Dim)
+		}
+		res, err := emb.DetectCommunities(CommunityConfig{K: 5, Restarts: 10, Seed: 34})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p, r, _ := EvaluateCommunities(truth, res.Partition); p < 0.8 || r < 0.8 {
+			t.Fatalf("dim %d on shared corpus: %.2f/%.2f", dim, p, r)
+		}
+	}
+}
+
+func TestCorpusSaveLoadThroughFacade(t *testing.T) {
+	g, _ := miniBenchmark(0.5, 35)
+	corpus, err := GenerateWalks(g, miniOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := corpus.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadWalks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumTokens() != corpus.NumTokens() {
+		t.Fatal("corpus round trip lost tokens")
+	}
+	if _, err := EmbedWalks(g, loaded, miniOptions(8)); err != nil {
+		t.Fatalf("training on reloaded corpus: %v", err)
+	}
+}
+
+func TestSilhouetteAndChooseKThroughFacade(t *testing.T) {
+	g, truth := miniBenchmark(0.9, 36)
+	emb, err := Embed(g, miniOptions(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := emb.Model.Rows()
+	s, err := Silhouette(rows, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.2 {
+		t.Fatalf("ground-truth silhouette %.3f on strong communities", s)
+	}
+	cfg := KMeansConfig{Restarts: 5, PlusPlus: true, Seed: 37}
+	sel, err := ChooseK(rows, 2, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 5 {
+		t.Logf("ChooseK picked %d (true 5; silhouettes %v)", sel.K, sel.Silhouettes)
+		// Allow 4-6: silhouette is a heuristic, but it must be close.
+		if sel.K < 4 || sel.K > 6 {
+			t.Fatalf("ChooseK picked %d, far from true 5", sel.K)
+		}
+	}
+	// The Embedding method variant.
+	sel2, err := emb.ChooseCommunities(2, 8, CommunityConfig{Seed: 38})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel2.K < 4 || sel2.K > 6 {
+		t.Fatalf("ChooseCommunities picked %d", sel2.K)
+	}
+}
+
+func TestWalktrapAndSpectralThroughFacade(t *testing.T) {
+	g, truth := CommunityBenchmark(BenchmarkConfig{
+		NumCommunities: 4, CommunitySize: 20, Alpha: 0.7, InterEdges: 10, Seed: 41,
+	})
+	wt, err := Walktrap(g, WalktrapConfig{TargetK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, r, _ := EvaluateCommunities(truth, wt.Partition); p < 0.9 || r < 0.9 {
+		t.Fatalf("Walktrap facade: %.2f/%.2f", p, r)
+	}
+	sp, err := SpectralCommunities(g, SpectralCommunitiesConfig{K: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, r, _ := EvaluateCommunities(truth, sp); p < 0.9 || r < 0.9 {
+		t.Fatalf("Spectral facade: %.2f/%.2f", p, r)
+	}
+	emb, err := SpectralEmbed(g, 4, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb.Coordinates) != g.NumVertices() {
+		t.Fatal("spectral embedding shape wrong")
+	}
+}
+
+// TestEmbeddingFamilyComparison runs the three embedding-flavoured
+// detectors (V2V, spectral, Walktrap) on one graph — the library's
+// own mini-survey of walk-based community detection.
+func TestEmbeddingFamilyComparison(t *testing.T) {
+	g, truth := miniBenchmark(0.6, 44)
+	opts := miniOptions(16)
+	emb, err := Embed(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2vRes, err := emb.DetectCommunities(CommunityConfig{K: 5, Restarts: 20, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := Walktrap(g, WalktrapConfig{TargetK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SpectralCommunities(g, SpectralCommunitiesConfig{K: 5, Seed: 46})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, part := range map[string][]int{
+		"v2v": v2vRes.Partition, "walktrap": wt.Partition, "spectral": sp,
+	} {
+		p, r, _ := EvaluateCommunities(truth, part)
+		t.Logf("%s: %.3f/%.3f", name, p, r)
+		if p < 0.8 || r < 0.8 {
+			t.Errorf("%s below 0.8: %.3f/%.3f", name, p, r)
+		}
+	}
+}
+
+func TestPCAOfAndBarChart(t *testing.T) {
+	rows := [][]float64{{1, 0, 0}, {2, 0, 0}, {3, 0.1, 0}, {4, 0, 0.1}}
+	pca, err := PCAOf(rows, 2, 39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pca.Components.Rows != 2 {
+		t.Fatal("PCAOf shape wrong")
+	}
+	chart := &BarChart{Labels: []string{"a", "b"}, Values: []float64{1, 2}}
+	var buf bytes.Buffer
+	if err := chart.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no SVG")
+	}
+}
+
+func TestAnalogyThroughFacade(t *testing.T) {
+	// On the airports-style graph, hub-of-country-A is to spoke-of-A
+	// as hub-of-B is to spoke-of-B; too noisy to assert exactly, so
+	// just exercise the API and check exclusions.
+	g, _ := miniBenchmark(0.8, 40)
+	emb, err := Embed(g, miniOptions(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := emb.Model.Analogy(0, 1, 2, 5)
+	if len(res) != 5 {
+		t.Fatalf("analogy returned %d", len(res))
+	}
+	for _, r := range res {
+		if r.Word == 0 || r.Word == 1 || r.Word == 2 {
+			t.Fatal("query vertex leaked into analogy result")
+		}
+	}
+}
+
+func TestTemporalWindowOptionThroughFacade(t *testing.T) {
+	b := NewGraphBuilder(0)
+	b.SetDirected(true)
+	for i := 0; i < 30; i++ {
+		b.AddTemporalEdge(i, (i+1)%30, 1, int64(i))
+	}
+	g := b.Build()
+	o := miniOptions(8)
+	o.Strategy = TemporalWalk
+	o.TemporalWindow = 2
+	emb, err := Embed(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Tokens == 0 {
+		t.Fatal("no tokens with temporal window")
+	}
+}

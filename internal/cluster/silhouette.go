@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"v2v/internal/linalg"
+)
+
+// Silhouette returns the mean silhouette coefficient of a clustering:
+// for each point, (b-a)/max(a,b) where a is the mean distance to its
+// own cluster and b the smallest mean distance to another cluster.
+// Values near 1 indicate tight, well-separated clusters. Points in
+// singleton clusters contribute 0, following the usual convention.
+//
+// The computation is O(n^2 d), parallelised over points; adequate for
+// the embedding sizes of the paper's experiments.
+func Silhouette(points [][]float64, assign []int) (float64, error) {
+	n := len(points)
+	if n == 0 {
+		return 0, fmt.Errorf("cluster: Silhouette of no points")
+	}
+	if len(assign) != n {
+		return 0, fmt.Errorf("cluster: %d assignments for %d points", len(assign), n)
+	}
+	k := 0
+	for _, a := range assign {
+		if a < 0 {
+			return 0, fmt.Errorf("cluster: negative cluster index %d", a)
+		}
+		if a+1 > k {
+			k = a + 1
+		}
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("cluster: Silhouette needs at least 2 clusters")
+	}
+	sizes := make([]int, k)
+	for _, a := range assign {
+		sizes[a]++
+	}
+
+	scores := make([]float64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sums := make([]float64, k)
+			for i := lo; i < hi; i++ {
+				ci := assign[i]
+				if sizes[ci] <= 1 {
+					scores[i] = 0
+					continue
+				}
+				for c := range sums {
+					sums[c] = 0
+				}
+				for j := 0; j < n; j++ {
+					if j == i {
+						continue
+					}
+					sums[assign[j]] += linalg.EuclideanDistance(points[i], points[j])
+				}
+				a := sums[ci] / float64(sizes[ci]-1)
+				b := math.Inf(1)
+				for c := 0; c < k; c++ {
+					if c == ci || sizes[c] == 0 {
+						continue
+					}
+					if m := sums[c] / float64(sizes[c]); m < b {
+						b = m
+					}
+				}
+				denom := math.Max(a, b)
+				if denom == 0 {
+					scores[i] = 0
+				} else {
+					scores[i] = (b - a) / denom
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	var total float64
+	for _, s := range scores {
+		total += s
+	}
+	return total / float64(n), nil
+}
+
+// KSelection is the result of ChooseK.
+type KSelection struct {
+	K           int       // silhouette-optimal cluster count
+	Silhouettes []float64 // score per candidate (parallel to Ks)
+	Ks          []int     // candidates evaluated
+}
+
+// ChooseK clusters the points at every k in [kMin, kMax] and returns
+// the k with the highest mean silhouette — a principled answer to the
+// parameter-selection question the paper leaves open ("a principled
+// manner of selecting the various parameters").
+func ChooseK(points [][]float64, kMin, kMax int, cfg Config) (*KSelection, error) {
+	if kMin < 2 {
+		return nil, fmt.Errorf("cluster: kMin must be >= 2, got %d", kMin)
+	}
+	if kMax < kMin {
+		return nil, fmt.Errorf("cluster: kMax %d < kMin %d", kMax, kMin)
+	}
+	if kMax > len(points) {
+		kMax = len(points)
+	}
+	sel := &KSelection{}
+	best := math.Inf(-1)
+	for k := kMin; k <= kMax; k++ {
+		c := cfg
+		c.K = k
+		res, err := KMeans(points, c)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Silhouette(points, res.Assignments)
+		if err != nil {
+			return nil, err
+		}
+		sel.Ks = append(sel.Ks, k)
+		sel.Silhouettes = append(sel.Silhouettes, s)
+		if s > best {
+			best = s
+			sel.K = k
+		}
+	}
+	return sel, nil
+}

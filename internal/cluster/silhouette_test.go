@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	points, labels := gaussianBlobs(3, 30, 2, 30, 0.3, 1)
+	s, err := Silhouette(points, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.8 {
+		t.Fatalf("well-separated blobs silhouette %.3f", s)
+	}
+}
+
+func TestSilhouetteRandomAssignmentLow(t *testing.T) {
+	points, _ := gaussianBlobs(3, 30, 2, 30, 0.3, 2)
+	bad := make([]int, len(points))
+	for i := range bad {
+		bad[i] = i % 3 // interleaved: mixes every blob into every cluster
+	}
+	s, err := Silhouette(points, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 0.1 {
+		t.Fatalf("scrambled assignment silhouette %.3f, want ~<= 0", s)
+	}
+}
+
+func TestSilhouetteOrdering(t *testing.T) {
+	// Correct labels must outscore a coarser merge.
+	points, labels := gaussianBlobs(4, 25, 3, 20, 0.5, 3)
+	merged := make([]int, len(labels))
+	for i, l := range labels {
+		merged[i] = l / 2 // merge pairs of true clusters
+	}
+	good, err := Silhouette(points, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Silhouette(points, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good <= coarse {
+		t.Fatalf("true labels (%.3f) should outscore merged labels (%.3f)", good, coarse)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	if _, err := Silhouette(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := Silhouette(pts, []int{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Silhouette(pts, []int{0, 0}); err == nil {
+		t.Error("single cluster accepted")
+	}
+	if _, err := Silhouette(pts, []int{-1, 0}); err == nil {
+		t.Error("negative label accepted")
+	}
+}
+
+func TestSilhouetteSingletonClusters(t *testing.T) {
+	pts := [][]float64{{0}, {10}, {10.1}}
+	s, err := Silhouette(pts, []int{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point 0 is a singleton (contributes 0); the pair is tight.
+	if s < 0.5 {
+		t.Fatalf("silhouette %.3f", s)
+	}
+}
+
+func TestSilhouetteBounds(t *testing.T) {
+	points, labels := gaussianBlobs(3, 20, 2, 5, 2, 4) // overlapping
+	s, err := Silhouette(points, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < -1 || s > 1 || math.IsNaN(s) {
+		t.Fatalf("silhouette out of [-1,1]: %v", s)
+	}
+}
+
+func TestChooseKFindsTrueK(t *testing.T) {
+	points, _ := gaussianBlobs(4, 30, 3, 25, 0.5, 5)
+	cfg := DefaultConfig(0)
+	cfg.Restarts = 5
+	cfg.Seed = 6
+	sel, err := ChooseK(points, 2, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 4 {
+		t.Fatalf("ChooseK picked %d, want 4 (scores %v)", sel.K, sel.Silhouettes)
+	}
+	if len(sel.Ks) != 7 || len(sel.Silhouettes) != 7 {
+		t.Fatalf("candidate bookkeeping wrong: %v", sel.Ks)
+	}
+}
+
+func TestChooseKValidation(t *testing.T) {
+	pts := [][]float64{{1}, {2}, {3}}
+	cfg := DefaultConfig(0)
+	if _, err := ChooseK(pts, 1, 3, cfg); err == nil {
+		t.Error("kMin=1 accepted")
+	}
+	if _, err := ChooseK(pts, 3, 2, cfg); err == nil {
+		t.Error("kMax<kMin accepted")
+	}
+	// kMax beyond n is clamped, not an error.
+	cfg.Restarts = 2
+	cfg.Seed = 7
+	if _, err := ChooseK(pts, 2, 10, cfg); err != nil {
+		t.Errorf("clamping failed: %v", err)
+	}
+}

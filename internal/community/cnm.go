@@ -1,0 +1,291 @@
+package community
+
+import (
+	"container/heap"
+	"fmt"
+
+	"v2v/internal/graph"
+)
+
+// CNMResult reports the outcome of the CNM greedy modularity run.
+type CNMResult struct {
+	Partition  []int   // community per vertex (dense labels)
+	Q          float64 // modularity of the returned partition
+	Merges     int     // merges performed before the returned cut
+	Cut        string  // "best-q" or "target-k"
+	Trajectory []float64
+}
+
+// CNMConfig controls the stopping rule.
+type CNMConfig struct {
+	// TargetK, when positive, stops merging once exactly TargetK
+	// communities remain and returns that partition. Otherwise the
+	// algorithm merges all the way and returns the maximum-modularity
+	// cut of the merge sequence (the classic CNM behaviour).
+	TargetK int
+	// RecordTrajectory keeps the modularity after every merge.
+	RecordTrajectory bool
+}
+
+// deltaEntry is a candidate merge in the global heap (lazy deletion:
+// stale entries are skipped when popped).
+type deltaEntry struct {
+	dq   float64
+	a, b int // community ids, a < b
+	ver  int // max(version[a], version[b]) at push time
+}
+
+type deltaHeap []deltaEntry
+
+func (h deltaHeap) Len() int { return len(h) }
+func (h deltaHeap) Less(i, j int) bool {
+	if h[i].dq != h[j].dq {
+		return h[i].dq > h[j].dq // max-heap
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h deltaHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deltaHeap) Push(x any)   { *h = append(*h, x.(deltaEntry)) }
+func (h *deltaHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// CNM runs the Clauset-Newman-Moore greedy modularity agglomeration
+// on an undirected graph. Each vertex starts as its own community;
+// the pair of connected communities whose merge maximises the
+// modularity gain dQ is merged repeatedly.
+//
+// The implementation follows the paper's data structures in spirit: a
+// sparse map of dQ values per community pair and a global max-heap
+// with lazy invalidation (versions replace explicit deletion).
+func CNM(g *graph.Graph, cfg CNMConfig) (*CNMResult, error) {
+	if g.Directed() {
+		return nil, fmt.Errorf("community: CNM requires an undirected graph")
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return &CNMResult{Partition: []int{}, Cut: "best-q"}, nil
+	}
+	m2 := 2 * g.TotalEdgeWeight() // 2W
+	if m2 == 0 {
+		part := make([]int, n)
+		for i := range part {
+			part[i] = i
+		}
+		dense, _ := CompressLabels(part)
+		return &CNMResult{Partition: dense, Cut: "best-q"}, nil
+	}
+
+	// State per community: a_i = d_i / 2W, dq[i][j] for connected
+	// communities, version counter for lazy heap invalidation, and a
+	// union-find for vertex -> community resolution.
+	a := make([]float64, n)
+	dq := make([]map[int]float64, n)
+	version := make([]int, n)
+	parent := make([]int, n)
+	alive := n
+	for v := 0; v < n; v++ {
+		parent[v] = v
+		a[v] = g.WeightedDegree(v) / m2
+		dq[v] = make(map[int]float64, g.Degree(v))
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// Initial dQ for each edge {u, v}: merging two singleton
+	// communities joined by weight w gains 2*(w/2W - a_u*a_v).
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			continue
+		}
+		w := e.Weight
+		gain := 2 * (w/m2 - a[e.From]*a[e.To])
+		dq[e.From][e.To] += gain // parallel edges accumulate
+		dq[e.To][e.From] = dq[e.From][e.To]
+	}
+
+	h := &deltaHeap{}
+	for u := 0; u < n; u++ {
+		for v, gain := range dq[u] {
+			if u < v {
+				heap.Push(h, deltaEntry{dq: gain, a: u, b: v, ver: 0})
+			}
+		}
+	}
+
+	// Modularity of the all-singletons partition: no intra-community
+	// edge weight (self loops are skipped above), so Q = -sum a_v^2.
+	q := 0.0
+	for v := 0; v < n; v++ {
+		q -= a[v] * a[v]
+	}
+
+	bestQ := q
+	bestMerge := 0
+	// history records the merge sequence so the best cut can be
+	// replayed: (from, into).
+	type merge struct{ from, into int }
+	var history []merge
+	var trajectory []float64
+	if cfg.RecordTrajectory {
+		trajectory = append(trajectory, q)
+	}
+
+	for alive > 1 {
+		if cfg.TargetK > 0 && alive <= cfg.TargetK {
+			break
+		}
+		// Pop the best valid merge.
+		var top deltaEntry
+		valid := false
+		for h.Len() > 0 {
+			top = heap.Pop(h).(deltaEntry)
+			ra, rb := find(top.a), find(top.b)
+			if ra != top.a || rb != top.b {
+				continue // community was merged away
+			}
+			v := version[top.a]
+			if version[top.b] > v {
+				v = version[top.b]
+			}
+			if top.ver != v {
+				continue // stale dq
+			}
+			valid = true
+			break
+		}
+		if !valid {
+			break // no connected pairs remain (disconnected graph)
+		}
+		if cfg.TargetK <= 0 && top.dq <= 0 && alive-1 < n {
+			// Classic CNM can stop at the modularity peak; we keep
+			// merging to build the full dendrogram only when a target
+			// K is requested. Stop here otherwise.
+			break
+		}
+
+		i, j := top.a, top.b // merge j into i
+		q += top.dq
+		history = append(history, merge{from: j, into: i})
+		if cfg.RecordTrajectory {
+			trajectory = append(trajectory, q)
+		}
+
+		// Update dq rows. Collect the union of neighbours of i and j.
+		version[i]++
+		neighbours := make(map[int]struct{}, len(dq[i])+len(dq[j]))
+		for k := range dq[i] {
+			if k != j {
+				neighbours[k] = struct{}{}
+			}
+		}
+		for k := range dq[j] {
+			if k != i {
+				neighbours[k] = struct{}{}
+			}
+		}
+		newRow := make(map[int]float64, len(neighbours))
+		for k := range neighbours {
+			dik, hasI := dq[i][k]
+			djk, hasJ := dq[j][k]
+			var val float64
+			switch {
+			case hasI && hasJ:
+				val = dik + djk
+			case hasI:
+				val = dik - 2*a[j]*a[k]
+			default:
+				val = djk - 2*a[i]*a[k]
+			}
+			newRow[k] = val
+		}
+		// Remove j from all neighbour rows; update k rows for i.
+		for k := range dq[j] {
+			delete(dq[k], j)
+		}
+		for k := range dq[i] {
+			delete(dq[k], i)
+		}
+		dq[i] = newRow
+		for k, val := range newRow {
+			dq[k][i] = val
+			ver := version[i]
+			if version[k] > ver {
+				ver = version[k]
+			}
+			aa, bb := i, k
+			if aa > bb {
+				aa, bb = bb, aa
+			}
+			heap.Push(h, deltaEntry{dq: val, a: aa, b: bb, ver: ver})
+		}
+		dq[j] = nil
+		a[i] += a[j]
+		a[j] = 0
+		parent[j] = i
+		alive--
+
+		if q > bestQ {
+			bestQ = q
+			bestMerge = len(history)
+		}
+	}
+
+	// Decide the cut: target-k keeps everything merged so far;
+	// best-q replays only the first bestMerge merges.
+	cut := "best-q"
+	replay := bestMerge
+	if cfg.TargetK > 0 {
+		cut = "target-k"
+		replay = len(history)
+		bestQ = q
+	}
+	comm := make([]int, n)
+	for v := range comm {
+		comm[v] = v
+	}
+	uf := make([]int, n)
+	for v := range uf {
+		uf[v] = v
+	}
+	var find2 func(int) int
+	find2 = func(x int) int {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	for _, mg := range history[:replay] {
+		uf[find2(mg.from)] = find2(mg.into)
+	}
+	for v := 0; v < n; v++ {
+		comm[v] = find2(v)
+	}
+	dense, _ := CompressLabels(comm)
+
+	finalQ, err := Modularity(g, dense)
+	if err != nil {
+		return nil, err
+	}
+	return &CNMResult{
+		Partition:  dense,
+		Q:          finalQ,
+		Merges:     replay,
+		Cut:        cut,
+		Trajectory: trajectory,
+	}, nil
+}

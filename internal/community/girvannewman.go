@@ -1,0 +1,237 @@
+package community
+
+import (
+	"fmt"
+	"sort"
+
+	"v2v/internal/graph"
+)
+
+// GNConfig controls the Girvan-Newman run.
+type GNConfig struct {
+	// TargetK, when positive, stops as soon as the graph has split
+	// into at least TargetK connected components and returns that
+	// partition. Otherwise edges are removed until none remain and
+	// the maximum-modularity partition seen along the way is
+	// returned (the standard formulation).
+	TargetK int
+	// MaxRemovals caps the number of edge removals (0 = unlimited),
+	// useful for bounding the O(m^2 n) worst case in benchmarks.
+	MaxRemovals int
+	// RecordTrajectory keeps (removals, #components, Q) after every
+	// split.
+	RecordTrajectory bool
+}
+
+// GNTrajectoryPoint is one entry of the recorded trajectory.
+type GNTrajectoryPoint struct {
+	Removals   int
+	Components int
+	Q          float64
+}
+
+// GNResult reports the outcome of Girvan-Newman.
+type GNResult struct {
+	Partition  []int
+	Q          float64
+	Removals   int
+	Trajectory []GNTrajectoryPoint
+}
+
+// GirvanNewman runs the edge-betweenness community detection
+// algorithm of Girvan and Newman: repeatedly compute the betweenness
+// of every remaining edge (Brandes-style single-source accumulation
+// over all sources) and remove the edge with the highest betweenness;
+// each time the component structure changes, evaluate modularity.
+func GirvanNewman(g *graph.Graph, cfg GNConfig) (*GNResult, error) {
+	if g.Directed() {
+		return nil, fmt.Errorf("community: GirvanNewman requires an undirected graph")
+	}
+	n := g.NumVertices()
+	adj := g.AdjacencyLists()
+	remaining := g.NumEdges()
+
+	best := &GNResult{}
+	comp, numComp := componentsOf(adj)
+	bestQ, err := Modularity(g, comp)
+	if err != nil {
+		return nil, err
+	}
+	best.Partition = comp
+	best.Q = bestQ
+	if cfg.RecordTrajectory {
+		best.Trajectory = append(best.Trajectory, GNTrajectoryPoint{0, numComp, bestQ})
+	}
+	if cfg.TargetK > 0 && numComp >= cfg.TargetK {
+		dense, _ := CompressLabels(comp)
+		best.Partition = dense
+		return best, nil
+	}
+
+	removals := 0
+	prevComp := numComp
+	for remaining > 0 {
+		if cfg.MaxRemovals > 0 && removals >= cfg.MaxRemovals {
+			break
+		}
+		eb := edgeBetweenness(adj, n)
+		if len(eb) == 0 {
+			break
+		}
+		// Find the max-betweenness edge; deterministic tie-break on
+		// the lexicographically smallest (u, v).
+		var bu, bv int
+		bw := -1.0
+		for e, w := range eb {
+			if w > bw || (w == bw && (e.u < bu || (e.u == bu && e.v < bv))) {
+				bu, bv, bw = e.u, e.v, w
+			}
+		}
+		removeEdge(adj, bu, bv)
+		remaining--
+		removals++
+
+		comp, numComp = componentsOf(adj)
+		if numComp != prevComp {
+			q, err := Modularity(g, comp)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.RecordTrajectory {
+				best.Trajectory = append(best.Trajectory, GNTrajectoryPoint{removals, numComp, q})
+			}
+			if q > best.Q {
+				best.Q = q
+				best.Partition = comp
+			}
+			if cfg.TargetK > 0 && numComp >= cfg.TargetK {
+				dense, _ := CompressLabels(comp)
+				return &GNResult{Partition: dense, Q: q, Removals: removals, Trajectory: best.Trajectory}, nil
+			}
+			prevComp = numComp
+		}
+	}
+	dense, _ := CompressLabels(best.Partition)
+	best.Partition = dense
+	best.Removals = removals
+	return best, nil
+}
+
+type edgeKey struct{ u, v int } // u < v
+
+// edgeBetweenness computes the betweenness centrality of every edge
+// of the (mutable) adjacency structure using Brandes' dependency
+// accumulation from every source, specialised to unweighted graphs
+// (BFS shortest paths).
+func edgeBetweenness(adj [][]int, n int) map[edgeKey]float64 {
+	eb := make(map[edgeKey]float64, n*4)
+	dist := make([]int, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	preds := make([][]int, n)
+
+	for s := 0; s < n; s++ {
+		if len(adj[s]) == 0 {
+			continue
+		}
+		// Init.
+		order = order[:0]
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, w := range adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		// Accumulate dependencies in reverse BFS order.
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, v := range preds[w] {
+				c := sigma[v] / sigma[w] * (1 + delta[w])
+				u1, v1 := v, w
+				if u1 > v1 {
+					u1, v1 = v1, u1
+				}
+				eb[edgeKey{u1, v1}] += c
+				delta[v] += c
+			}
+		}
+	}
+	// Each undirected edge was accumulated from both endpoints'
+	// perspectives across sources; halve to the conventional value.
+	for k := range eb {
+		eb[k] /= 2
+	}
+	return eb
+}
+
+// removeEdge removes the undirected edge {u, v} from the adjacency
+// structure (both endpoints).
+func removeEdge(adj [][]int, u, v int) {
+	adj[u] = cut(adj[u], v)
+	adj[v] = cut(adj[v], u)
+}
+
+func cut(list []int, x int) []int {
+	i := sort.SearchInts(list, x)
+	if i < len(list) && list[i] == x {
+		return append(list[:i], list[i+1:]...)
+	}
+	// Fallback linear scan (list may have lost sortedness after many
+	// removals using append tricks; it does not, but stay safe).
+	for j, y := range list {
+		if y == x {
+			return append(list[:j], list[j+1:]...)
+		}
+	}
+	return list
+}
+
+// componentsOf labels connected components of the adjacency structure.
+func componentsOf(adj [][]int) ([]int, int) {
+	n := len(adj)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	count := 0
+	stack := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = count
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if comp[v] < 0 {
+					comp[v] = count
+					stack = append(stack, v)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}

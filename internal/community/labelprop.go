@@ -1,0 +1,109 @@
+package community
+
+import (
+	"fmt"
+
+	"v2v/internal/graph"
+	"v2v/internal/xrand"
+)
+
+// LabelPropagationConfig controls the LPA run.
+type LabelPropagationConfig struct {
+	MaxSweeps int    // cap on asynchronous sweeps (default 100)
+	Seed      uint64 // randomises sweep order and tie-breaks
+}
+
+// LabelPropagation runs the asynchronous label propagation algorithm
+// of Raghavan et al.: every vertex repeatedly adopts the label most
+// common among its neighbours (weighted, when the graph is weighted)
+// until labels are stable. A fast, lower-quality baseline included as
+// an extension.
+func LabelPropagation(g *graph.Graph, cfg LabelPropagationConfig) ([]int, error) {
+	if g.Directed() {
+		return nil, fmt.Errorf("community: LabelPropagation requires an undirected graph")
+	}
+	n := g.NumVertices()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	if cfg.MaxSweeps <= 0 {
+		cfg.MaxSweeps = 100
+	}
+	rng := xrand.New(cfg.Seed)
+	votes := make(map[int]float64, 16)
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		changed := false
+		for _, v := range rng.Perm(n) {
+			adj := g.Neighbors(v)
+			if len(adj) == 0 {
+				continue
+			}
+			ws := g.EdgeWeights(v)
+			for k := range votes {
+				delete(votes, k)
+			}
+			for i, u := range adj {
+				w := 1.0
+				if ws != nil {
+					w = ws[i]
+				}
+				votes[labels[u]] += w
+			}
+			// Pick the max-vote label; random tie-break among ties as
+			// the algorithm prescribes (seeded, so reproducible).
+			bestW := -1.0
+			var ties []int
+			for l, w := range votes {
+				if w > bestW {
+					bestW = w
+					ties = ties[:0]
+					ties = append(ties, l)
+				} else if w == bestW {
+					ties = append(ties, l)
+				}
+			}
+			pick := ties[0]
+			if len(ties) > 1 {
+				// Deterministic order before random pick: map order is
+				// not stable across runs.
+				minL := ties[0]
+				for _, l := range ties[1:] {
+					if l < minL {
+						minL = l
+					}
+				}
+				// Prefer keeping the current label if tied, else the
+				// seeded random choice among sorted ties.
+				keep := false
+				for _, l := range ties {
+					if l == labels[v] {
+						keep = true
+						break
+					}
+				}
+				if keep {
+					pick = labels[v]
+				} else {
+					_ = minL
+					// Sort ties for determinism.
+					for i := 1; i < len(ties); i++ {
+						for j := i; j > 0 && ties[j] < ties[j-1]; j-- {
+							ties[j], ties[j-1] = ties[j-1], ties[j]
+						}
+					}
+					pick = ties[rng.Intn(len(ties))]
+				}
+			}
+			if pick != labels[v] {
+				labels[v] = pick
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	dense, _ := CompressLabels(labels)
+	return dense, nil
+}

@@ -1,0 +1,124 @@
+package community
+
+import (
+	"math"
+	"testing"
+
+	"v2v/internal/graph"
+	"v2v/internal/metrics"
+)
+
+func TestWalktrapTwoCliques(t *testing.T) {
+	g, truth := graph.TwoCliquesBridge(8)
+	res, err := Walktrap(g, WalktrapConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r, err := metrics.PairwisePrecisionRecall(truth, res.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 || r != 1 {
+		t.Fatalf("Walktrap failed two cliques: %v/%v (Q=%v)", p, r, res.Q)
+	}
+}
+
+func TestWalktrapBenchmark(t *testing.T) {
+	g, truth := graph.CommunityBenchmark(graph.CommunityBenchmarkConfig{
+		NumCommunities: 4, CommunitySize: 20, Alpha: 0.7, InterEdges: 8, Seed: 3,
+	})
+	res, err := Walktrap(g, WalktrapConfig{TargetK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r, _ := metrics.PairwisePrecisionRecall(truth, res.Partition)
+	if p < 0.9 || r < 0.9 {
+		t.Fatalf("Walktrap: precision %.3f recall %.3f", p, r)
+	}
+}
+
+func TestWalktrapTargetK(t *testing.T) {
+	g, _ := graph.CommunityBenchmark(graph.CommunityBenchmarkConfig{
+		NumCommunities: 3, CommunitySize: 15, Alpha: 0.6, InterEdges: 5, Seed: 5,
+	})
+	res, err := Walktrap(g, WalktrapConfig{TargetK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k := CompressLabels(res.Partition)
+	if k != 3 {
+		t.Fatalf("TargetK=3 produced %d communities", k)
+	}
+}
+
+func TestWalktrapQConsistent(t *testing.T) {
+	g, _ := graph.CommunityBenchmark(graph.CommunityBenchmarkConfig{
+		NumCommunities: 3, CommunitySize: 12, Alpha: 0.5, InterEdges: 5, Seed: 7,
+	})
+	res, err := Walktrap(g, WalktrapConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Modularity(g, res.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-res.Q) > 1e-9 {
+		t.Fatalf("reported Q %v, recomputed %v", res.Q, q)
+	}
+}
+
+func TestWalktrapDegenerate(t *testing.T) {
+	if _, err := Walktrap(graph.NewBuilder(0).Build(), WalktrapConfig{}); err != nil {
+		t.Fatalf("empty graph: %v", err)
+	}
+	// Edgeless: no adjacent pairs, everything stays singleton.
+	res, err := Walktrap(graph.NewBuilder(4).Build(), WalktrapConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k := CompressLabels(res.Partition)
+	if k != 4 {
+		t.Fatalf("edgeless collapsed to %d communities", k)
+	}
+	// Directed rejected.
+	b := graph.NewBuilder(2)
+	b.SetDirected(true)
+	b.AddEdge(0, 1)
+	if _, err := Walktrap(b.Build(), WalktrapConfig{}); err == nil {
+		t.Fatal("directed graph accepted")
+	}
+}
+
+func TestWalktrapDisconnected(t *testing.T) {
+	b := graph.NewBuilder(8)
+	for c := 0; c < 2; c++ {
+		base := c * 4
+		for j := 1; j < 4; j++ {
+			for i := 0; i < j; i++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	g := b.Build()
+	res, err := Walktrap(g, WalktrapConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partition[0] == res.Partition[4] {
+		t.Fatal("Walktrap merged disconnected components")
+	}
+}
+
+// BenchmarkWalktrap places the cited baseline alongside CNM/GN.
+func BenchmarkWalktrap(b *testing.B) {
+	g, _ := graph.CommunityBenchmark(graph.CommunityBenchmarkConfig{
+		NumCommunities: 10, CommunitySize: 20, Alpha: 0.5, InterEdges: 40, Seed: 9,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Walktrap(g, WalktrapConfig{TargetK: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package core wires the substrates into the paper's V2V pipeline:
+// constrained random walks over a graph feed a CBOW (or SkipGram)
+// model whose hidden-layer weights become the vertex embeddings
+// (Figure 1 of the paper). It also hosts the embedding-space
+// application drivers: community detection by k-means (Section III),
+// PCA projection for visualization (Section IV) and k-NN feature
+// prediction (Section V).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"v2v/internal/cluster"
+	"v2v/internal/graph"
+	"v2v/internal/knn"
+	"v2v/internal/linalg"
+	"v2v/internal/metrics"
+	"v2v/internal/walk"
+	"v2v/internal/word2vec"
+)
+
+// Config couples the two stages of the pipeline.
+type Config struct {
+	Walk  walk.Config
+	Model word2vec.Config
+}
+
+// DefaultConfig returns a configuration matching the paper's defaults
+// (t = l = 1000, CBOW, window 5) at the given dimensionality. The
+// walk budget is usually scaled down for experiments; see
+// EXPERIMENTS.md.
+func DefaultConfig(dim int) Config {
+	return Config{
+		Walk:  walk.DefaultConfig(),
+		Model: word2vec.DefaultConfig(dim),
+	}
+}
+
+// Embedding is a trained V2V model bound to its graph.
+type Embedding struct {
+	Graph *graph.Graph
+	Model *word2vec.Model
+	Stats *word2vec.Stats
+
+	WalkTime  time.Duration // corpus generation wall clock
+	TrainTime time.Duration // CBOW training wall clock
+	Tokens    int           // corpus size in vertex occurrences
+}
+
+// Embed runs the full V2V pipeline on g.
+func Embed(g *graph.Graph, cfg Config) (*Embedding, error) {
+	corpus, walkTime, err := GenerateCorpus(g, cfg.Walk)
+	if err != nil {
+		return nil, err
+	}
+	emb, err := EmbedCorpus(g, corpus, cfg)
+	if err != nil {
+		return nil, err
+	}
+	emb.WalkTime = walkTime
+	return emb, nil
+}
+
+// GenerateCorpus runs only the walk phase, returning the corpus and
+// its generation time. The paper's Figure 9 experiment trains models
+// of many dimensionalities "in the same set of random walk paths";
+// generate once and pass the corpus to EmbedCorpus per model.
+func GenerateCorpus(g *graph.Graph, cfg walk.Config) (*walk.Corpus, time.Duration, error) {
+	if g.NumVertices() == 0 {
+		return nil, 0, fmt.Errorf("core: empty graph")
+	}
+	gen, err := walk.NewGenerator(g, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	corpus := gen.Generate()
+	walkTime := time.Since(start)
+	if corpus.NumTokens() == 0 {
+		return nil, 0, fmt.Errorf("core: walk generation produced an empty corpus")
+	}
+	return corpus, walkTime, nil
+}
+
+// EmbedCorpus trains an embedding on a pre-generated corpus. Only
+// cfg.Model is consulted (plus cfg.Walk.Seed for default seeding).
+func EmbedCorpus(g *graph.Graph, corpus *walk.Corpus, cfg Config) (*Embedding, error) {
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	// Seed the trainer differently from the walker so the two stages
+	// draw independent streams even with identical user seeds.
+	mcfg := cfg.Model
+	if mcfg.Seed == 0 {
+		mcfg.Seed = cfg.Walk.Seed + 0x1000
+	}
+	model, stats, err := word2vec.Train(corpus, g.NumVertices(), mcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Embedding{
+		Graph:     g,
+		Model:     model,
+		Stats:     stats,
+		TrainTime: stats.Duration,
+		Tokens:    corpus.NumTokens(),
+	}, nil
+}
+
+// CommunityConfig controls DetectCommunities.
+type CommunityConfig struct {
+	K        int // number of communities
+	Restarts int // k-means restarts (paper: 100)
+	Seed     uint64
+	Workers  int
+}
+
+// CommunityResult is the outcome of embedding-space community
+// detection.
+type CommunityResult struct {
+	Partition   []int
+	SSE         float64
+	ClusterTime time.Duration
+}
+
+// DetectCommunities clusters the embedding with multi-restart
+// k-means++ and returns the induced vertex partition — the paper's
+// V2V community detection (Section III).
+func (e *Embedding) DetectCommunities(cfg CommunityConfig) (*CommunityResult, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("core: community detection needs K > 0")
+	}
+	kcfg := cluster.DefaultConfig(cfg.K)
+	if cfg.Restarts > 0 {
+		kcfg.Restarts = cfg.Restarts
+	}
+	kcfg.Seed = cfg.Seed
+	kcfg.Workers = cfg.Workers
+	start := time.Now()
+	res, err := cluster.KMeans(e.Model.Rows(), kcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CommunityResult{
+		Partition:   res.Assignments,
+		SSE:         res.SSE,
+		ClusterTime: time.Since(start),
+	}, nil
+}
+
+// ChooseCommunities selects the community count in [kMin, kMax] by
+// maximum silhouette over k-means clusterings of the embedding,
+// addressing the parameter-selection question of the paper's
+// conclusion (the ground-truth k is unknown in practice).
+func (e *Embedding) ChooseCommunities(kMin, kMax int, cfg CommunityConfig) (*cluster.KSelection, error) {
+	kcfg := cluster.DefaultConfig(0)
+	if cfg.Restarts > 0 {
+		kcfg.Restarts = cfg.Restarts
+	} else {
+		kcfg.Restarts = 10 // silhouette sweeps re-cluster per k; keep it bounded
+	}
+	kcfg.Seed = cfg.Seed
+	kcfg.Workers = cfg.Workers
+	return cluster.ChooseK(e.Model.Rows(), kMin, kMax, kcfg)
+}
+
+// EvaluateCommunities returns the paper's pairwise precision and
+// recall of a detected partition against ground truth.
+func EvaluateCommunities(truth, pred []int) (precision, recall float64, err error) {
+	return metrics.PairwisePrecisionRecall(truth, pred)
+}
+
+// ProjectPCA fits a k-component PCA to the embedding and returns the
+// projected coordinates of every vertex (n x k), the paper's
+// visualization pathway (Section IV).
+func (e *Embedding) ProjectPCA(k int, seed uint64) ([][]float64, *linalg.PCA, error) {
+	rows := e.Model.Rows()
+	p, err := linalg.FitPCA(rows, k, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.TransformAll(rows), p, nil
+}
+
+// CrossValidateLabels runs the paper's feature-prediction protocol
+// (Section V): folds-fold cross-validated k-NN classification of
+// vertex labels in the embedding space under cosine distance,
+// returning the mean accuracy.
+func (e *Embedding) CrossValidateLabels(labels []int, k, folds int, seed uint64) (float64, error) {
+	if len(labels) != e.Model.Vocab {
+		return 0, fmt.Errorf("core: %d labels for %d vertices", len(labels), e.Model.Vocab)
+	}
+	return knn.CrossValidate(e.Model.Rows(), labels, k, folds, knn.Cosine, seed)
+}
+
+// PredictLabels trains a k-NN classifier on the vertices with label
+// >= 0 and predicts a label for every vertex with label < 0,
+// returning the completed label slice (the paper's missing-data
+// recovery scenario).
+func (e *Embedding) PredictLabels(labels []int, k int) ([]int, error) {
+	if len(labels) != e.Model.Vocab {
+		return nil, fmt.Errorf("core: %d labels for %d vertices", len(labels), e.Model.Vocab)
+	}
+	rows := e.Model.Rows()
+	var trainPts [][]float64
+	var trainLbl []int
+	var queryIdx []int
+	for v, l := range labels {
+		if l >= 0 {
+			trainPts = append(trainPts, rows[v])
+			trainLbl = append(trainLbl, l)
+		} else {
+			queryIdx = append(queryIdx, v)
+		}
+	}
+	if len(trainPts) == 0 {
+		return nil, fmt.Errorf("core: no labelled vertices to train on")
+	}
+	out := append([]int(nil), labels...)
+	if len(queryIdx) == 0 {
+		return out, nil
+	}
+	clf := knn.NewClassifier(k, knn.Cosine, trainPts, trainLbl)
+	queries := make([][]float64, len(queryIdx))
+	for i, v := range queryIdx {
+		queries[i] = rows[v]
+	}
+	pred := clf.PredictAll(queries)
+	for i, v := range queryIdx {
+		out[v] = pred[i]
+	}
+	return out, nil
+}

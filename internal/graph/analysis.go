@@ -1,0 +1,189 @@
+package graph
+
+import "fmt"
+
+// BFSDistances returns the hop distance from source to every vertex
+// (-1 when unreachable), following arc direction on directed graphs.
+func (g *Graph) BFSDistances(source int) []int {
+	n := g.NumVertices()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, source)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest u-v path as a vertex sequence, or
+// nil when v is unreachable from u.
+func (g *Graph) ShortestPath(u, v int) []int {
+	if u == v {
+		return []int{u}
+	}
+	n := g.NumVertices()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[u] = u
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range g.Neighbors(x) {
+			if parent[y] >= 0 {
+				continue
+			}
+			parent[y] = x
+			if y == v {
+				var path []int
+				for cur := v; cur != u; cur = parent[cur] {
+					path = append(path, cur)
+				}
+				path = append(path, u)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, y)
+		}
+	}
+	return nil
+}
+
+// Eccentricity returns the greatest hop distance from v to any
+// reachable vertex.
+func (g *Graph) Eccentricity(v int) int {
+	ecc := 0
+	for _, d := range g.BFSDistances(v) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// LocalClusteringCoefficient returns the fraction of v's neighbour
+// pairs that are themselves connected (undirected graphs).
+func (g *Graph) LocalClusteringCoefficient(v int) float64 {
+	adj := g.Neighbors(v)
+	d := len(adj)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if adj[i] != v && adj[j] != v && g.HasEdge(adj[i], adj[j]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(d*(d-1))
+}
+
+// AverageClusteringCoefficient returns the mean local clustering
+// coefficient over all vertices.
+func (g *Graph) AverageClusteringCoefficient() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for v := 0; v < n; v++ {
+		sum += g.LocalClusteringCoefficient(v)
+	}
+	return sum / float64(n)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with
+// (out-)degree d.
+func (g *Graph) DegreeHistogram() []int {
+	maxD := 0
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d > maxD {
+			maxD = d
+		}
+	}
+	counts := make([]int, maxD+1)
+	for v := 0; v < n; v++ {
+		counts[g.Degree(v)]++
+	}
+	return counts
+}
+
+// Density returns the fraction of possible edges present (simple
+// undirected: m / C(n,2); directed: m / n(n-1)).
+func (g *Graph) Density() float64 {
+	n := g.NumVertices()
+	if n < 2 {
+		return 0
+	}
+	possible := float64(n) * float64(n-1)
+	if !g.directed {
+		possible /= 2
+	}
+	return float64(g.numEdges) / possible
+}
+
+// Subgraph returns the induced subgraph on the given vertices plus a
+// mapping from new to old vertex indices. Edge weights and times are
+// preserved; vertex order follows the input slice.
+func (g *Graph) Subgraph(vertices []int) (*Graph, []int, error) {
+	remap := make(map[int]int, len(vertices))
+	for newID, v := range vertices {
+		if v < 0 || v >= g.NumVertices() {
+			return nil, nil, fmt.Errorf("graph: subgraph vertex %d out of range", v)
+		}
+		if _, dup := remap[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate subgraph vertex %d", v)
+		}
+		remap[v] = newID
+	}
+	b := NewBuilder(len(vertices))
+	b.SetDirected(g.directed)
+	for _, u := range vertices {
+		nu := remap[u]
+		adj := g.Neighbors(u)
+		ws := g.EdgeWeights(u)
+		ts := g.EdgeTimes(u)
+		for i, v := range adj {
+			nv, ok := remap[v]
+			if !ok {
+				continue
+			}
+			if !g.directed && nu > nv {
+				continue // count undirected edges once
+			}
+			switch {
+			case g.temporal:
+				w := 1.0
+				if ws != nil {
+					w = ws[i]
+				}
+				b.AddTemporalEdge(nu, nv, w, ts[i])
+			case g.weighted:
+				b.AddWeightedEdge(nu, nv, ws[i])
+			default:
+				b.AddEdge(nu, nv)
+			}
+		}
+	}
+	sub := b.Build()
+	order := append([]int(nil), vertices...)
+	return sub, order, nil
+}

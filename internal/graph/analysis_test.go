@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBFSDistancesPath(t *testing.T) {
+	g := Path(5)
+	d := g.BFSDistances(0)
+	for v := 0; v < 5; v++ {
+		if d[v] != v {
+			t.Fatalf("dist(0,%d) = %d", v, d[v])
+		}
+	}
+}
+
+func TestBFSDistancesUnreachable(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	d := g.BFSDistances(0)
+	if d[2] != -1 {
+		t.Fatalf("unreachable vertex has distance %d", d[2])
+	}
+}
+
+func TestBFSDistancesDirected(t *testing.T) {
+	b := NewBuilder(0)
+	b.SetDirected(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if d := g.BFSDistances(2); d[0] != -1 {
+		t.Fatal("directed BFS followed reverse arcs")
+	}
+	if d := g.BFSDistances(0); d[2] != 2 {
+		t.Fatal("directed BFS distance wrong")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := Ring(8)
+	p := g.ShortestPath(0, 3)
+	if len(p) != 4 || p[0] != 0 || p[3] != 3 {
+		t.Fatalf("path %v", p)
+	}
+	for i := 1; i < len(p); i++ {
+		if !g.HasEdge(p[i-1], p[i]) {
+			t.Fatalf("path %v uses a non-edge", p)
+		}
+	}
+	if p := g.ShortestPath(2, 2); len(p) != 1 || p[0] != 2 {
+		t.Fatalf("self path %v", p)
+	}
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	if p := b.Build().ShortestPath(0, 2); p != nil {
+		t.Fatalf("unreachable path %v", p)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := Path(5)
+	if e := g.Eccentricity(0); e != 4 {
+		t.Fatalf("ecc(0) = %d", e)
+	}
+	if e := g.Eccentricity(2); e != 2 {
+		t.Fatalf("ecc(2) = %d", e)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Triangle: every vertex has coefficient 1.
+	g := Complete(3)
+	if c := g.LocalClusteringCoefficient(0); c != 1 {
+		t.Fatalf("triangle coefficient %v", c)
+	}
+	// Star: hub has coefficient 0 (no neighbour pairs connected).
+	s := Star(5)
+	if c := s.LocalClusteringCoefficient(0); c != 0 {
+		t.Fatalf("star hub coefficient %v", c)
+	}
+	// Leaf (degree 1): defined as 0.
+	if c := s.LocalClusteringCoefficient(1); c != 0 {
+		t.Fatalf("leaf coefficient %v", c)
+	}
+	// Complete graph: average 1.
+	if c := Complete(6).AverageClusteringCoefficient(); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("K6 average coefficient %v", c)
+	}
+	// Path: 0 everywhere.
+	if c := Path(6).AverageClusteringCoefficient(); c != 0 {
+		t.Fatalf("path average coefficient %v", c)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := Star(5) // degrees: 4,1,1,1,1
+	h := g.DegreeHistogram()
+	if h[1] != 4 || h[4] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 5 {
+		t.Fatalf("histogram counts %d vertices", total)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	if d := Complete(5).Density(); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("K5 density %v", d)
+	}
+	if d := NewBuilder(5).Build().Density(); d != 0 {
+		t.Fatalf("edgeless density %v", d)
+	}
+	b := NewBuilder(0)
+	b.SetDirected(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	if d := b.Build().Density(); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("directed K2 density %v", d)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g, truth := CommunityBenchmark(CommunityBenchmarkConfig{
+		NumCommunities: 2, CommunitySize: 10, Alpha: 0.8, InterEdges: 3, Seed: 4,
+	})
+	// Extract community 0.
+	var members []int
+	for v, c := range truth {
+		if c == 0 {
+			members = append(members, v)
+		}
+	}
+	sub, order, err := g.Subgraph(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 10 {
+		t.Fatalf("subgraph has %d vertices", sub.NumVertices())
+	}
+	// Every subgraph edge corresponds to an original edge.
+	for _, e := range sub.Edges() {
+		if !g.HasEdge(order[e.From], order[e.To]) {
+			t.Fatal("subgraph edge not in original")
+		}
+	}
+	// Every intra-community original edge survives.
+	want := 0
+	for _, e := range g.Edges() {
+		if truth[e.From] == 0 && truth[e.To] == 0 {
+			want++
+		}
+	}
+	if sub.NumEdges() != want {
+		t.Fatalf("subgraph edges %d, want %d", sub.NumEdges(), want)
+	}
+}
+
+func TestSubgraphErrors(t *testing.T) {
+	g := Ring(5)
+	if _, _, err := g.Subgraph([]int{0, 9}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, _, err := g.Subgraph([]int{0, 0}); err == nil {
+		t.Error("duplicate vertex accepted")
+	}
+}
+
+func TestSubgraphPreservesAttributes(t *testing.T) {
+	b := NewBuilder(0)
+	b.SetDirected(true)
+	b.AddTemporalEdge(0, 1, 2.5, 7)
+	b.AddTemporalEdge(1, 2, 1.5, 9)
+	g := b.Build()
+	sub, _, err := g.Subgraph([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sub.Edges()
+	if len(e) != 1 || e[0].Weight != 2.5 || e[0].Time != 7 {
+		t.Fatalf("subgraph edges %+v", e)
+	}
+}

@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. The zero
+// value is usable as an empty undirected builder; NewBuilder
+// preallocates vertex capacity.
+type Builder struct {
+	n        int
+	directed bool
+	weighted bool
+	temporal bool
+	dedup    bool
+
+	edges []Edge
+
+	vertexWeights []float64
+	names         []string
+	nameIndex     map[string]int
+}
+
+// NewBuilder returns a builder for an undirected graph with n vertices
+// (more are added implicitly by AddEdge or EnsureVertex).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// SetDirected marks the graph under construction as directed. It must
+// be called before Build.
+func (b *Builder) SetDirected(directed bool) *Builder {
+	b.directed = directed
+	return b
+}
+
+// SetDeduplicate requests that parallel edges (and, for undirected
+// graphs, self-loops) be removed at Build time, keeping the first
+// occurrence of each arc.
+func (b *Builder) SetDeduplicate(dedup bool) *Builder {
+	b.dedup = dedup
+	return b
+}
+
+// NumVertices returns the current vertex count.
+func (b *Builder) NumVertices() int { return b.n }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// EnsureVertex grows the vertex set so that v is a valid index.
+func (b *Builder) EnsureVertex(v int) {
+	if v >= b.n {
+		b.n = v + 1
+	}
+}
+
+// AddVertex appends a fresh vertex and returns its index.
+func (b *Builder) AddVertex() int {
+	v := b.n
+	b.n++
+	return v
+}
+
+// AddNamedVertex appends a fresh vertex with the given name and
+// returns its index. If the name already exists, the existing index is
+// returned instead.
+func (b *Builder) AddNamedVertex(name string) int {
+	if b.nameIndex == nil {
+		b.nameIndex = make(map[string]int)
+	}
+	if v, ok := b.nameIndex[name]; ok {
+		return v
+	}
+	v := b.AddVertex()
+	for len(b.names) < v {
+		b.names = append(b.names, fmt.Sprintf("%d", len(b.names)))
+	}
+	b.names = append(b.names, name)
+	b.nameIndex[name] = v
+	return v
+}
+
+// AddEdge adds an unweighted edge (arc, if directed) from u to v.
+func (b *Builder) AddEdge(u, v int) {
+	b.EnsureVertex(u)
+	b.EnsureVertex(v)
+	b.edges = append(b.edges, Edge{From: u, To: v, Weight: 1})
+}
+
+// AddWeightedEdge adds an edge with the given weight.
+func (b *Builder) AddWeightedEdge(u, v int, w float64) {
+	b.weighted = true
+	b.EnsureVertex(u)
+	b.EnsureVertex(v)
+	b.edges = append(b.edges, Edge{From: u, To: v, Weight: w})
+}
+
+// AddTemporalEdge adds an edge with a weight and a timestamp.
+func (b *Builder) AddTemporalEdge(u, v int, w float64, t int64) {
+	b.weighted = b.weighted || w != 1
+	b.temporal = true
+	b.EnsureVertex(u)
+	b.EnsureVertex(v)
+	b.edges = append(b.edges, Edge{From: u, To: v, Weight: w, Time: t})
+}
+
+// SetVertexWeight records a weight for vertex v, used by
+// vertex-weighted random walks.
+func (b *Builder) SetVertexWeight(v int, w float64) {
+	b.EnsureVertex(v)
+	for len(b.vertexWeights) < b.n {
+		b.vertexWeights = append(b.vertexWeights, 1)
+	}
+	b.vertexWeights[v] = w
+}
+
+// Build assembles the immutable Graph. The builder remains valid and
+// may continue to accumulate edges for a later Build.
+func (b *Builder) Build() *Graph {
+	edges := b.edges
+	if b.dedup {
+		edges = dedupEdges(edges, b.directed)
+	}
+
+	g := &Graph{
+		directed: b.directed,
+		weighted: b.weighted,
+		temporal: b.temporal,
+		numEdges: len(edges),
+	}
+
+	n := b.n
+	degree := make([]int, n)
+	for _, e := range edges {
+		degree[e.From]++
+		if !b.directed && e.From != e.To {
+			degree[e.To]++
+		}
+	}
+	g.offsets = make([]int, n+1)
+	for v := 0; v < n; v++ {
+		g.offsets[v+1] = g.offsets[v] + degree[v]
+	}
+	arcs := g.offsets[n]
+	g.targets = make([]int, arcs)
+	if b.weighted {
+		g.weights = make([]float64, arcs)
+	}
+	if b.temporal {
+		g.times = make([]int64, arcs)
+	}
+	cursor := make([]int, n)
+	copy(cursor, g.offsets[:n])
+	place := func(u, v int, w float64, t int64) {
+		i := cursor[u]
+		cursor[u]++
+		g.targets[i] = v
+		if b.weighted {
+			g.weights[i] = w
+		}
+		if b.temporal {
+			g.times[i] = t
+		}
+	}
+	for _, e := range edges {
+		place(e.From, e.To, e.Weight, e.Time)
+		if !b.directed && e.From != e.To {
+			place(e.To, e.From, e.Weight, e.Time)
+		}
+	}
+
+	// Sort each adjacency list by target (then time) so that HasEdge
+	// can binary-search and iteration order is deterministic.
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		sortAdjacency(g, lo, hi)
+	}
+
+	if b.vertexWeights != nil {
+		vw := make([]float64, n)
+		copy(vw, b.vertexWeights)
+		for i := len(b.vertexWeights); i < n; i++ {
+			vw[i] = 1
+		}
+		g.vertexWeights = vw
+	}
+	if b.names != nil {
+		names := make([]string, n)
+		copy(names, b.names)
+		for i := len(b.names); i < n; i++ {
+			names[i] = fmt.Sprintf("%d", i)
+		}
+		g.names = names
+		idx := make(map[string]int, len(b.nameIndex))
+		for k, v := range b.nameIndex {
+			idx[k] = v
+		}
+		g.nameIndex = idx
+	}
+	return g
+}
+
+// sortAdjacency sorts the arc range [lo, hi) of g by (target, time),
+// keeping the parallel weight/time arrays in step.
+func sortAdjacency(g *Graph, lo, hi int) {
+	span := adjSpan{g: g, lo: lo, n: hi - lo}
+	sort.Sort(span)
+}
+
+type adjSpan struct {
+	g  *Graph
+	lo int
+	n  int
+}
+
+func (s adjSpan) Len() int { return s.n }
+
+func (s adjSpan) Less(i, j int) bool {
+	g, a, b := s.g, s.lo+i, s.lo+j
+	if g.targets[a] != g.targets[b] {
+		return g.targets[a] < g.targets[b]
+	}
+	if g.times != nil {
+		return g.times[a] < g.times[b]
+	}
+	return false
+}
+
+func (s adjSpan) Swap(i, j int) {
+	g, a, b := s.g, s.lo+i, s.lo+j
+	g.targets[a], g.targets[b] = g.targets[b], g.targets[a]
+	if g.weights != nil {
+		g.weights[a], g.weights[b] = g.weights[b], g.weights[a]
+	}
+	if g.times != nil {
+		g.times[a], g.times[b] = g.times[b], g.times[a]
+	}
+}
+
+// dedupEdges removes duplicate arcs. For undirected graphs the pair is
+// canonicalised (min, max) first, so u-v and v-u are duplicates.
+func dedupEdges(edges []Edge, directed bool) []Edge {
+	type key struct{ u, v int }
+	seen := make(map[key]bool, len(edges))
+	out := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		u, v := e.From, e.To
+		if !directed && u > v {
+			u, v = v, u
+		}
+		k := key{u, v}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package graph
+
+import (
+	"fmt"
+
+	"v2v/internal/xrand"
+)
+
+// CommunityBenchmarkConfig describes the synthetic dataset of the
+// paper's Section III-A: NumCommunities groups of CommunitySize
+// vertices each, every group an alpha quasi-clique, plus InterEdges
+// uniformly random edges connecting distinct groups.
+type CommunityBenchmarkConfig struct {
+	NumCommunities int     // paper: 10
+	CommunitySize  int     // paper: 100
+	Alpha          float64 // in (0, 1]; fraction of clique edges present
+	InterEdges     int     // paper: 200
+	Seed           uint64
+}
+
+// DefaultCommunityBenchmark returns the paper's configuration for a
+// given alpha: 10 communities of 100 vertices and 200 inter-community
+// edges (1000 vertices; ~25000 edges at alpha = 0.5).
+func DefaultCommunityBenchmark(alpha float64, seed uint64) CommunityBenchmarkConfig {
+	return CommunityBenchmarkConfig{
+		NumCommunities: 10,
+		CommunitySize:  100,
+		Alpha:          alpha,
+		InterEdges:     200,
+		Seed:           seed,
+	}
+}
+
+// CommunityBenchmark generates the synthetic ground-truth graph and
+// returns it together with the community index of every vertex.
+//
+// Each community G_i receives alpha * |G_i|(|G_i|-1)/2 distinct
+// intra-community edges sampled uniformly without replacement (alpha
+// = 1 makes G_i a clique), then InterEdges edges are added between
+// uniformly random vertices of distinct communities.
+func CommunityBenchmark(cfg CommunityBenchmarkConfig) (*Graph, []int) {
+	if cfg.NumCommunities <= 0 || cfg.CommunitySize <= 1 {
+		panic(fmt.Sprintf("graph: invalid community benchmark config %+v", cfg))
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		panic(fmt.Sprintf("graph: alpha %v out of [0,1]", cfg.Alpha))
+	}
+	rng := xrand.New(cfg.Seed)
+	n := cfg.NumCommunities * cfg.CommunitySize
+	truth := make([]int, n)
+	b := NewBuilder(n)
+
+	size := cfg.CommunitySize
+	cliqueEdges := size * (size - 1) / 2
+	perGroup := int(cfg.Alpha * float64(cliqueEdges))
+	for c := 0; c < cfg.NumCommunities; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			truth[base+i] = c
+		}
+		// Sample perGroup distinct pairs inside the community by
+		// sampling pair ranks without replacement.
+		for _, rank := range samplePairs(rng, cliqueEdges, perGroup) {
+			i, j := unrankPair(rank)
+			b.AddEdge(base+i, base+j)
+		}
+	}
+
+	// Inter-community edges between uniformly random vertices of
+	// distinct communities. Duplicates are allowed to mirror the
+	// paper's "200 edges connecting vertices between different
+	// groups" without further qualification, but we avoid exact
+	// repeats for cleanliness.
+	seen := make(map[[2]int]bool, cfg.InterEdges)
+	for added := 0; added < cfg.InterEdges; {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if truth[u] == truth[v] {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]int{u, v}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		b.AddEdge(u, v)
+		added++
+	}
+	return b.Build(), truth
+}
+
+// samplePairs returns k distinct integers in [0, total) sampled
+// uniformly. When k is a large fraction of total it uses a shuffle;
+// otherwise rejection sampling with a set.
+func samplePairs(rng *xrand.RNG, total, k int) []int {
+	if k >= total {
+		out := make([]int, total)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if k*3 >= total {
+		perm := rng.Perm(total)
+		return perm[:k]
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		r := rng.Intn(total)
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// unrankPair maps a rank in [0, C(n,2)) to the pair (i, j), i < j,
+// enumerated as (0,1), (0,2), (1,2), (0,3), (1,3), (2,3), ... — the
+// colex order, which needs no knowledge of n: j is the largest integer
+// with C(j,2) <= rank.
+func unrankPair(rank int) (int, int) {
+	// Solve j(j-1)/2 <= rank < j(j+1)/2.
+	j := int((1 + isqrt(1+8*uint64(rank))) / 2)
+	for j*(j-1)/2 > rank {
+		j--
+	}
+	for (j+1)*j/2 <= rank {
+		j++
+	}
+	i := rank - j*(j-1)/2
+	return i, j
+}
+
+// isqrt returns floor(sqrt(x)) for a uint64 using Newton iteration.
+func isqrt(x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	r := uint64(1) << ((bitsLen(x) + 1) / 2)
+	for {
+		nr := (r + x/r) / 2
+		if nr >= r {
+			return r
+		}
+		r = nr
+	}
+}
+
+func bitsLen(x uint64) uint {
+	var n uint
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// ErdosRenyiGNM generates a uniform random simple undirected graph
+// with n vertices and m distinct edges.
+func ErdosRenyiGNM(n, m int, seed uint64) *Graph {
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		panic(fmt.Sprintf("graph: m=%d exceeds max %d for n=%d", m, maxEdges, n))
+	}
+	rng := xrand.New(seed)
+	b := NewBuilder(n)
+	for _, rank := range samplePairs(rng, maxEdges, m) {
+		i, j := unrankPair(rank)
+		b.AddEdge(i, j)
+	}
+	return b.Build()
+}
+
+// ErdosRenyiGNP generates G(n, p): every unordered pair becomes an
+// edge independently with probability p.
+func ErdosRenyiGNP(n int, p float64, seed uint64) *Graph {
+	rng := xrand.New(seed)
+	b := NewBuilder(n)
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if rng.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: starting
+// from a star on m0+1 vertices, each new vertex attaches m edges to
+// existing vertices chosen proportionally to degree.
+func BarabasiAlbert(n, m int, seed uint64) *Graph {
+	if m < 1 || n <= m {
+		panic(fmt.Sprintf("graph: invalid BA parameters n=%d m=%d", n, m))
+	}
+	rng := xrand.New(seed)
+	b := NewBuilder(n)
+	// repeated holds one entry per edge endpoint, so uniform sampling
+	// from it is degree-proportional sampling.
+	repeated := make([]int, 0, 2*m*n)
+	for v := 1; v <= m; v++ {
+		b.AddEdge(0, v)
+		repeated = append(repeated, 0, v)
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := make(map[int]bool, m)
+		for len(chosen) < m {
+			t := repeated[rng.Intn(len(repeated))]
+			if t == v || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+			b.AddEdge(v, t)
+			repeated = append(repeated, v, t)
+		}
+	}
+	return b.Build()
+}
+
+// Ring generates the n-cycle.
+func Ring(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+	}
+	return b.Build()
+}
+
+// Complete generates the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// Star generates the star K_{1,n-1} with the hub at vertex 0.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// Grid generates the rows x cols 4-neighbour grid graph.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Path generates the path graph on n vertices.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.Build()
+}
+
+// TwoCliquesBridge generates two cliques of the given size joined by a
+// single bridge edge — the canonical smallest community-structure test
+// case (Zachary-style without the data file).
+func TwoCliquesBridge(size int) (*Graph, []int) {
+	b := NewBuilder(2 * size)
+	truth := make([]int, 2*size)
+	for c := 0; c < 2; c++ {
+		base := c * size
+		for j := 1; j < size; j++ {
+			for i := 0; i < j; i++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+		for i := 0; i < size; i++ {
+			truth[base+i] = c
+		}
+	}
+	b.AddEdge(0, size)
+	return b.Build(), truth
+}

@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCommunityBenchmarkShape(t *testing.T) {
+	cfg := DefaultCommunityBenchmark(0.5, 1)
+	g, truth := CommunityBenchmark(cfg)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("vertices = %d, want 1000", g.NumVertices())
+	}
+	if len(truth) != 1000 {
+		t.Fatalf("truth length = %d", len(truth))
+	}
+	// alpha=0.5: 10 groups x floor(0.5*4950) = 24750 intra + 200 inter.
+	want := 10*2475 + 200
+	if g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d (the paper's ~25000 at alpha=0.5)", g.NumEdges(), want)
+	}
+	// Ground truth: 100 vertices per community, labels 0..9.
+	counts := make(map[int]int)
+	for _, c := range truth {
+		counts[c]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("communities = %d, want 10", len(counts))
+	}
+	for c, n := range counts {
+		if n != 100 {
+			t.Fatalf("community %d has %d vertices", c, n)
+		}
+	}
+}
+
+func TestCommunityBenchmarkAlphaOneIsCliques(t *testing.T) {
+	cfg := CommunityBenchmarkConfig{NumCommunities: 3, CommunitySize: 8, Alpha: 1, InterEdges: 2, Seed: 5}
+	g, truth := CommunityBenchmark(cfg)
+	// Every intra-community pair must be an edge.
+	for u := 0; u < g.NumVertices(); u++ {
+		for v := u + 1; v < g.NumVertices(); v++ {
+			if truth[u] == truth[v] && !g.HasEdge(u, v) {
+				t.Fatalf("alpha=1 but intra pair (%d,%d) missing", u, v)
+			}
+		}
+	}
+}
+
+func TestCommunityBenchmarkInterEdgesCrossCommunities(t *testing.T) {
+	cfg := CommunityBenchmarkConfig{NumCommunities: 4, CommunitySize: 10, Alpha: 0.3, InterEdges: 15, Seed: 9}
+	g, truth := CommunityBenchmark(cfg)
+	inter := 0
+	for _, e := range g.Edges() {
+		if truth[e.From] != truth[e.To] {
+			inter++
+		}
+	}
+	if inter != 15 {
+		t.Fatalf("inter-community edges = %d, want 15", inter)
+	}
+}
+
+func TestCommunityBenchmarkDeterministic(t *testing.T) {
+	a, _ := CommunityBenchmark(DefaultCommunityBenchmark(0.3, 77))
+	b, _ := CommunityBenchmark(DefaultCommunityBenchmark(0.3, 77))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestCommunityBenchmarkEdgesDistinct(t *testing.T) {
+	cfg := CommunityBenchmarkConfig{NumCommunities: 2, CommunitySize: 20, Alpha: 0.8, InterEdges: 10, Seed: 3}
+	g, _ := CommunityBenchmark(cfg)
+	seen := make(map[[2]int]bool)
+	for _, e := range g.Edges() {
+		k := [2]int{e.From, e.To}
+		if seen[k] {
+			t.Fatalf("duplicate edge %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestUnrankPairBijective(t *testing.T) {
+	seen := make(map[[2]int]bool)
+	total := 15 * 14 / 2
+	for r := 0; r < total; r++ {
+		i, j := unrankPair(r)
+		if i < 0 || j <= i || j >= 15 {
+			t.Fatalf("unrankPair(%d) = (%d,%d) invalid", r, i, j)
+		}
+		k := [2]int{i, j}
+		if seen[k] {
+			t.Fatalf("unrankPair(%d) duplicates (%d,%d)", r, i, j)
+		}
+		seen[k] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("covered %d pairs of %d", len(seen), total)
+	}
+}
+
+func TestIsqrtProperty(t *testing.T) {
+	f := func(x uint64) bool {
+		x %= 1 << 40
+		r := isqrt(x)
+		return r*r <= x && (r+1)*(r+1) > x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiGNM(t *testing.T) {
+	g := ErdosRenyiGNM(50, 100, 4)
+	if g.NumVertices() != 50 || g.NumEdges() != 100 {
+		t.Fatalf("G(50,100): %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	// Simple graph: no duplicates, no self loops.
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			t.Fatal("self loop in GNM")
+		}
+	}
+}
+
+func TestErdosRenyiGNMComplete(t *testing.T) {
+	g := ErdosRenyiGNM(6, 15, 1)
+	if g.NumEdges() != 15 {
+		t.Fatalf("complete G(6,15) has %d edges", g.NumEdges())
+	}
+	for u := 0; u < 6; u++ {
+		if g.Degree(u) != 5 {
+			t.Fatalf("degree %d != 5", g.Degree(u))
+		}
+	}
+}
+
+func TestErdosRenyiGNPDensity(t *testing.T) {
+	g := ErdosRenyiGNP(200, 0.1, 8)
+	max := 200 * 199 / 2
+	got := float64(g.NumEdges()) / float64(max)
+	if got < 0.07 || got > 0.13 {
+		t.Fatalf("G(n,0.1) density = %.3f", got)
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(200, 3, 10)
+	if g.NumVertices() != 200 {
+		t.Fatalf("BA vertices = %d", g.NumVertices())
+	}
+	// m edges per new vertex after the initial star of 3.
+	want := 3 + (200-4)*3
+	if g.NumEdges() != want {
+		t.Fatalf("BA edges = %d, want %d", g.NumEdges(), want)
+	}
+	// Preferential attachment produces a right-skewed degree
+	// distribution: max degree far above the mean.
+	maxDeg := 0
+	for v := 0; v < 200; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(2*g.NumEdges()) / 200
+	if float64(maxDeg) < 3*mean {
+		t.Fatalf("BA max degree %d not skewed vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestStructuredGenerators(t *testing.T) {
+	if g := Ring(10); g.NumEdges() != 10 || g.Degree(0) != 2 {
+		t.Fatalf("Ring(10): %d edges, degree %d", g.NumEdges(), g.Degree(0))
+	}
+	if g := Path(10); g.NumEdges() != 9 || g.Degree(0) != 1 || g.Degree(5) != 2 {
+		t.Fatal("Path(10) malformed")
+	}
+	if g := Complete(7); g.NumEdges() != 21 || g.Degree(3) != 6 {
+		t.Fatal("Complete(7) malformed")
+	}
+	if g := Star(9); g.NumEdges() != 8 || g.Degree(0) != 8 || g.Degree(1) != 1 {
+		t.Fatal("Star(9) malformed")
+	}
+	if g := Grid(4, 5); g.NumVertices() != 20 || g.NumEdges() != 4*4+3*5 {
+		t.Fatalf("Grid(4,5): %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestTwoCliquesBridge(t *testing.T) {
+	g, truth := TwoCliquesBridge(5)
+	if g.NumVertices() != 10 {
+		t.Fatal("wrong vertex count")
+	}
+	wantEdges := 2*10 + 1 // 2*C(5,2)+bridge
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if truth[0] != 0 || truth[9] != 1 {
+		t.Fatal("truth labels wrong")
+	}
+	if !g.HasEdge(0, 5) {
+		t.Fatal("bridge missing")
+	}
+}

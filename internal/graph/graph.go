@@ -1,0 +1,276 @@
+// Package graph provides the graph substrate used throughout the V2V
+// reproduction: a compact immutable adjacency-array (CSR) graph type
+// supporting directed and undirected graphs, edge weights, vertex
+// weights and edge timestamps, together with builders, generators and
+// edge-list I/O.
+//
+// Vertices are dense integer indices in [0, NumVertices()). Optional
+// string names and per-vertex metadata labels can be attached for
+// datasets such as the OpenFlights route network, where vertices carry
+// country and continent attributes.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a single (possibly weighted, possibly timestamped) edge.
+// For undirected graphs an Edge represents the unordered pair
+// {From, To}; the Graph stores both orientations internally.
+type Edge struct {
+	From, To int
+	Weight   float64 // 1 for unweighted graphs
+	Time     int64   // 0 when the graph has no timestamps
+}
+
+// Graph is an immutable graph in compressed sparse row form. Build one
+// with a Builder or a generator. The zero value is an empty graph.
+//
+// For undirected graphs every edge appears in the adjacency of both
+// endpoints; NumEdges still reports the number of undirected edges.
+type Graph struct {
+	directed bool
+	weighted bool
+	temporal bool
+
+	offsets []int // length n+1; adjacency of v is arcs[offsets[v]:offsets[v+1]]
+	targets []int
+	weights []float64 // parallel to targets; nil when !weighted
+	times   []int64   // parallel to targets; nil when !temporal
+
+	vertexWeights []float64 // nil unless set; used by vertex-weighted walks
+	names         []string  // nil unless set
+	nameIndex     map[string]int
+
+	numEdges int
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns the number of edges. For undirected graphs each
+// undirected edge is counted once.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Weighted reports whether edges carry weights.
+func (g *Graph) Weighted() bool { return g.weighted }
+
+// Temporal reports whether edges carry timestamps.
+func (g *Graph) Temporal() bool { return g.temporal }
+
+// Degree returns the out-degree of v (degree, for undirected graphs).
+func (g *Graph) Degree(v int) int { return g.offsets[v+1] - g.offsets[v] }
+
+// Neighbors returns the adjacency slice of v. The returned slice
+// aliases the graph's internal storage and must not be modified. For
+// directed graphs these are the out-neighbours.
+func (g *Graph) Neighbors(v int) []int {
+	return g.targets[g.offsets[v]:g.offsets[v+1]]
+}
+
+// EdgeWeights returns the weights parallel to Neighbors(v), or nil for
+// unweighted graphs. The slice aliases internal storage.
+func (g *Graph) EdgeWeights(v int) []float64 {
+	if !g.weighted {
+		return nil
+	}
+	return g.weights[g.offsets[v]:g.offsets[v+1]]
+}
+
+// EdgeTimes returns the timestamps parallel to Neighbors(v), or nil
+// for non-temporal graphs. The slice aliases internal storage.
+func (g *Graph) EdgeTimes(v int) []int64 {
+	if !g.temporal {
+		return nil
+	}
+	return g.times[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether an arc u->v exists (for undirected graphs,
+// whether {u,v} is an edge). Adjacency lists are sorted by target at
+// build time, so this is a binary search.
+func (g *Graph) HasEdge(u, v int) bool {
+	adj := g.Neighbors(u)
+	i := sort.SearchInts(adj, v)
+	return i < len(adj) && adj[i] == v
+}
+
+// VertexWeight returns the weight of v, defaulting to 1 when vertex
+// weights were never set.
+func (g *Graph) VertexWeight(v int) float64 {
+	if g.vertexWeights == nil {
+		return 1
+	}
+	return g.vertexWeights[v]
+}
+
+// HasVertexWeights reports whether vertex weights were provided.
+func (g *Graph) HasVertexWeights() bool { return g.vertexWeights != nil }
+
+// Name returns the string name of v, or its decimal index when no
+// names were attached.
+func (g *Graph) Name(v int) string {
+	if g.names == nil {
+		return fmt.Sprintf("%d", v)
+	}
+	return g.names[v]
+}
+
+// VertexByName returns the index of the named vertex, or -1.
+func (g *Graph) VertexByName(name string) int {
+	if g.nameIndex == nil {
+		return -1
+	}
+	if v, ok := g.nameIndex[name]; ok {
+		return v
+	}
+	return -1
+}
+
+// Edges returns all edges of the graph in a newly allocated slice.
+// For undirected graphs each edge is reported once with From < To.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.numEdges)
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		adj := g.Neighbors(u)
+		for i, v := range adj {
+			if !g.directed && v < u {
+				continue
+			}
+			e := Edge{From: u, To: v, Weight: 1}
+			if g.weighted {
+				e.Weight = g.weights[g.offsets[u]+i]
+			}
+			if g.temporal {
+				e.Time = g.times[g.offsets[u]+i]
+			}
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}
+
+// AdjacencyLists returns a mutable deep copy of the adjacency
+// structure, for algorithms (such as Girvan-Newman) that remove edges.
+func (g *Graph) AdjacencyLists() [][]int {
+	n := g.NumVertices()
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		src := g.Neighbors(v)
+		adj[v] = append(make([]int, 0, len(src)), src...)
+	}
+	return adj
+}
+
+// TotalEdgeWeight returns the sum of edge weights (counting each
+// undirected edge once). For unweighted graphs it equals NumEdges.
+func (g *Graph) TotalEdgeWeight() float64 {
+	if !g.weighted {
+		return float64(g.numEdges)
+	}
+	var sum float64
+	for _, w := range g.weights {
+		sum += w
+	}
+	if !g.directed {
+		sum /= 2
+	}
+	return sum
+}
+
+// WeightedDegree returns the sum of weights of edges incident to v
+// (out-edges, for directed graphs).
+func (g *Graph) WeightedDegree(v int) float64 {
+	if !g.weighted {
+		return float64(g.Degree(v))
+	}
+	var sum float64
+	for _, w := range g.EdgeWeights(v) {
+		sum += w
+	}
+	return sum
+}
+
+// ConnectedComponents returns a component index per vertex and the
+// number of components, ignoring edge direction.
+func (g *Graph) ConnectedComponents() (comp []int, count int) {
+	n := g.NumVertices()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	// For directed graphs we need in-edges too; build a reverse view
+	// lazily only if directed.
+	var rev [][]int
+	if g.directed {
+		rev = make([][]int, n)
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				rev[v] = append(rev[v], u)
+			}
+		}
+	}
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = count
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.Neighbors(u) {
+				if comp[v] < 0 {
+					comp[v] = count
+					queue = append(queue, v)
+				}
+			}
+			if g.directed {
+				for _, v := range rev[u] {
+					if comp[v] < 0 {
+						comp[v] = count
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// Reverse returns the graph with all arcs reversed. For undirected
+// graphs it returns the receiver unchanged.
+func (g *Graph) Reverse() *Graph {
+	if !g.directed {
+		return g
+	}
+	b := NewBuilder(g.NumVertices())
+	b.SetDirected(true)
+	for _, e := range g.Edges() {
+		switch {
+		case g.temporal:
+			b.AddTemporalEdge(e.To, e.From, e.Weight, e.Time)
+		case g.weighted:
+			b.AddWeightedEdge(e.To, e.From, e.Weight)
+		default:
+			b.AddEdge(e.To, e.From)
+		}
+	}
+	r := b.Build()
+	r.vertexWeights = g.vertexWeights
+	r.names = g.names
+	r.nameIndex = g.nameIndex
+	return r
+}

@@ -1,0 +1,343 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"v2v/internal/xrand"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	edges := g.Edges()
+	if len(edges) != 0 {
+		t.Fatalf("empty graph returned %d edges", len(edges))
+	}
+}
+
+func TestUndirectedBasics(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g := b.Build()
+
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.Directed() {
+		t.Fatal("graph should be undirected")
+	}
+	for v := 0; v < 3; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("Degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("undirected edge should exist in both directions")
+	}
+	if g.HasEdge(0, 0) {
+		t.Fatal("nonexistent self-loop reported")
+	}
+}
+
+func TestDirectedBasics(t *testing.T) {
+	b := NewBuilder(0)
+	b.SetDirected(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+
+	if !g.Directed() {
+		t.Fatal("graph should be directed")
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("arc 0->1 missing")
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("arc 1->0 should not exist")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("out-degrees wrong: %d, %d", g.Degree(0), g.Degree(2))
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(0, 5)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 9)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	adj := g.Neighbors(0)
+	if !sort.IntsAreSorted(adj) {
+		t.Fatalf("adjacency not sorted: %v", adj)
+	}
+}
+
+func TestWeightsPreserved(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddWeightedEdge(0, 1, 2.5)
+	b.AddWeightedEdge(1, 2, 0.5)
+	g := b.Build()
+	if !g.Weighted() {
+		t.Fatal("graph should be weighted")
+	}
+	adj := g.Neighbors(1)
+	ws := g.EdgeWeights(1)
+	if len(adj) != 2 || len(ws) != 2 {
+		t.Fatalf("vertex 1 adjacency %v weights %v", adj, ws)
+	}
+	for i, v := range adj {
+		want := 2.5
+		if v == 2 {
+			want = 0.5
+		}
+		if ws[i] != want {
+			t.Fatalf("weight to %d = %v, want %v", v, ws[i], want)
+		}
+	}
+	if got := g.TotalEdgeWeight(); got != 3.0 {
+		t.Fatalf("TotalEdgeWeight = %v, want 3", got)
+	}
+	if got := g.WeightedDegree(1); got != 3.0 {
+		t.Fatalf("WeightedDegree(1) = %v, want 3", got)
+	}
+}
+
+func TestTemporalPreserved(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddTemporalEdge(0, 1, 1, 100)
+	b.AddTemporalEdge(0, 2, 1, 50)
+	g := b.Build()
+	if !g.Temporal() {
+		t.Fatal("graph should be temporal")
+	}
+	adj := g.Neighbors(0)
+	times := g.EdgeTimes(0)
+	for i, v := range adj {
+		want := int64(100)
+		if v == 2 {
+			want = 50
+		}
+		if times[i] != want {
+			t.Fatalf("time to %d = %d, want %d", v, times[i], want)
+		}
+	}
+}
+
+func TestVertexWeights(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.SetVertexWeight(1, 4)
+	g := b.Build()
+	if !g.HasVertexWeights() {
+		t.Fatal("vertex weights missing")
+	}
+	if g.VertexWeight(1) != 4 {
+		t.Fatalf("VertexWeight(1) = %v", g.VertexWeight(1))
+	}
+	if g.VertexWeight(0) != 1 {
+		t.Fatalf("VertexWeight(0) = %v, want default 1", g.VertexWeight(0))
+	}
+	// Unweighted graph defaults to 1.
+	g2 := NewBuilder(2).Build()
+	if g2.VertexWeight(1) != 1 {
+		t.Fatal("default vertex weight should be 1")
+	}
+}
+
+func TestNamedVertices(t *testing.T) {
+	b := NewBuilder(0)
+	u := b.AddNamedVertex("LAX")
+	v := b.AddNamedVertex("JFK")
+	again := b.AddNamedVertex("LAX")
+	if u != again {
+		t.Fatalf("AddNamedVertex(LAX) twice gave %d then %d", u, again)
+	}
+	b.AddEdge(u, v)
+	g := b.Build()
+	if g.Name(u) != "LAX" || g.Name(v) != "JFK" {
+		t.Fatalf("names wrong: %q %q", g.Name(u), g.Name(v))
+	}
+	if g.VertexByName("JFK") != v {
+		t.Fatal("VertexByName(JFK) wrong")
+	}
+	if g.VertexByName("ORD") != -1 {
+		t.Fatal("VertexByName of missing name should be -1")
+	}
+}
+
+func TestNameDefaultsToIndex(t *testing.T) {
+	g := NewBuilder(3).Build()
+	if g.Name(2) != "2" {
+		t.Fatalf("Name(2) = %q", g.Name(2))
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 1)
+	b.AddEdge(0, 3)
+	g := b.Build()
+	edges := g.Edges()
+	if len(edges) != 3 {
+		t.Fatalf("Edges returned %d, want 3", len(edges))
+	}
+	for _, e := range edges {
+		if e.From >= e.To {
+			t.Fatalf("undirected edge not canonical: %v", e)
+		}
+		if !g.HasEdge(e.From, e.To) {
+			t.Fatalf("edge %v not in graph", e)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	b := NewBuilder(0)
+	b.SetDeduplicate(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("dedup kept %d edges, want 1", g.NumEdges())
+	}
+}
+
+func TestDedupDirectedKeepsBothDirections(t *testing.T) {
+	b := NewBuilder(0)
+	b.SetDirected(true)
+	b.SetDeduplicate(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("directed dedup kept %d edges, want 2", g.NumEdges())
+	}
+}
+
+func TestSelfLoopUndirected(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	// Self loop appears once in adjacency, not twice.
+	count := 0
+	for _, v := range g.Neighbors(0) {
+		if v == 0 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("self loop appears %d times in adjacency", count)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	comp, n := g.ConnectedComponents()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3 (triangle path, pair, singleton)", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("vertices 0-2 should share a component")
+	}
+	if comp[3] != comp[4] {
+		t.Fatal("vertices 3,4 should share a component")
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatal("vertex 5 should be isolated")
+	}
+}
+
+func TestConnectedComponentsDirectedIgnoresDirection(t *testing.T) {
+	b := NewBuilder(0)
+	b.SetDirected(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 1)
+	g := b.Build()
+	_, n := g.ConnectedComponents()
+	if n != 1 {
+		t.Fatalf("weak components = %d, want 1", n)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	b := NewBuilder(0)
+	b.SetDirected(true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(2, 1) {
+		t.Fatal("reversed arcs missing")
+	}
+	if r.HasEdge(0, 1) {
+		t.Fatal("original arc present in reverse")
+	}
+	// Undirected graphs reverse to themselves.
+	u := NewBuilder(2)
+	u.AddEdge(0, 1)
+	ug := u.Build()
+	if ug.Reverse() != ug {
+		t.Fatal("undirected Reverse should return the receiver")
+	}
+}
+
+func TestAdjacencyListsIsACopy(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	adj := g.AdjacencyLists()
+	adj[0][0] = 99
+	if g.Neighbors(0)[0] == 99 {
+		t.Fatal("AdjacencyLists aliases internal storage")
+	}
+}
+
+// Property: for random undirected graphs, sum of degrees equals twice
+// the edge count, and HasEdge is symmetric.
+func TestDegreeSumProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(40)
+		m := rng.Intn(n * (n - 1) / 2)
+		g := ErdosRenyiGNM(n, m, seed)
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		if sum != 2*g.NumEdges() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				if !g.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

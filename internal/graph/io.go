@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// EdgeListOptions controls ReadEdgeList parsing.
+type EdgeListOptions struct {
+	Directed bool
+	// Named treats the first two fields as arbitrary vertex names
+	// rather than integer indices.
+	Named bool
+	// Comment is the line-comment prefix; lines starting with it are
+	// skipped. Defaults to "#" when empty.
+	Comment string
+}
+
+// ReadEdgeList parses a whitespace-separated edge list:
+//
+//	u v [weight [time]]
+//
+// Blank lines and comment lines are skipped. With opts.Named, u and v
+// are vertex names; otherwise they must be non-negative integers.
+func ReadEdgeList(r io.Reader, opts EdgeListOptions) (*Graph, error) {
+	comment := opts.Comment
+	if comment == "" {
+		comment = "#"
+	}
+	b := NewBuilder(0)
+	b.SetDirected(opts.Directed)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, comment) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: need at least 2 fields, got %q", lineNo, line)
+		}
+		var u, v int
+		if opts.Named {
+			u = b.AddNamedVertex(fields[0])
+			v = b.AddNamedVertex(fields[1])
+		} else {
+			var err error
+			u, err = strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[0], err)
+			}
+			v, err = strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[1], err)
+			}
+			if u < 0 || v < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative vertex index", lineNo)
+			}
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			var err error
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q: %v", lineNo, fields[2], err)
+			}
+		}
+		if len(fields) >= 4 {
+			t, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad timestamp %q: %v", lineNo, fields[3], err)
+			}
+			b.AddTemporalEdge(u, v, w, t)
+		} else if len(fields) >= 3 {
+			b.AddWeightedEdge(u, v, w)
+		} else {
+			b.AddEdge(u, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scanning edge list: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes the graph in the format accepted by
+// ReadEdgeList. Weights are emitted only for weighted graphs and
+// timestamps only for temporal graphs.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	dir := "undirected"
+	if g.Directed() {
+		dir = "directed"
+	}
+	fmt.Fprintf(bw, "# %s graph: %d vertices, %d edges\n", dir, g.NumVertices(), g.NumEdges())
+	for _, e := range g.Edges() {
+		switch {
+		case g.Temporal():
+			fmt.Fprintf(bw, "%d %d %g %d\n", e.From, e.To, e.Weight, e.Time)
+		case g.Weighted():
+			fmt.Fprintf(bw, "%d %d %g\n", e.From, e.To, e.Weight)
+		default:
+			fmt.Fprintf(bw, "%d %d\n", e.From, e.To)
+		}
+	}
+	return bw.Flush()
+}

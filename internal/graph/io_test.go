@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := "# comment\n0 1\n1 2\n\n2 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in), EdgeListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g.Directed() || g.Weighted() || g.Temporal() {
+		t.Fatal("plain edge list should be undirected/unweighted/untimed")
+	}
+}
+
+func TestReadEdgeListWeighted(t *testing.T) {
+	in := "0 1 2.5\n1 2 0.25\n"
+	g, err := ReadEdgeList(strings.NewReader(in), EdgeListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("graph should be weighted")
+	}
+	if got := g.TotalEdgeWeight(); got != 2.75 {
+		t.Fatalf("total weight %v", got)
+	}
+}
+
+func TestReadEdgeListTemporal(t *testing.T) {
+	in := "0 1 1 100\n1 2 1 200\n"
+	g, err := ReadEdgeList(strings.NewReader(in), EdgeListOptions{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Temporal() || !g.Directed() {
+		t.Fatal("graph should be directed temporal")
+	}
+	if g.EdgeTimes(0)[0] != 100 {
+		t.Fatalf("time = %d", g.EdgeTimes(0)[0])
+	}
+}
+
+func TestReadEdgeListNamed(t *testing.T) {
+	in := "LAX JFK\nJFK ORD\n"
+	g, err := ReadEdgeList(strings.NewReader(in), EdgeListOptions{Named: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if g.VertexByName("ORD") == -1 {
+		t.Fatal("ORD missing")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",       // too few fields
+		"a b\n",     // non-integer without Named
+		"-1 2\n",    // negative index
+		"0 1 x\n",   // bad weight
+		"0 1 1 x\n", // bad timestamp
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), EdgeListOptions{}); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g1, _ := CommunityBenchmark(CommunityBenchmarkConfig{
+		NumCommunities: 3, CommunitySize: 10, Alpha: 0.5, InterEdges: 5, Seed: 2,
+	})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g1); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, EdgeListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+			g1.NumVertices(), g1.NumEdges(), g2.NumVertices(), g2.NumEdges())
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i].From != e2[i].From || e1[i].To != e2[i].To {
+			t.Fatalf("edge %d differs after round trip", i)
+		}
+	}
+}
+
+func TestEdgeListRoundTripWeightedTemporal(t *testing.T) {
+	b := NewBuilder(0)
+	b.SetDirected(true)
+	b.AddTemporalEdge(0, 1, 2.5, 10)
+	b.AddTemporalEdge(1, 2, 1.25, 20)
+	g1 := b.Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g1); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, EdgeListOptions{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g2.Edges()
+	if len(e) != 2 || e[0].Weight != 2.5 || e[0].Time != 10 {
+		t.Fatalf("round trip lost attributes: %+v", e)
+	}
+}

@@ -1,0 +1,56 @@
+package knn
+
+import (
+	"testing"
+
+	"v2v/internal/xrand"
+)
+
+func benchData(n, d int, classes int, seed uint64) ([][]float64, []int) {
+	rng := xrand.New(seed)
+	pts := make([][]float64, n)
+	lbl := make([]int, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = rng.NormFloat64()
+		}
+		lbl[i] = rng.Intn(classes)
+	}
+	return pts, lbl
+}
+
+// BenchmarkPredictCosine measures one query against a 10k-point
+// training set (the OpenFlights scale) under the paper's metric.
+func BenchmarkPredictCosine(b *testing.B) {
+	pts, lbl := benchData(10000, 50, 100, 1)
+	clf := NewClassifier(3, Cosine, pts, lbl)
+	q := pts[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.Predict(q)
+	}
+}
+
+// BenchmarkPredictEuclidean is the alternative metric.
+func BenchmarkPredictEuclidean(b *testing.B) {
+	pts, lbl := benchData(10000, 50, 100, 2)
+	clf := NewClassifier(3, Euclidean, pts, lbl)
+	q := pts[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.Predict(q)
+	}
+}
+
+// BenchmarkCrossValidate measures one fold-sweep at Figure 9's cell
+// size.
+func BenchmarkCrossValidate(b *testing.B) {
+	pts, lbl := benchData(1000, 50, 30, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossValidate(pts, lbl, 3, 10, Cosine, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package knn implements the k-nearest-neighbour classifier and the
+// k-fold cross-validation harness used by the paper's feature
+// prediction experiments (Section V): labels are predicted by a
+// majority vote of the k nearest embeddings under cosine distance.
+package knn
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"v2v/internal/linalg"
+	"v2v/internal/xrand"
+)
+
+// Distance selects the metric.
+type Distance int
+
+const (
+	// Cosine distance (1 - cosine similarity); the paper's choice.
+	Cosine Distance = iota
+	// Euclidean distance.
+	Euclidean
+)
+
+// String implements fmt.Stringer.
+func (d Distance) String() string {
+	switch d {
+	case Cosine:
+		return "cosine"
+	case Euclidean:
+		return "euclidean"
+	default:
+		return fmt.Sprintf("Distance(%d)", int(d))
+	}
+}
+
+func (d Distance) eval(a, b []float64) float64 {
+	switch d {
+	case Cosine:
+		return linalg.CosineDistance(a, b)
+	default:
+		return linalg.SquaredDistance(a, b) // monotone in Euclidean
+	}
+}
+
+// Classifier is a fitted k-NN model. Fitting just stores the training
+// set; prediction is a linear scan, adequate at the graph sizes of
+// the paper's experiments.
+type Classifier struct {
+	K        int
+	Distance Distance
+	points   [][]float64
+	labels   []int
+}
+
+// NewClassifier stores the labelled training points. It panics when
+// the inputs disagree in length or k < 1.
+func NewClassifier(k int, dist Distance, points [][]float64, labels []int) *Classifier {
+	if len(points) != len(labels) {
+		panic(fmt.Sprintf("knn: %d points but %d labels", len(points), len(labels)))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("knn: k must be >= 1, got %d", k))
+	}
+	if len(points) == 0 {
+		panic("knn: empty training set")
+	}
+	return &Classifier{K: k, Distance: dist, points: points, labels: labels}
+}
+
+// Predict returns the majority label of x's k nearest training
+// points. Vote ties are broken toward the smaller total distance,
+// then toward the smaller label for determinism.
+func (c *Classifier) Predict(x []float64) int {
+	type cand struct {
+		dist  float64
+		label int
+	}
+	k := c.K
+	if k > len(c.points) {
+		k = len(c.points)
+	}
+	// Bounded insertion into a fixed-size worst-first array: O(n*k)
+	// with tiny constants; k is <= 10 in the paper's experiments.
+	best := make([]cand, 0, k)
+	worst := -1.0
+	for i, p := range c.points {
+		d := c.Distance.eval(x, p)
+		if len(best) < k {
+			best = append(best, cand{d, c.labels[i]})
+			if d > worst {
+				worst = d
+			}
+			continue
+		}
+		if d >= worst {
+			continue
+		}
+		// Replace the current worst.
+		wi, wd := 0, -1.0
+		for j, b := range best {
+			if b.dist > wd {
+				wi, wd = j, b.dist
+			}
+		}
+		best[wi] = cand{d, c.labels[i]}
+		worst = -1
+		for _, b := range best {
+			if b.dist > worst {
+				worst = b.dist
+			}
+		}
+	}
+
+	votes := make(map[int]int)
+	distSum := make(map[int]float64)
+	for _, b := range best {
+		votes[b.label]++
+		distSum[b.label] += b.dist
+	}
+	bestLabel, bestVotes, bestDist := -1, -1, 0.0
+	labels := make([]int, 0, len(votes))
+	for l := range votes {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	for _, l := range labels {
+		v := votes[l]
+		switch {
+		case v > bestVotes:
+			bestLabel, bestVotes, bestDist = l, v, distSum[l]
+		case v == bestVotes && distSum[l] < bestDist:
+			bestLabel, bestDist = l, distSum[l]
+		}
+	}
+	return bestLabel
+}
+
+// PredictAll classifies every query in parallel.
+func (c *Classifier) PredictAll(queries [][]float64) []int {
+	out := make([]int, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			out[i] = c.Predict(q)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(queries) / workers
+		hi := (w + 1) * len(queries) / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = c.Predict(queries[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// CrossValidate runs folds-fold cross-validation of a k-NN classifier
+// over the labelled points and returns the mean accuracy (fraction of
+// correctly predicted held-out labels), mirroring the paper's 10-fold
+// protocol. The fold split is a seeded uniform permutation.
+func CrossValidate(points [][]float64, labels []int, k, folds int, dist Distance, seed uint64) (float64, error) {
+	n := len(points)
+	if n != len(labels) {
+		return 0, fmt.Errorf("knn: %d points but %d labels", n, len(labels))
+	}
+	if folds < 2 || folds > n {
+		return 0, fmt.Errorf("knn: folds=%d out of range [2,%d]", folds, n)
+	}
+	perm := xrand.New(seed).Perm(n)
+	correct, total := 0, 0
+	for f := 0; f < folds; f++ {
+		lo := f * n / folds
+		hi := (f + 1) * n / folds
+		trainPts := make([][]float64, 0, n-(hi-lo))
+		trainLbl := make([]int, 0, n-(hi-lo))
+		testPts := make([][]float64, 0, hi-lo)
+		testLbl := make([]int, 0, hi-lo)
+		for i, idx := range perm {
+			if i >= lo && i < hi {
+				testPts = append(testPts, points[idx])
+				testLbl = append(testLbl, labels[idx])
+			} else {
+				trainPts = append(trainPts, points[idx])
+				trainLbl = append(trainLbl, labels[idx])
+			}
+		}
+		clf := NewClassifier(k, dist, trainPts, trainLbl)
+		pred := clf.PredictAll(testPts)
+		for i, p := range pred {
+			if p == testLbl[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	return float64(correct) / float64(total), nil
+}

@@ -1,0 +1,215 @@
+package knn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"v2v/internal/xrand"
+)
+
+func TestPredictNearestNeighbor(t *testing.T) {
+	points := [][]float64{{1, 0}, {0, 1}}
+	labels := []int{0, 1}
+	clf := NewClassifier(1, Euclidean, points, labels)
+	if got := clf.Predict([]float64{0.9, 0.1}); got != 0 {
+		t.Fatalf("predicted %d, want 0", got)
+	}
+	if got := clf.Predict([]float64{0.1, 0.9}); got != 1 {
+		t.Fatalf("predicted %d, want 1", got)
+	}
+}
+
+func TestPredictMajorityVote(t *testing.T) {
+	// Two label-0 points near the query, one label-1 point nearer:
+	// k=1 picks 1, k=3 picks 0.
+	points := [][]float64{{0.1, 0}, {1, 0}, {1.2, 0}}
+	labels := []int{1, 0, 0}
+	query := []float64{0.3, 0}
+	if got := NewClassifier(1, Euclidean, points, labels).Predict(query); got != 1 {
+		t.Fatalf("k=1 predicted %d", got)
+	}
+	if got := NewClassifier(3, Euclidean, points, labels).Predict(query); got != 0 {
+		t.Fatalf("k=3 predicted %d", got)
+	}
+}
+
+func TestPredictCosineIgnoresMagnitude(t *testing.T) {
+	points := [][]float64{{100, 1}, {1, 100}}
+	labels := []int{0, 1}
+	clf := NewClassifier(1, Cosine, points, labels)
+	// Tiny vector along x: cosine picks label 0 despite the training
+	// vector being far away in Euclidean terms.
+	if got := clf.Predict([]float64{0.001, 0}); got != 0 {
+		t.Fatalf("cosine prediction %d, want 0", got)
+	}
+}
+
+func TestPredictTieBreaksByDistance(t *testing.T) {
+	// k=2 with one vote each: the label with the smaller summed
+	// distance wins.
+	points := [][]float64{{1, 0}, {3, 0}}
+	labels := []int{7, 9}
+	clf := NewClassifier(2, Euclidean, points, labels)
+	if got := clf.Predict([]float64{1.5, 0}); got != 7 {
+		t.Fatalf("tie-break predicted %d, want 7 (closer)", got)
+	}
+}
+
+func TestKLargerThanTrainingSet(t *testing.T) {
+	points := [][]float64{{0, 0}, {1, 1}}
+	labels := []int{2, 2}
+	clf := NewClassifier(10, Euclidean, points, labels)
+	if got := clf.Predict([]float64{5, 5}); got != 2 {
+		t.Fatalf("predicted %d", got)
+	}
+}
+
+func TestNewClassifierPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewClassifier(1, Euclidean, [][]float64{{1}}, []int{0, 1}) },
+		func() { NewClassifier(0, Euclidean, [][]float64{{1}}, []int{0}) },
+		func() { NewClassifier(1, Euclidean, nil, nil) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPredictAllMatchesPredict(t *testing.T) {
+	rng := xrand.New(3)
+	var points [][]float64
+	var labels []int
+	for i := 0; i < 60; i++ {
+		points = append(points, []float64{rng.NormFloat64(), rng.NormFloat64()})
+		labels = append(labels, i%3)
+	}
+	clf := NewClassifier(5, Cosine, points, labels)
+	queries := points[:20]
+	batch := clf.PredictAll(queries)
+	for i, q := range queries {
+		if single := clf.Predict(q); single != batch[i] {
+			t.Fatalf("query %d: batch %d vs single %d", i, batch[i], single)
+		}
+	}
+}
+
+func TestCrossValidateSeparableData(t *testing.T) {
+	rng := xrand.New(5)
+	var points [][]float64
+	var labels []int
+	centers := [][]float64{{10, 0}, {-10, 0}, {0, 10}}
+	for c, ctr := range centers {
+		for i := 0; i < 30; i++ {
+			points = append(points, []float64{ctr[0] + rng.NormFloat64(), ctr[1] + rng.NormFloat64()})
+			labels = append(labels, c)
+		}
+	}
+	acc, err := CrossValidate(points, labels, 3, 10, Euclidean, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("separable data accuracy %.3f", acc)
+	}
+}
+
+func TestCrossValidateRandomLabelsNearChance(t *testing.T) {
+	rng := xrand.New(9)
+	var points [][]float64
+	var labels []int
+	for i := 0; i < 200; i++ {
+		points = append(points, []float64{rng.NormFloat64(), rng.NormFloat64()})
+		labels = append(labels, rng.Intn(4))
+	}
+	acc, err := CrossValidate(points, labels, 3, 10, Euclidean, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc > 0.45 {
+		t.Fatalf("random labels scored %.3f, should be near 0.25", acc)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	pts := [][]float64{{1}, {2}, {3}}
+	lbl := []int{0, 1, 0}
+	if _, err := CrossValidate(pts, lbl[:2], 1, 2, Euclidean, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := CrossValidate(pts, lbl, 1, 1, Euclidean, 1); err == nil {
+		t.Error("folds=1 accepted")
+	}
+	if _, err := CrossValidate(pts, lbl, 1, 4, Euclidean, 1); err == nil {
+		t.Error("folds>n accepted")
+	}
+}
+
+func TestCrossValidateDeterministicBySeed(t *testing.T) {
+	rng := xrand.New(13)
+	var points [][]float64
+	var labels []int
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{rng.NormFloat64(), rng.NormFloat64()})
+		labels = append(labels, i%2)
+	}
+	a, err := CrossValidate(points, labels, 3, 5, Cosine, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(points, labels, 3, 5, Cosine, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different accuracy: %v vs %v", a, b)
+	}
+}
+
+func TestDistanceString(t *testing.T) {
+	if Cosine.String() != "cosine" || Euclidean.String() != "euclidean" {
+		t.Fatal("Distance.String wrong")
+	}
+	if Distance(9).String() == "" {
+		t.Fatal("unknown distance should still stringify")
+	}
+}
+
+// Property: a k=1 classifier perfectly recalls its own training
+// points (each point is its own nearest neighbour under Euclidean).
+func TestSelfRecallProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 3 + rng.Intn(30)
+		points := make([][]float64, n)
+		labels := make([]int, n)
+		seen := map[[2]float64]bool{}
+		for i := range points {
+			for {
+				p := [2]float64{rng.NormFloat64(), rng.NormFloat64()}
+				if !seen[p] {
+					seen[p] = true
+					points[i] = []float64{p[0], p[1]}
+					break
+				}
+			}
+			labels[i] = rng.Intn(5)
+		}
+		clf := NewClassifier(1, Euclidean, points, labels)
+		for i, p := range points {
+			if clf.Predict(p) != labels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package linalg
+
+import (
+	"testing"
+
+	"v2v/internal/xrand"
+)
+
+func randRows(n, d int, seed uint64) [][]float64 {
+	rng := xrand.New(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	return rows
+}
+
+// BenchmarkDot measures the inner-product kernel at embedding sizes.
+func BenchmarkDot(b *testing.B) {
+	for _, d := range []int{10, 100, 1000} {
+		x := randRows(1, d, 1)[0]
+		y := randRows(1, d, 2)[0]
+		b.Run(dstr(d), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += Dot(x, y)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkFitPCA measures the matrix-free top-2 PCA on
+// embedding-sized inputs (1000 x d, the paper's Figure 4 shape).
+func BenchmarkFitPCA(b *testing.B) {
+	for _, d := range []int{50, 250, 600} {
+		rows := randRows(1000, d, 3)
+		b.Run(dstr(d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := FitPCA(rows, 2, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJacobiEigen measures the dense eigensolver at the sizes
+// the Rayleigh-Ritz projection uses.
+func BenchmarkJacobiEigen(b *testing.B) {
+	for _, d := range []int{4, 16, 64} {
+		rng := xrand.New(5)
+		a := NewMatrix(d, d)
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		b.Run(dstr(d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := JacobiEigen(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCosineSimilarity measures the k-NN distance kernel.
+func BenchmarkCosineSimilarity(b *testing.B) {
+	x := randRows(1, 100, 6)[0]
+	y := randRows(1, 100, 7)[0]
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += CosineSimilarity(x, y)
+	}
+	_ = sink
+}
+
+func dstr(d int) string {
+	switch d {
+	case 4:
+		return "d=4"
+	case 10:
+		return "d=10"
+	case 16:
+		return "d=16"
+	case 50:
+		return "d=50"
+	case 64:
+		return "d=64"
+	case 100:
+		return "d=100"
+	case 250:
+		return "d=250"
+	case 600:
+		return "d=600"
+	default:
+		return "d=1000"
+	}
+}

@@ -1,0 +1,223 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"v2v/internal/xrand"
+)
+
+// JacobiEigen computes all eigenvalues and eigenvectors of the
+// symmetric matrix a using the cyclic Jacobi rotation method. The
+// input is not modified. Results are sorted by decreasing eigenvalue;
+// eigenvector i is the i-th row of the returned matrix.
+//
+// Jacobi is O(d^3) per sweep and intended for small d (tests, k x k
+// Rayleigh-Ritz projections). Use TopEigenpairs for large matrices.
+func JacobiEigen(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("linalg: JacobiEigen on %dx%d non-square matrix", a.Rows, a.Cols)
+	}
+	d := a.Rows
+	// Verify symmetry up to round-off.
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			diff := math.Abs(a.At(i, j) - a.At(j, i))
+			scale := math.Abs(a.At(i, j)) + math.Abs(a.At(j, i)) + 1e-300
+			if diff > 1e-8*scale && diff > 1e-12 {
+				return nil, nil, fmt.Errorf("linalg: JacobiEigen on non-symmetric matrix (a[%d][%d]=%g, a[%d][%d]=%g)",
+					i, j, a.At(i, j), j, i, a.At(j, i))
+			}
+		}
+	}
+	w := a.Clone()
+	v := NewMatrix(d, d)
+	for i := 0; i < d; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < d; p++ {
+			for q := p + 1; q < d; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply the rotation G(p, q, theta) on both sides.
+				for k := 0; k < d; k++ {
+					akp := w.At(k, p)
+					akq := w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < d; k++ {
+					apk := w.At(p, k)
+					aqk := w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate eigenvectors (rows of v).
+				for k := 0; k < d; k++ {
+					vpk := v.At(p, k)
+					vqk := v.At(q, k)
+					v.Set(p, k, c*vpk-s*vqk)
+					v.Set(q, k, s*vpk+c*vqk)
+				}
+			}
+		}
+	}
+
+	values = make([]float64, d)
+	order := make([]int, d)
+	for i := 0; i < d; i++ {
+		values[i] = w.At(i, i)
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return values[order[x]] > values[order[y]] })
+	sortedVals := make([]float64, d)
+	vectors = NewMatrix(d, d)
+	for rank, idx := range order {
+		sortedVals[rank] = values[idx]
+		copy(vectors.Row(rank), v.Row(idx))
+	}
+	return sortedVals, vectors, nil
+}
+
+// MatVec is a matrix-free linear operator: it writes A*x into dst.
+type MatVec func(dst, x []float64)
+
+// TopEigenpairs computes the k leading eigenpairs of a symmetric
+// positive semi-definite operator of dimension d given only its
+// matrix-vector product, using block subspace iteration with
+// Rayleigh-Ritz extraction. Eigenvalues are returned in decreasing
+// order; eigenvector i is row i of the returned matrix.
+func TopEigenpairs(d, k int, apply MatVec, seed uint64) ([]float64, *Matrix, error) {
+	if k <= 0 || k > d {
+		return nil, nil, fmt.Errorf("linalg: TopEigenpairs k=%d out of range (d=%d)", k, d)
+	}
+	rng := xrand.New(seed ^ 0x9e3779b97f4a7c15)
+	// Basis rows b[0..k): start random, keep orthonormal.
+	basis := NewMatrix(k, d)
+	for i := 0; i < k; i++ {
+		row := basis.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	orthonormalizeRows(basis)
+
+	next := NewMatrix(k, d)
+	prev := make([]float64, k)
+	values := make([]float64, k)
+	const maxIter = 300
+	const tol = 1e-10
+	for iter := 0; iter < maxIter; iter++ {
+		for i := 0; i < k; i++ {
+			apply(next.Row(i), basis.Row(i))
+		}
+		// Rayleigh-Ritz: project onto span(basis-after-multiply).
+		copy(basis.Data, next.Data)
+		if !orthonormalizeRows(basis) {
+			// Degenerate operator (rank < k): re-randomise the lost
+			// directions and continue.
+			for i := 0; i < k; i++ {
+				if Norm2(basis.Row(i)) < 0.5 {
+					row := basis.Row(i)
+					for j := range row {
+						row[j] = rng.NormFloat64()
+					}
+				}
+			}
+			orthonormalizeRows(basis)
+		}
+		// Small projected matrix C = B A B^T (k x k).
+		ab := NewMatrix(k, d)
+		for i := 0; i < k; i++ {
+			apply(ab.Row(i), basis.Row(i))
+		}
+		c := NewMatrix(k, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				c.Set(i, j, Dot(basis.Row(j), ab.Row(i)))
+			}
+		}
+		// Symmetrise round-off before Jacobi.
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				m := (c.At(i, j) + c.At(j, i)) / 2
+				c.Set(i, j, m)
+				c.Set(j, i, m)
+			}
+		}
+		vals, rot, err := JacobiEigen(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(values, vals)
+		// Rotate the basis: new basis row i = sum_j rot[i][j] * basis row j.
+		rotated := NewMatrix(k, d)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				Axpy(rot.At(i, j), basis.Row(j), rotated.Row(i))
+			}
+		}
+		copy(basis.Data, rotated.Data)
+
+		converged := true
+		for i := 0; i < k; i++ {
+			denom := math.Abs(prev[i]) + 1e-30
+			if math.Abs(values[i]-prev[i]) > tol*denom+tol {
+				converged = false
+			}
+		}
+		copy(prev, values)
+		if converged && iter > 2 {
+			break
+		}
+	}
+	return values, basis, nil
+}
+
+// orthonormalizeRows performs modified Gram-Schmidt on the rows of m
+// in place. It reports whether all rows remained independent; rows
+// that collapse to (near) zero are zeroed.
+func orthonormalizeRows(m *Matrix) bool {
+	ok := true
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		for j := 0; j < i; j++ {
+			rj := m.Row(j)
+			Axpy(-Dot(ri, rj), rj, ri)
+		}
+		if Normalize(ri) < 1e-12 {
+			for k := range ri {
+				ri[k] = 0
+			}
+			ok = false
+		}
+	}
+	return ok
+}

@@ -1,0 +1,368 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"v2v/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("empty Dot = %v", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpyScaleNorm(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy result %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 || y[1] != 4.5 {
+		t.Fatalf("Scale result %v", y)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float64{3, 4}
+	n := Normalize(x)
+	if n != 5 {
+		t.Fatalf("returned norm %v", n)
+	}
+	if !almostEq(Norm2(x), 1, 1e-12) {
+		t.Fatalf("normalized norm %v", Norm2(x))
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 || z[0] != 0 {
+		t.Fatal("zero vector should be unchanged")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a, b := []float64{0, 0}, []float64{3, 4}
+	if got := SquaredDistance(a, b); got != 25 {
+		t.Fatalf("SquaredDistance = %v", got)
+	}
+	if got := EuclideanDistance(a, b); got != 5 {
+		t.Fatalf("EuclideanDistance = %v", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := CosineSimilarity([]float64{1, 0}, []float64{2, 0}); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("parallel cosine = %v", got)
+	}
+	if got := CosineSimilarity([]float64{1, 0}, []float64{0, 3}); !almostEq(got, 0, 1e-12) {
+		t.Fatalf("orthogonal cosine = %v", got)
+	}
+	if got := CosineSimilarity([]float64{1, 1}, []float64{-1, -1}); !almostEq(got, -1, 1e-12) {
+		t.Fatalf("antiparallel cosine = %v", got)
+	}
+	if got := CosineSimilarity([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Fatalf("zero-vector cosine = %v", got)
+	}
+	if got := CosineDistance([]float64{1, 0}, []float64{1, 0}); !almostEq(got, 0, 1e-12) {
+		t.Fatalf("self cosine distance = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m[0] != 3 || m[1] != 4 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("Set/At broken")
+	}
+	if len(m.Row(1)) != 3 || m.Row(1)[2] != 5 {
+		t.Fatal("Row broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone aliases")
+	}
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 5 {
+		t.Fatal("transpose broken")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v", i, j, c.At(i, j))
+			}
+		}
+	}
+	y := a.MulVec([]float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestCovarianceDiagonal(t *testing.T) {
+	// Two independent coordinates with known variances.
+	rows := [][]float64{{1, 10}, {2, 10}, {3, 10}}
+	cov := Covariance(rows)
+	if !almostEq(cov.At(0, 0), 1, 1e-12) {
+		t.Fatalf("var x = %v, want 1", cov.At(0, 0))
+	}
+	if !almostEq(cov.At(1, 1), 0, 1e-12) {
+		t.Fatalf("var y = %v, want 0", cov.At(1, 1))
+	}
+	if !almostEq(cov.At(0, 1), 0, 1e-12) {
+		t.Fatalf("cov xy = %v, want 0", cov.At(0, 1))
+	}
+}
+
+func TestJacobiEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/sqrt2,
+	// (1,-1)/sqrt2.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := JacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues %v", vals)
+	}
+	v0 := vecs.Row(0)
+	if !almostEq(math.Abs(v0[0]), math.Sqrt2/2, 1e-8) || !almostEq(math.Abs(v0[1]), math.Sqrt2/2, 1e-8) {
+		t.Fatalf("eigenvector 0 = %v", v0)
+	}
+}
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{5, 0, 0}, {0, -2, 0}, {0, 0, 1}})
+	vals, _, err := JacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 1, -2}
+	for i := range want {
+		if !almostEq(vals[i], want[i], 1e-12) {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+}
+
+func TestJacobiEigenRejectsNonSquareAndAsymmetric(t *testing.T) {
+	if _, _, err := JacobiEigen(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := JacobiEigen(a); err == nil {
+		t.Error("asymmetric accepted")
+	}
+}
+
+// Property: for random symmetric matrices, A v = lambda v for every
+// returned pair, and eigenvalues are sorted decreasing.
+func TestJacobiEigenProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		d := 2 + rng.Intn(6)
+		a := NewMatrix(d, d)
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := JacobiEigen(a)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < d; i++ {
+			if vals[i] > vals[i-1]+1e-9 {
+				return false
+			}
+		}
+		for i := 0; i < d; i++ {
+			av := a.MulVec(vecs.Row(i))
+			for j := 0; j < d; j++ {
+				if math.Abs(av[j]-vals[i]*vecs.Row(i)[j]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopEigenpairsMatchesJacobi(t *testing.T) {
+	rng := xrand.New(8)
+	d := 12
+	// Random symmetric PSD matrix M = B^T B.
+	b := NewMatrix(d, d)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	m := b.T().Mul(b)
+	apply := func(dst, x []float64) { copy(dst, m.MulVec(x)) }
+	vals, vecs, err := TopEigenpairs(d, 3, apply, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactVals, _, err := JacobiEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !almostEq(vals[i], exactVals[i], 1e-6*math.Abs(exactVals[i])+1e-6) {
+			t.Fatalf("eigenvalue %d: subspace %v vs jacobi %v", i, vals[i], exactVals[i])
+		}
+		// Residual check: ||A v - lambda v|| small.
+		av := m.MulVec(vecs.Row(i))
+		Axpy(-vals[i], vecs.Row(i), av)
+		if Norm2(av) > 1e-5*math.Abs(vals[i])+1e-5 {
+			t.Fatalf("eigenpair %d residual %v", i, Norm2(av))
+		}
+	}
+}
+
+func TestTopEigenpairsValidation(t *testing.T) {
+	apply := func(dst, x []float64) { copy(dst, x) }
+	if _, _, err := TopEigenpairs(4, 0, apply, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := TopEigenpairs(4, 5, apply, 1); err == nil {
+		t.Error("k>d accepted")
+	}
+}
+
+func TestFitPCAKnownStructure(t *testing.T) {
+	// Points stretched along the x axis with tiny y noise: first
+	// component must align with x.
+	rng := xrand.New(14)
+	rows := make([][]float64, 200)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 0.1, 0}
+	}
+	p, err := FitPCA(rows, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := p.Components.Row(0)
+	if math.Abs(c0[0]) < 0.99 {
+		t.Fatalf("first component not aligned with x: %v", c0)
+	}
+	if p.Variances[0] < 50 || p.Variances[0] > 200 {
+		t.Fatalf("first variance %v, want ~100", p.Variances[0])
+	}
+	if p.Variances[1] > 1 {
+		t.Fatalf("second variance %v, want tiny", p.Variances[1])
+	}
+	// Components orthonormal.
+	if !almostEq(Norm2(p.Components.Row(0)), 1, 1e-8) {
+		t.Fatal("component 0 not unit")
+	}
+	if !almostEq(Dot(p.Components.Row(0), p.Components.Row(1)), 0, 1e-6) {
+		t.Fatal("components not orthogonal")
+	}
+}
+
+func TestPCATransform(t *testing.T) {
+	rows := [][]float64{{1, 0}, {2, 0}, {3, 0}, {4, 0}}
+	p, err := FitPCA(rows, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := p.TransformAll(rows)
+	// Projections must preserve the ordering along the line (up to a
+	// global sign).
+	sign := 1.0
+	if proj[1][0] < proj[0][0] {
+		sign = -1
+	}
+	for i := 1; i < 4; i++ {
+		if sign*(proj[i][0]-proj[i-1][0]) <= 0 {
+			t.Fatalf("projections not monotone: %v", proj)
+		}
+	}
+	// Mean of projections ~ 0.
+	var mean float64
+	for _, r := range proj {
+		mean += r[0]
+	}
+	if !almostEq(mean/4, 0, 1e-9) {
+		t.Fatalf("projection mean %v", mean/4)
+	}
+}
+
+func TestFitPCAValidation(t *testing.T) {
+	if _, err := FitPCA(nil, 1, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}}, 3, 1); err == nil {
+		t.Error("k>d accepted")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {1}}, 1, 1); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+// Property: total variance of the PCA projection never exceeds the
+// total variance of the data, and top-1 variance equals the largest
+// covariance eigenvalue for small d.
+func TestPCAVarianceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 10 + rng.Intn(30)
+		d := 2 + rng.Intn(4)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64() * float64(j+1)
+			}
+		}
+		p, err := FitPCA(rows, 1, seed)
+		if err != nil {
+			return false
+		}
+		vals, _, err := JacobiEigen(Covariance(rows))
+		if err != nil {
+			return false
+		}
+		return almostEq(p.Variances[0], vals[0], 1e-6*math.Abs(vals[0])+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package linalg
+
+import "fmt"
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix allocates a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows copies a slice of equal-length rows into a Matrix.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: FromRows with ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i; the slice aliases matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// MulVec computes m * x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(x)))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		y[i] = Dot(m.Row(i), x)
+	}
+	return y
+}
+
+// Mul computes m * b as a new matrix.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for k, a := range mrow {
+			if a == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// Covariance returns the d x d sample covariance matrix of the rows of
+// x (dividing by n-1; by n when n == 1).
+func Covariance(rows [][]float64) *Matrix {
+	n := len(rows)
+	if n == 0 {
+		panic("linalg: Covariance of no rows")
+	}
+	d := len(rows[0])
+	mean := Mean(rows)
+	cov := NewMatrix(d, d)
+	centered := make([]float64, d)
+	for _, r := range rows {
+		for i := range centered {
+			centered[i] = r[i] - mean[i]
+		}
+		for i := 0; i < d; i++ {
+			ci := centered[i]
+			if ci == 0 {
+				continue
+			}
+			crow := cov.Row(i)
+			for j := 0; j < d; j++ {
+				crow[j] += ci * centered[j]
+			}
+		}
+	}
+	div := float64(n - 1)
+	if n == 1 {
+		div = 1
+	}
+	Scale(1/div, cov.Data)
+	return cov
+}

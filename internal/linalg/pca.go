@@ -1,0 +1,92 @@
+package linalg
+
+import "fmt"
+
+// PCA holds a fitted principal component analysis: the data mean, the
+// top-k principal axes (rows of Components) and the variance captured
+// by each.
+type PCA struct {
+	Mean       []float64 // d
+	Components *Matrix   // k x d, orthonormal rows
+	Variances  []float64 // k, decreasing
+}
+
+// FitPCA fits a k-component PCA to the rows of x. The covariance
+// operator is applied matrix-free (cost O(n*d) per product), so d may
+// be large; only the k leading eigenpairs are extracted by subspace
+// iteration.
+func FitPCA(rows [][]float64, k int, seed uint64) (*PCA, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("linalg: FitPCA with no rows")
+	}
+	d := len(rows[0])
+	for _, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("linalg: FitPCA with ragged rows")
+		}
+	}
+	if k <= 0 || k > d {
+		return nil, fmt.Errorf("linalg: FitPCA k=%d out of range (d=%d)", k, d)
+	}
+	mean := Mean(rows)
+	div := float64(n - 1)
+	if n == 1 {
+		div = 1
+	}
+	// apply computes dst = Cov * x = (1/div) * Xc^T (Xc x) without
+	// forming the covariance matrix.
+	proj := make([]float64, n)
+	apply := func(dst, x []float64) {
+		meanDot := Dot(mean, x)
+		for i, r := range rows {
+			proj[i] = Dot(r, x) - meanDot
+		}
+		for j := range dst {
+			dst[j] = 0
+		}
+		for i, r := range rows {
+			p := proj[i]
+			if p == 0 {
+				continue
+			}
+			for j := range dst {
+				dst[j] += p * (r[j] - mean[j])
+			}
+		}
+		Scale(1/div, dst)
+	}
+	values, vectors, err := TopEigenpairs(d, k, apply, seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := range values {
+		if values[i] < 0 {
+			values[i] = 0 // clamp round-off on PSD spectrum
+		}
+	}
+	return &PCA{Mean: mean, Components: vectors, Variances: values}, nil
+}
+
+// Transform projects a single point onto the fitted components,
+// returning its k coordinates.
+func (p *PCA) Transform(x []float64) []float64 {
+	centered := make([]float64, len(x))
+	for i := range x {
+		centered[i] = x[i] - p.Mean[i]
+	}
+	out := make([]float64, p.Components.Rows)
+	for i := 0; i < p.Components.Rows; i++ {
+		out[i] = Dot(p.Components.Row(i), centered)
+	}
+	return out
+}
+
+// TransformAll projects every row, returning an n x k matrix as rows.
+func (p *PCA) TransformAll(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = p.Transform(r)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+// Package linalg implements the small dense linear-algebra kernel the
+// V2V reproduction needs: vector primitives, a dense matrix type, a
+// Jacobi eigensolver for symmetric matrices, Rayleigh-Ritz subspace
+// iteration for leading eigenpairs, and principal component analysis
+// (used by the paper's visualization experiments, Figures 4 and 8).
+//
+// Everything is float64 and allocation-conscious rather than tuned;
+// the hot paths of the reproduction live in package word2vec, not
+// here.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics on length
+// mismatch.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales x to unit Euclidean norm in place and returns the
+// original norm. A zero vector is left unchanged.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n > 0 {
+		Scale(1/n, x)
+	}
+	return n
+}
+
+// SquaredDistance returns ||a-b||^2.
+func SquaredDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: SquaredDistance length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// EuclideanDistance returns ||a-b||.
+func EuclideanDistance(a, b []float64) float64 {
+	return math.Sqrt(SquaredDistance(a, b))
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b,
+// or 0 when either is the zero vector.
+func CosineSimilarity(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: CosineSimilarity length mismatch %d vs %d", len(a), len(b)))
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// CosineDistance returns 1 - CosineSimilarity(a, b), the distance
+// used by the paper's k-NN experiments.
+func CosineDistance(a, b []float64) float64 {
+	return 1 - CosineSimilarity(a, b)
+}
+
+// Mean returns the coordinate-wise mean of the rows. It panics when
+// rows is empty or ragged.
+func Mean(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		panic("linalg: Mean of no rows")
+	}
+	d := len(rows[0])
+	mean := make([]float64, d)
+	for _, r := range rows {
+		if len(r) != d {
+			panic("linalg: Mean of ragged rows")
+		}
+		for i, v := range r {
+			mean[i] += v
+		}
+	}
+	Scale(1/float64(len(rows)), mean)
+	return mean
+}

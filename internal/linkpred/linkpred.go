@@ -1,0 +1,270 @@
+// Package linkpred implements link prediction, the "predicting
+// relationships between pairs of vertices" application sketched in
+// the paper's conclusion: score candidate vertex pairs by the
+// similarity of their V2V embeddings, and evaluate against held-out
+// edges. Classic topological baselines (common neighbours, Jaccard,
+// Adamic-Adar, preferential attachment) are included for the same
+// embedding-versus-graph-algorithm comparison the paper performs for
+// community detection.
+package linkpred
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"v2v/internal/graph"
+	"v2v/internal/linalg"
+	"v2v/internal/xrand"
+)
+
+// Scorer assigns a likelihood score to a candidate edge (u, v);
+// higher means more likely.
+type Scorer interface {
+	Score(u, v int) float64
+	Name() string
+}
+
+// EmbeddingScorer scores pairs by similarity of embedding vectors.
+type EmbeddingScorer struct {
+	Vectors [][]float64
+	// Hadamard switches from cosine similarity to the negative
+	// Euclidean distance of the Hadamard (element-wise) product
+	// against the zero vector — equivalent to the L2 norm of the
+	// product, a common node2vec link feature.
+	Hadamard bool
+}
+
+// Score implements Scorer.
+func (s *EmbeddingScorer) Score(u, v int) float64 {
+	if s.Hadamard {
+		var norm float64
+		for i := range s.Vectors[u] {
+			p := s.Vectors[u][i] * s.Vectors[v][i]
+			norm += p
+		}
+		return norm // sum of Hadamard product == dot product
+	}
+	return linalg.CosineSimilarity(s.Vectors[u], s.Vectors[v])
+}
+
+// Name implements Scorer.
+func (s *EmbeddingScorer) Name() string {
+	if s.Hadamard {
+		return "embedding-dot"
+	}
+	return "embedding-cosine"
+}
+
+// CommonNeighbors counts shared neighbours.
+type CommonNeighbors struct{ G *graph.Graph }
+
+// Score implements Scorer.
+func (s *CommonNeighbors) Score(u, v int) float64 {
+	return float64(countCommon(s.G, u, v))
+}
+
+// Name implements Scorer.
+func (s *CommonNeighbors) Name() string { return "common-neighbors" }
+
+// Jaccard normalises common neighbours by the union size.
+type Jaccard struct{ G *graph.Graph }
+
+// Score implements Scorer.
+func (s *Jaccard) Score(u, v int) float64 {
+	common := countCommon(s.G, u, v)
+	union := s.G.Degree(u) + s.G.Degree(v) - common
+	if union == 0 {
+		return 0
+	}
+	return float64(common) / float64(union)
+}
+
+// Name implements Scorer.
+func (s *Jaccard) Name() string { return "jaccard" }
+
+// AdamicAdar weights each shared neighbour by 1/log(degree).
+type AdamicAdar struct{ G *graph.Graph }
+
+// Score implements Scorer.
+func (s *AdamicAdar) Score(u, v int) float64 {
+	var sum float64
+	forEachCommon(s.G, u, v, func(w int) {
+		d := s.G.Degree(w)
+		if d > 1 {
+			sum += 1 / math.Log(float64(d))
+		}
+	})
+	return sum
+}
+
+// Name implements Scorer.
+func (s *AdamicAdar) Name() string { return "adamic-adar" }
+
+// PreferentialAttachment scores by the degree product.
+type PreferentialAttachment struct{ G *graph.Graph }
+
+// Score implements Scorer.
+func (s *PreferentialAttachment) Score(u, v int) float64 {
+	return float64(s.G.Degree(u)) * float64(s.G.Degree(v))
+}
+
+// Name implements Scorer.
+func (s *PreferentialAttachment) Name() string { return "preferential-attachment" }
+
+func countCommon(g *graph.Graph, u, v int) int {
+	n := 0
+	forEachCommon(g, u, v, func(int) { n++ })
+	return n
+}
+
+// forEachCommon visits the intersection of two sorted adjacency
+// lists.
+func forEachCommon(g *graph.Graph, u, v int, visit func(w int)) {
+	a, b := g.Neighbors(u), g.Neighbors(v)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			visit(a[i])
+			i++
+			j++
+		}
+	}
+}
+
+// Split holds a train/test partition of a graph's edges for link
+// prediction evaluation: Train is the graph with test edges removed,
+// TestEdges are the held-out positives, and NonEdges are sampled
+// negatives of equal count.
+type Split struct {
+	Train     *graph.Graph
+	TestEdges [][2]int
+	NonEdges  [][2]int
+}
+
+// HoldOut removes a uniform fraction of edges (keeping the remainder
+// as the training graph) and samples an equal number of non-edges as
+// negatives. Edges whose removal would isolate a vertex are kept in
+// the training graph so that every vertex still gets walk contexts.
+func HoldOut(g *graph.Graph, fraction float64, seed uint64) (*Split, error) {
+	if g.Directed() {
+		return nil, fmt.Errorf("linkpred: HoldOut requires an undirected graph")
+	}
+	if fraction <= 0 || fraction >= 1 {
+		return nil, fmt.Errorf("linkpred: fraction %v out of (0,1)", fraction)
+	}
+	rng := xrand.New(seed)
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	wantTest := int(fraction * float64(len(edges)))
+	degree := make([]int, g.NumVertices())
+	for v := range degree {
+		degree[v] = g.Degree(v)
+	}
+	var test [][2]int
+	var keep []graph.Edge
+	for _, e := range edges {
+		if len(test) < wantTest && degree[e.From] > 1 && degree[e.To] > 1 {
+			test = append(test, [2]int{e.From, e.To})
+			degree[e.From]--
+			degree[e.To]--
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	if len(test) == 0 {
+		return nil, fmt.Errorf("linkpred: no removable edges (graph too sparse)")
+	}
+
+	b := graph.NewBuilder(g.NumVertices())
+	for _, e := range keep {
+		b.AddEdge(e.From, e.To)
+	}
+	train := b.Build()
+
+	n := g.NumVertices()
+	nonEdges := make([][2]int, 0, len(test))
+	seen := make(map[[2]int]bool, len(test))
+	for len(nonEdges) < len(test) {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]int{u, v}
+		if seen[k] || g.HasEdge(u, v) {
+			continue
+		}
+		seen[k] = true
+		nonEdges = append(nonEdges, k)
+	}
+	return &Split{Train: train, TestEdges: test, NonEdges: nonEdges}, nil
+}
+
+// Result is a link prediction evaluation.
+type Result struct {
+	Scorer       string
+	AUC          float64 // probability a positive outranks a negative
+	PrecisionAtK float64 // fraction of positives among the top-k ranked pairs
+	K            int
+}
+
+// Evaluate ranks the split's positives and negatives with the scorer
+// and computes AUC and precision@k (k = number of positives).
+func Evaluate(s Scorer, split *Split) Result {
+	type scored struct {
+		score float64
+		pos   bool
+	}
+	all := make([]scored, 0, len(split.TestEdges)+len(split.NonEdges))
+	for _, e := range split.TestEdges {
+		all = append(all, scored{s.Score(e[0], e[1]), true})
+	}
+	for _, e := range split.NonEdges {
+		all = append(all, scored{s.Score(e[0], e[1]), false})
+	}
+	// AUC by rank statistic (ties get half credit).
+	sort.Slice(all, func(i, j int) bool { return all[i].score < all[j].score })
+	var rankSum float64
+	i := 0
+	for i < len(all) {
+		j := i
+		for j < len(all) && all[j].score == all[i].score {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // 1-based average rank of the tie group
+		for k := i; k < j; k++ {
+			if all[k].pos {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	nPos := float64(len(split.TestEdges))
+	nNeg := float64(len(split.NonEdges))
+	auc := (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+
+	// precision@k with k = nPos: count positives in the top half.
+	k := len(split.TestEdges)
+	topPos := 0
+	for idx := len(all) - 1; idx >= len(all)-k && idx >= 0; idx-- {
+		if all[idx].pos {
+			topPos++
+		}
+	}
+	return Result{
+		Scorer:       s.Name(),
+		AUC:          auc,
+		PrecisionAtK: float64(topPos) / float64(k),
+		K:            k,
+	}
+}

@@ -1,0 +1,164 @@
+package linkpred
+
+import (
+	"math"
+	"testing"
+
+	"v2v/internal/graph"
+)
+
+func benchmarkGraph(seed uint64) (*graph.Graph, []int) {
+	return graph.CommunityBenchmark(graph.CommunityBenchmarkConfig{
+		NumCommunities: 4, CommunitySize: 25, Alpha: 0.6, InterEdges: 10, Seed: seed,
+	})
+}
+
+func TestHoldOutValidation(t *testing.T) {
+	g, _ := benchmarkGraph(1)
+	if _, err := HoldOut(g, 0, 1); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+	if _, err := HoldOut(g, 1, 1); err == nil {
+		t.Error("fraction 1 accepted")
+	}
+	b := graph.NewBuilder(2)
+	b.SetDirected(true)
+	b.AddEdge(0, 1)
+	if _, err := HoldOut(b.Build(), 0.5, 1); err == nil {
+		t.Error("directed graph accepted")
+	}
+}
+
+func TestHoldOutShape(t *testing.T) {
+	g, _ := benchmarkGraph(2)
+	split, err := HoldOut(g, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split.TestEdges) != len(split.NonEdges) {
+		t.Fatalf("%d positives, %d negatives", len(split.TestEdges), len(split.NonEdges))
+	}
+	want := int(0.2 * float64(g.NumEdges()))
+	if math.Abs(float64(len(split.TestEdges)-want)) > float64(want)/5 {
+		t.Fatalf("held out %d, want ~%d", len(split.TestEdges), want)
+	}
+	if split.Train.NumEdges()+len(split.TestEdges) != g.NumEdges() {
+		t.Fatal("edges lost in split")
+	}
+	// Held-out edges absent from train; negatives absent from g.
+	for _, e := range split.TestEdges {
+		if split.Train.HasEdge(e[0], e[1]) {
+			t.Fatal("test edge still in training graph")
+		}
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatal("test edge not a real edge")
+		}
+	}
+	for _, e := range split.NonEdges {
+		if g.HasEdge(e[0], e[1]) {
+			t.Fatal("negative sample is a real edge")
+		}
+	}
+	// No isolated vertices introduced.
+	for v := 0; v < split.Train.NumVertices(); v++ {
+		if g.Degree(v) > 0 && split.Train.Degree(v) == 0 {
+			t.Fatalf("vertex %d isolated by the split", v)
+		}
+	}
+}
+
+func TestTopologicalScorersBeatChance(t *testing.T) {
+	g, _ := benchmarkGraph(4)
+	split, err := HoldOut(g, 0.15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorers := []Scorer{
+		&CommonNeighbors{G: split.Train},
+		&Jaccard{G: split.Train},
+		&AdamicAdar{G: split.Train},
+	}
+	for _, s := range scorers {
+		res := Evaluate(s, split)
+		if res.AUC < 0.8 {
+			t.Errorf("%s AUC = %.3f, want > 0.8 on community graph", s.Name(), res.AUC)
+		}
+		if res.PrecisionAtK < 0.5 {
+			t.Errorf("%s precision@k = %.3f", s.Name(), res.PrecisionAtK)
+		}
+	}
+}
+
+func TestPreferentialAttachmentWeaker(t *testing.T) {
+	// PA ignores locality, so on a community graph it should be
+	// clearly worse than common neighbours (but still computed
+	// correctly: degree product).
+	g, _ := benchmarkGraph(6)
+	split, err := HoldOut(g, 0.15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := Evaluate(&PreferentialAttachment{G: split.Train}, split)
+	cn := Evaluate(&CommonNeighbors{G: split.Train}, split)
+	if pa.AUC > cn.AUC {
+		t.Fatalf("PA (%.3f) should not beat CN (%.3f) on community structure", pa.AUC, cn.AUC)
+	}
+}
+
+func TestEmbeddingScorer(t *testing.T) {
+	// Hand-built embedding: vertices 0,1 identical; 2 orthogonal.
+	vectors := [][]float64{{1, 0}, {1, 0}, {0, 1}}
+	cos := &EmbeddingScorer{Vectors: vectors}
+	if cos.Score(0, 1) <= cos.Score(0, 2) {
+		t.Fatal("cosine scorer ordering wrong")
+	}
+	dot := &EmbeddingScorer{Vectors: vectors, Hadamard: true}
+	if dot.Score(0, 1) != 1 || dot.Score(0, 2) != 0 {
+		t.Fatalf("dot scores %v %v", dot.Score(0, 1), dot.Score(0, 2))
+	}
+	if cos.Name() == dot.Name() {
+		t.Fatal("scorer names collide")
+	}
+}
+
+func TestEvaluatePerfectScorer(t *testing.T) {
+	// A scorer with oracle knowledge gets AUC 1.
+	g, _ := benchmarkGraph(8)
+	split, err := HoldOut(g, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := scorerFunc{fn: func(u, v int) float64 {
+		if g.HasEdge(u, v) {
+			return 1
+		}
+		return 0
+	}}
+	res := Evaluate(oracle, split)
+	if res.AUC != 1 {
+		t.Fatalf("oracle AUC = %v", res.AUC)
+	}
+	if res.PrecisionAtK != 1 {
+		t.Fatalf("oracle precision@k = %v", res.PrecisionAtK)
+	}
+}
+
+func TestEvaluateConstantScorerHalf(t *testing.T) {
+	g, _ := benchmarkGraph(10)
+	split, err := HoldOut(g, 0.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constant := scorerFunc{fn: func(u, v int) float64 { return 42 }}
+	res := Evaluate(constant, split)
+	if math.Abs(res.AUC-0.5) > 1e-9 {
+		t.Fatalf("constant scorer AUC = %v, want exactly 0.5 via tie handling", res.AUC)
+	}
+}
+
+type scorerFunc struct {
+	fn func(u, v int) float64
+}
+
+func (s scorerFunc) Score(u, v int) float64 { return s.fn(u, v) }
+func (s scorerFunc) Name() string           { return "func" }

@@ -1,0 +1,13 @@
+package openflights
+
+import "testing"
+
+// BenchmarkGenerate measures dataset generation at the default
+// (paper) scale.
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(DefaultConfig(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package openflights
+
+import (
+	"testing"
+)
+
+// smallConfig keeps tests fast while preserving the structure.
+func smallConfig(seed uint64) Config {
+	return Config{
+		NumAirports:        800,
+		NumRegions:         6,
+		CountriesPerRegion: 6,
+		HubFraction:        20,
+		IntlDegree:         5,
+		TrunkDegree:        3,
+		Seed:               seed,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	if !g.Directed() {
+		t.Fatal("route graph must be directed")
+	}
+	if g.NumVertices() != 800 {
+		t.Fatalf("airports = %d, want 800", g.NumVertices())
+	}
+	if len(ds.Country) != 800 || len(ds.Continent) != 800 {
+		t.Fatal("label slices wrong length")
+	}
+	if ds.NumRegions != 6 {
+		t.Fatalf("regions = %d", ds.NumRegions)
+	}
+	if ds.NumCountries < 6 {
+		t.Fatalf("countries = %d", ds.NumCountries)
+	}
+	// Density: directed edges should be a few per airport, like the
+	// real dataset (~6.7 routes per airport).
+	ratio := float64(g.NumEdges()) / float64(g.NumVertices())
+	if ratio < 2 || ratio > 15 {
+		t.Fatalf("routes per airport = %.2f, implausible", ratio)
+	}
+}
+
+func TestGenerateLabelsConsistent(t *testing.T) {
+	ds, err := Generate(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ds.Country {
+		if ds.Country[v] < 0 || ds.Country[v] >= ds.NumCountries {
+			t.Fatalf("airport %d has country %d", v, ds.Country[v])
+		}
+		if ds.Continent[v] < 0 || ds.Continent[v] >= ds.NumRegions {
+			t.Fatalf("airport %d has continent %d", v, ds.Continent[v])
+		}
+	}
+	// All airports of one country share a continent.
+	countryRegion := make(map[int]int)
+	for v := range ds.Country {
+		c := ds.Country[v]
+		if r, ok := countryRegion[c]; ok {
+			if r != ds.Continent[v] {
+				t.Fatalf("country %d spans regions %d and %d", c, r, ds.Continent[v])
+			}
+		} else {
+			countryRegion[c] = ds.Continent[v]
+		}
+	}
+}
+
+func TestRoutesAreGeographicallyStratified(t *testing.T) {
+	ds, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	var domestic, continental, intercont int
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(u) {
+			switch {
+			case ds.Country[u] == ds.Country[v]:
+				domestic++
+			case ds.Continent[u] == ds.Continent[v]:
+				continental++
+			default:
+				intercont++
+			}
+		}
+	}
+	total := domestic + continental + intercont
+	if total == 0 {
+		t.Fatal("no routes")
+	}
+	// The stratification property the experiments rely on: most
+	// routes are domestic, and intercontinental is the smallest slab.
+	if float64(domestic)/float64(total) < 0.5 {
+		t.Fatalf("domestic fraction %.2f, want majority", float64(domestic)/float64(total))
+	}
+	if intercont >= continental {
+		t.Fatalf("intercontinental (%d) should be rarer than continental (%d)", intercont, continental)
+	}
+	if intercont == 0 {
+		t.Fatal("world not connected across continents")
+	}
+}
+
+func TestSpokesConnectThroughHubs(t *testing.T) {
+	ds, err := Generate(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	// Every airport has at least one route, and non-hub airports
+	// connect only to hubs of their own country.
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(v) == 0 {
+			t.Fatalf("airport %d has no outgoing routes", v)
+		}
+		if !ds.Hubs[v] {
+			for _, u := range g.Neighbors(v) {
+				if !ds.Hubs[u] {
+					t.Fatalf("spoke %d connects to non-hub %d", v, u)
+				}
+				if ds.Country[u] != ds.Country[v] {
+					t.Fatalf("spoke %d has international route", v)
+				}
+			}
+		}
+	}
+}
+
+func TestWorldIsConnected(t *testing.T) {
+	ds, err := Generate(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, n := ds.Graph.ConnectedComponents()
+	// A handful of tiny countries may be isolated islands; the bulk
+	// must form one giant component.
+	comp, _ := ds.Graph.ConnectedComponents()
+	sizes := map[int]int{}
+	for _, c := range comp {
+		sizes[c]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	if float64(max) < 0.9*float64(ds.Graph.NumVertices()) {
+		t.Fatalf("giant component %d of %d (in %d components)", max, ds.Graph.NumVertices(), n)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() || a.NumCountries != b.NumCountries {
+		t.Fatal("same seed produced different datasets")
+	}
+}
+
+func TestDefaultScaleMatchesOpenFlights(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	ds, err := Generate(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ds.Graph.NumVertices()
+	e := ds.Graph.NumEdges()
+	if v != 10000 {
+		t.Fatalf("airports = %d, want 10000", v)
+	}
+	// Real dataset: ~67k routes. Accept the right order of magnitude.
+	if e < 40000 || e > 110000 {
+		t.Fatalf("routes = %d, want ~67k scale", e)
+	}
+	if ds.NumRegions != 10 {
+		t.Fatalf("regions = %d", ds.NumRegions)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{NumAirports: 5, NumRegions: 10}); err == nil {
+		t.Fatal("more regions than airports accepted")
+	}
+}
+
+func TestAirportNamesUnique(t *testing.T) {
+	ds, err := Generate(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for v := 0; v < ds.Graph.NumVertices(); v++ {
+		name := ds.Graph.Name(v)
+		if seen[name] {
+			t.Fatalf("duplicate airport name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,128 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"v2v/internal/graph"
+	"v2v/internal/metrics"
+)
+
+func TestEmbedValidation(t *testing.T) {
+	if _, err := Embed(graph.NewBuilder(0).Build(), 2, 1); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g := graph.Ring(5)
+	if _, err := Embed(g, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Embed(g, 6, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+	b := graph.NewBuilder(2)
+	b.SetDirected(true)
+	b.AddEdge(0, 1)
+	if _, err := Embed(b.Build(), 1, 1); err == nil {
+		t.Error("directed graph accepted")
+	}
+}
+
+func TestEmbedShapeAndEigenvalues(t *testing.T) {
+	g, _ := graph.CommunityBenchmark(graph.CommunityBenchmarkConfig{
+		NumCommunities: 3, CommunitySize: 20, Alpha: 0.7, InterEdges: 6, Seed: 1,
+	})
+	emb, err := Embed(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb.Coordinates) != 60 || len(emb.Coordinates[0]) != 3 {
+		t.Fatal("embedding shape wrong")
+	}
+	// Eigenvalues of S lie in [-1, 1], decreasing, top one = 1 (the
+	// stationary eigenvector of a connected non-bipartite graph).
+	if math.Abs(emb.Eigenvalues[0]-1) > 1e-6 {
+		t.Fatalf("leading eigenvalue %v, want 1", emb.Eigenvalues[0])
+	}
+	for i := 1; i < 3; i++ {
+		if emb.Eigenvalues[i] > emb.Eigenvalues[i-1]+1e-9 {
+			t.Fatal("eigenvalues not sorted")
+		}
+		if emb.Eigenvalues[i] < -1-1e-6 || emb.Eigenvalues[i] > 1+1e-6 {
+			t.Fatalf("eigenvalue %v out of [-1,1]", emb.Eigenvalues[i])
+		}
+	}
+	// Rows are unit vectors (or zero).
+	for v, row := range emb.Coordinates {
+		var norm float64
+		for _, x := range row {
+			norm += x * x
+		}
+		if math.Abs(norm-1) > 1e-6 && norm > 1e-12 {
+			t.Fatalf("row %d norm^2 = %v", v, norm)
+		}
+	}
+}
+
+func TestEmbedIsolatedVertexZero(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	emb, err := Embed(b.Build(), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range emb.Coordinates[2] {
+		if x != 0 {
+			t.Fatal("isolated vertex has nonzero coordinates")
+		}
+	}
+}
+
+func TestCommunitiesTwoCliques(t *testing.T) {
+	g, truth := graph.TwoCliquesBridge(10)
+	part, err := Communities(g, CommunitiesConfig{K: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r, err := metrics.PairwisePrecisionRecall(truth, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 || r != 1 {
+		t.Fatalf("spectral clustering failed two cliques: %v/%v", p, r)
+	}
+}
+
+func TestCommunitiesBenchmark(t *testing.T) {
+	g, truth := graph.CommunityBenchmark(graph.CommunityBenchmarkConfig{
+		NumCommunities: 4, CommunitySize: 25, Alpha: 0.6, InterEdges: 10, Seed: 5,
+	})
+	part, err := Communities(g, CommunitiesConfig{K: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r, _ := metrics.PairwisePrecisionRecall(truth, part)
+	if p < 0.9 || r < 0.9 {
+		t.Fatalf("spectral clustering: %.3f/%.3f", p, r)
+	}
+}
+
+func TestCommunitiesValidation(t *testing.T) {
+	g := graph.Ring(5)
+	if _, err := Communities(g, CommunitiesConfig{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+// BenchmarkSpectralCommunities gives the spectral baseline a
+// performance datum next to V2V and the graph algorithms.
+func BenchmarkSpectralCommunities(b *testing.B) {
+	g, _ := graph.CommunityBenchmark(graph.CommunityBenchmarkConfig{
+		NumCommunities: 10, CommunitySize: 40, Alpha: 0.5, InterEdges: 80, Seed: 7,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Communities(g, CommunitiesConfig{K: 10, Seed: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package tsne implements exact t-distributed stochastic neighbour
+// embedding (van der Maaten & Hinton 2008), the alternative
+// visualization technique the paper cites alongside PCA. The O(n^2)
+// exact formulation is used; it is comfortable for the few thousand
+// points of the paper's datasets.
+package tsne
+
+import (
+	"fmt"
+	"math"
+
+	"v2v/internal/xrand"
+)
+
+// Config controls the embedding.
+type Config struct {
+	OutputDims int     // default 2
+	Perplexity float64 // default 30
+	Iterations int     // default 500
+	LearnRate  float64 // default n/EarlyExaggeration (>= 2)
+	// EarlyExaggeration multiplies P for the first quarter of the
+	// iterations (default 12).
+	EarlyExaggeration float64
+	Seed              uint64
+}
+
+// Embed computes the t-SNE embedding of the given points.
+func Embed(points [][]float64, cfg Config) ([][]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("tsne: no points")
+	}
+	if cfg.OutputDims <= 0 {
+		cfg.OutputDims = 2
+	}
+	if cfg.Perplexity <= 0 {
+		cfg.Perplexity = 30
+	}
+	if cfg.Perplexity >= float64(n) {
+		cfg.Perplexity = float64(n-1) / 3
+		if cfg.Perplexity < 1 {
+			cfg.Perplexity = 1
+		}
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 500
+	}
+	if cfg.EarlyExaggeration <= 0 {
+		cfg.EarlyExaggeration = 12
+	}
+	if cfg.LearnRate <= 0 {
+		// The n/exaggeration heuristic (Belkina et al. 2019): gradient
+		// magnitudes scale with the per-pair probability mass ~1/n, so
+		// a fixed learning rate diverges on small inputs and crawls on
+		// large ones.
+		cfg.LearnRate = float64(n) / cfg.EarlyExaggeration
+		if cfg.LearnRate < 2 {
+			cfg.LearnRate = 2
+		}
+	}
+
+	p := jointProbabilities(points, cfg.Perplexity)
+
+	rng := xrand.New(cfg.Seed ^ 0x7157e)
+	d := cfg.OutputDims
+	y := make([][]float64, n)
+	vel := make([][]float64, n)
+	gains := make([][]float64, n)
+	for i := range y {
+		y[i] = make([]float64, d)
+		vel[i] = make([]float64, d)
+		gains[i] = make([]float64, d)
+		for j := range y[i] {
+			y[i][j] = rng.NormFloat64() * 1e-4
+			gains[i][j] = 1
+		}
+	}
+
+	exagIters := cfg.Iterations / 4
+	q := make([]float64, n*n)
+	grad := make([]float64, d)
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		exag := 1.0
+		if iter < exagIters {
+			exag = cfg.EarlyExaggeration
+		}
+		momentum := 0.5
+		if iter >= 250 {
+			momentum = 0.8
+		}
+
+		// Student-t affinities in the embedding.
+		var sumQ float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				var d2 float64
+				for k := 0; k < d; k++ {
+					diff := y[i][k] - y[j][k]
+					d2 += diff * diff
+				}
+				v := 1 / (1 + d2)
+				q[i*n+j] = v
+				q[j*n+i] = v
+				sumQ += 2 * v
+			}
+		}
+		if sumQ < 1e-12 {
+			sumQ = 1e-12
+		}
+
+		for i := 0; i < n; i++ {
+			for k := range grad {
+				grad[k] = 0
+			}
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				pij := exag * p[i*n+j]
+				qij := q[i*n+j] / sumQ
+				mult := 4 * (pij - qij) * q[i*n+j]
+				for k := 0; k < d; k++ {
+					grad[k] += mult * (y[i][k] - y[j][k])
+				}
+			}
+			for k := 0; k < d; k++ {
+				// Delta-bar-delta gain adaptation, as the reference.
+				if (grad[k] > 0) == (vel[i][k] > 0) {
+					gains[i][k] *= 0.8
+				} else {
+					gains[i][k] += 0.2
+				}
+				if gains[i][k] < 0.01 {
+					gains[i][k] = 0.01
+				}
+				vel[i][k] = momentum*vel[i][k] - cfg.LearnRate*gains[i][k]*grad[k]
+				y[i][k] += vel[i][k]
+			}
+		}
+
+		// Re-centre.
+		for k := 0; k < d; k++ {
+			var mean float64
+			for i := 0; i < n; i++ {
+				mean += y[i][k]
+			}
+			mean /= float64(n)
+			for i := 0; i < n; i++ {
+				y[i][k] -= mean
+			}
+		}
+	}
+	return y, nil
+}
+
+// jointProbabilities computes the symmetrised input affinities P with
+// per-point bandwidths found by binary search on the perplexity.
+func jointProbabilities(points [][]float64, perplexity float64) []float64 {
+	n := len(points)
+	dist2 := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var d2 float64
+			for k := range points[i] {
+				diff := points[i][k] - points[j][k]
+				d2 += diff * diff
+			}
+			dist2[i*n+j] = d2
+			dist2[j*n+i] = d2
+		}
+	}
+	logPerp := math.Log(perplexity)
+	p := make([]float64, n*n)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Binary search beta = 1/(2 sigma^2) for target entropy.
+		beta := 1.0
+		betaMin, betaMax := math.Inf(-1), math.Inf(1)
+		for t := 0; t < 64; t++ {
+			var sum, hBeta float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					row[j] = 0
+					continue
+				}
+				row[j] = math.Exp(-dist2[i*n+j] * beta)
+				sum += row[j]
+			}
+			if sum < 1e-300 {
+				sum = 1e-300
+			}
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				pj := row[j] / sum
+				row[j] = pj
+				if pj > 1e-12 {
+					hBeta -= pj * math.Log(pj)
+				}
+			}
+			diff := hBeta - logPerp
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 {
+				betaMin = beta
+				if math.IsInf(betaMax, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + betaMax) / 2
+				}
+			} else {
+				betaMax = beta
+				if math.IsInf(betaMin, -1) {
+					beta /= 2
+				} else {
+					beta = (beta + betaMin) / 2
+				}
+			}
+		}
+		copy(p[i*n:(i+1)*n], row)
+	}
+	// Symmetrise and normalise.
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (p[i*n+j] + p[j*n+i]) / 2
+			p[i*n+j] = v
+			p[j*n+i] = v
+			total += 2 * v
+		}
+	}
+	if total < 1e-300 {
+		total = 1e-300
+	}
+	floor := 1e-12
+	for i := range p {
+		p[i] /= total
+		if p[i] < floor && p[i] > 0 {
+			p[i] = floor
+		}
+	}
+	return p
+}

@@ -1,0 +1,123 @@
+package tsne
+
+import (
+	"math"
+	"testing"
+
+	"v2v/internal/xrand"
+)
+
+func blobs(k, per int, sep float64, seed uint64) ([][]float64, []int) {
+	rng := xrand.New(seed)
+	var pts [][]float64
+	var lbl []int
+	for c := 0; c < k; c++ {
+		cx := float64(c) * sep
+		for i := 0; i < per; i++ {
+			pts = append(pts, []float64{
+				cx + rng.NormFloat64()*0.3,
+				rng.NormFloat64() * 0.3,
+				rng.NormFloat64() * 0.3,
+			})
+			lbl = append(lbl, c)
+		}
+	}
+	return pts, lbl
+}
+
+func TestEmbedRejectsEmpty(t *testing.T) {
+	if _, err := Embed(nil, Config{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestEmbedShape(t *testing.T) {
+	pts, _ := blobs(2, 15, 10, 1)
+	out, err := Embed(pts, Config{OutputDims: 2, Iterations: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(pts) || len(out[0]) != 2 {
+		t.Fatalf("shape %dx%d", len(out), len(out[0]))
+	}
+	for _, p := range out {
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite embedding")
+			}
+		}
+	}
+}
+
+func TestEmbedSeparatesClusters(t *testing.T) {
+	pts, lbl := blobs(3, 20, 20, 3)
+	out, err := Embed(pts, Config{Iterations: 300, Perplexity: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			d := math.Hypot(out[i][0]-out[j][0], out[i][1]-out[j][1])
+			if lbl[i] == lbl[j] {
+				intra += d
+				nIntra++
+			} else {
+				inter += d
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if inter < 2*intra {
+		t.Fatalf("clusters not separated: intra %.3f inter %.3f", intra, inter)
+	}
+}
+
+func TestEmbedCentred(t *testing.T) {
+	pts, _ := blobs(2, 10, 5, 5)
+	out, err := Embed(pts, Config{Iterations: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mx, my float64
+	for _, p := range out {
+		mx += p[0]
+		my += p[1]
+	}
+	mx /= float64(len(out))
+	my /= float64(len(out))
+	if math.Abs(mx) > 1e-6 || math.Abs(my) > 1e-6 {
+		t.Fatalf("embedding not centred: (%v, %v)", mx, my)
+	}
+}
+
+func TestPerplexityClampedForTinyInputs(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	if _, err := Embed(pts, Config{Perplexity: 50, Iterations: 20, Seed: 7}); err != nil {
+		t.Fatalf("tiny input with big perplexity: %v", err)
+	}
+}
+
+func TestJointProbabilitiesSymmetricNormalised(t *testing.T) {
+	pts, _ := blobs(2, 8, 4, 8)
+	p := jointProbabilities(pts, 5)
+	n := len(pts)
+	var total float64
+	for i := 0; i < n; i++ {
+		if p[i*n+i] != 0 {
+			t.Fatal("diagonal not zero")
+		}
+		for j := 0; j < n; j++ {
+			if p[i*n+j] != p[j*n+i] {
+				t.Fatal("P not symmetric")
+			}
+			total += p[i*n+j]
+		}
+	}
+	if math.Abs(total-1) > 0.01 {
+		t.Fatalf("P sums to %v", total)
+	}
+}

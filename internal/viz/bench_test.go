@@ -1,0 +1,57 @@
+package viz
+
+import (
+	"io"
+	"testing"
+
+	"v2v/internal/graph"
+	"v2v/internal/xrand"
+)
+
+// BenchmarkLayout measures the Barnes-Hut force layout at the Figure
+// 3 graph size.
+func BenchmarkLayout(b *testing.B) {
+	g, _ := graph.CommunityBenchmark(graph.CommunityBenchmarkConfig{
+		NumCommunities: 10, CommunitySize: 50, Alpha: 0.5, InterEdges: 100, Seed: 1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Layout(g, LayoutConfig{Iterations: 20, Seed: 2})
+	}
+}
+
+// BenchmarkQuadtreeBuild measures tree construction.
+func BenchmarkQuadtreeBuild(b *testing.B) {
+	rng := xrand.New(3)
+	n := 5000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	mass := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+		mass[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buildQuadtree(x, y, mass)
+	}
+}
+
+// BenchmarkScatterSVG measures SVG rendering of a 1000-point scatter.
+func BenchmarkScatterSVG(b *testing.B) {
+	rng := xrand.New(4)
+	n := 1000
+	p := &ScatterPlot{X: make([]float64, n), Y: make([]float64, n), Category: make([]int, n)}
+	for i := 0; i < n; i++ {
+		p.X[i] = rng.NormFloat64()
+		p.Y[i] = rng.NormFloat64()
+		p.Category[i] = i % 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.WriteSVG(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package viz
+
+import (
+	"math"
+
+	"v2v/internal/graph"
+	"v2v/internal/xrand"
+)
+
+// LayoutConfig controls the ForceAtlas2-style force-directed layout
+// used to draw Figure 3. The model follows Jacomy et al. (2014):
+// linear attraction along edges, degree-weighted repulsion between
+// all vertex pairs (Barnes-Hut approximated), a gravity term pulling
+// toward the origin, and adaptive global speed.
+type LayoutConfig struct {
+	Iterations int     // default 200
+	Repulsion  float64 // k_r scaling (default 10)
+	Gravity    float64 // k_g (default 1)
+	Theta      float64 // Barnes-Hut opening angle (default 1.2)
+	Seed       uint64
+}
+
+// Layout computes 2-D positions for every vertex of g.
+func Layout(g *graph.Graph, cfg LayoutConfig) (x, y []float64) {
+	n := g.NumVertices()
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 200
+	}
+	if cfg.Repulsion <= 0 {
+		cfg.Repulsion = 10
+	}
+	if cfg.Gravity <= 0 {
+		cfg.Gravity = 1
+	}
+	if cfg.Theta <= 0 {
+		cfg.Theta = 1.2
+	}
+	rng := xrand.New(cfg.Seed)
+	x = make([]float64, n)
+	y = make([]float64, n)
+	scale := math.Sqrt(float64(n)) * 10
+	for i := 0; i < n; i++ {
+		x[i] = (rng.Float64() - 0.5) * scale
+		y[i] = (rng.Float64() - 0.5) * scale
+	}
+	if n <= 1 {
+		return x, y
+	}
+
+	mass := make([]float64, n)
+	for v := 0; v < n; v++ {
+		mass[v] = float64(g.Degree(v)) + 1
+	}
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	prevFx := make([]float64, n)
+	prevFy := make([]float64, n)
+	speed := 1.0
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		copy(prevFx, fx)
+		copy(prevFy, fy)
+		for i := range fx {
+			fx[i] = 0
+			fy[i] = 0
+		}
+
+		// Repulsion via Barnes-Hut.
+		qt := buildQuadtree(x, y, mass)
+		for v := 0; v < n; v++ {
+			mv := mass[v]
+			qt.repulsion(int32(v), x, y, cfg.Theta, func(dx, dy, m float64) {
+				d2 := dx*dx + dy*dy
+				if d2 < 1e-9 {
+					d2 = 1e-9
+				}
+				f := cfg.Repulsion * mv * m / d2
+				d := math.Sqrt(d2)
+				fx[v] += f * dx / d
+				fy[v] += f * dy / d
+			})
+		}
+
+		// Attraction along edges (linear in distance, as FA2).
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				if g.Directed() || u < v {
+					dx := x[v] - x[u]
+					dy := y[v] - y[u]
+					fx[u] += dx
+					fy[u] += dy
+					fx[v] -= dx
+					fy[v] -= dy
+				}
+			}
+		}
+
+		// Gravity toward the origin, proportional to mass.
+		for v := 0; v < n; v++ {
+			d := math.Hypot(x[v], y[v])
+			if d > 1e-9 {
+				fx[v] -= cfg.Gravity * mass[v] * x[v] / d
+				fy[v] -= cfg.Gravity * mass[v] * y[v] / d
+			}
+		}
+
+		// Adaptive speed: compare force swing (direction changes) to
+		// traction (consistent motion), then displace.
+		var swing, traction float64
+		for v := 0; v < n; v++ {
+			sw := math.Hypot(fx[v]-prevFx[v], fy[v]-prevFy[v])
+			tr := math.Hypot(fx[v]+prevFx[v], fy[v]+prevFy[v]) / 2
+			swing += mass[v] * sw
+			traction += mass[v] * tr
+		}
+		if swing > 0 {
+			target := 0.3 * traction / swing
+			if target < speed*1.5 {
+				speed = target
+			} else {
+				speed *= 1.5
+			}
+		}
+		if speed < 1e-5 {
+			speed = 1e-5
+		}
+		for v := 0; v < n; v++ {
+			sw := math.Hypot(fx[v]-prevFx[v], fy[v]-prevFy[v])
+			local := speed / (1 + speed*math.Sqrt(sw))
+			dx := fx[v] * local
+			dy := fy[v] * local
+			// Clamp per-step displacement to keep the system stable.
+			d := math.Hypot(dx, dy)
+			maxD := scale / 10
+			if d > maxD {
+				dx *= maxD / d
+				dy *= maxD / d
+			}
+			x[v] += dx
+			y[v] += dy
+		}
+	}
+	return x, y
+}

@@ -1,0 +1,146 @@
+package viz
+
+// quadtree is a Barnes-Hut quadtree over 2-D points with masses,
+// supporting approximate aggregate repulsion queries for the force
+// layout. Nodes are stored in a flat slice to avoid pointer chasing.
+type quadtree struct {
+	nodes []qnode
+}
+
+type qnode struct {
+	// Bounding square.
+	cx, cy, half float64
+	// Aggregate mass and centre of mass.
+	mass float64
+	comX float64
+	comY float64
+	// Children indices (0 when absent); leaf point index or -1.
+	child [4]int32
+	point int32
+	count int32
+}
+
+// buildQuadtree constructs the tree over the given positions and
+// masses. Duplicate points are merged into a single leaf (their
+// masses add), which keeps insertion terminating.
+func buildQuadtree(x, y, mass []float64) *quadtree {
+	minX, maxX := bounds(x)
+	minY, maxY := bounds(y)
+	cx, cy := (minX+maxX)/2, (minY+maxY)/2
+	half := maxX - minX
+	if maxY-minY > half {
+		half = maxY - minY
+	}
+	half = half/2 + 1e-9
+
+	t := &quadtree{nodes: make([]qnode, 1, 2*len(x)+1)}
+	t.nodes[0] = qnode{cx: cx, cy: cy, half: half, point: -1}
+	for i := range x {
+		t.insert(0, int32(i), x, y, mass, 0)
+	}
+	return t
+}
+
+const maxQuadDepth = 48
+
+func (t *quadtree) insert(node int, p int32, x, y, mass []float64, depth int) {
+	n := &t.nodes[node]
+	n.mass += mass[p]
+	n.comX += mass[p] * x[p]
+	n.comY += mass[p] * y[p]
+	n.count++
+
+	if n.count == 1 {
+		n.point = p
+		return
+	}
+	if depth >= maxQuadDepth {
+		// Coincident points: keep aggregated at this node.
+		return
+	}
+	// Internal node: push the resident point down first, then the new
+	// one.
+	if n.point >= 0 {
+		old := n.point
+		n.point = -1
+		t.place(node, old, x, y, mass, depth)
+		n = &t.nodes[node] // t.nodes may have been reallocated
+	}
+	t.place(node, p, x, y, mass, depth)
+}
+
+func (t *quadtree) place(node int, p int32, x, y, mass []float64, depth int) {
+	n := &t.nodes[node]
+	q := 0
+	if x[p] > n.cx {
+		q |= 1
+	}
+	if y[p] > n.cy {
+		q |= 2
+	}
+	if n.child[q] == 0 {
+		h := n.half / 2
+		ccx := n.cx - h
+		if q&1 != 0 {
+			ccx = n.cx + h
+		}
+		ccy := n.cy - h
+		if q&2 != 0 {
+			ccy = n.cy + h
+		}
+		t.nodes = append(t.nodes, qnode{cx: ccx, cy: ccy, half: h, point: -1})
+		// Re-take the pointer: append may move the backing array.
+		t.nodes[node].child[q] = int32(len(t.nodes) - 1)
+	}
+	child := int(t.nodes[node].child[q])
+	t.insert(child, p, x, y, mass, depth+1)
+}
+
+// repulsion accumulates the Barnes-Hut approximate repulsive force on
+// point p with the given force kernel: for each sufficiently far cell
+// (size/dist < theta) or individual point, kernel(dx, dy, mass) is
+// invoked with the displacement from the aggregate to p.
+func (t *quadtree) repulsion(p int32, x, y []float64, theta float64, kernel func(dx, dy, mass float64)) {
+	px, py := x[p], y[p]
+	stack := make([]int32, 0, 64)
+	stack = append(stack, 0)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[ni]
+		if n.count == 0 {
+			continue
+		}
+		if n.count == 1 && n.point >= 0 {
+			if n.point == p {
+				continue
+			}
+			kernel(px-x[n.point], py-y[n.point], t.massOfLeaf(n))
+			continue
+		}
+		comX := n.comX / n.mass
+		comY := n.comY / n.mass
+		dx := px - comX
+		dy := py - comY
+		dist2 := dx*dx + dy*dy
+		size := 2 * n.half
+		if size*size < theta*theta*dist2 {
+			kernel(dx, dy, n.mass)
+			continue
+		}
+		leaf := true
+		for _, c := range n.child {
+			if c != 0 {
+				stack = append(stack, c)
+				leaf = false
+			}
+		}
+		if leaf {
+			// Aggregated coincident points (max depth): treat as one
+			// body minus p's own contribution when p is inside.
+			kernel(dx, dy, n.mass)
+		}
+	}
+}
+
+func (t *quadtree) massOfLeaf(n *qnode) float64 { return n.mass }

@@ -1,0 +1,83 @@
+package walk
+
+import (
+	"fmt"
+
+	"v2v/internal/xrand"
+)
+
+// AliasTable supports O(1) sampling from a discrete distribution using
+// Vose's alias method. Construction is O(n).
+type AliasTable struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAliasTable builds an alias table over the given non-negative
+// weights. It panics if weights is empty or sums to zero.
+func NewAliasTable(weights []float64) *AliasTable {
+	n := len(weights)
+	if n == 0 {
+		panic("walk: empty weights for alias table")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("walk: negative weight %v", w))
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("walk: all-zero weights for alias table")
+	}
+	t := &AliasTable{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t
+}
+
+// Len returns the number of outcomes.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// Sample draws one outcome index.
+func (t *AliasTable) Sample(rng *xrand.RNG) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return t.alias[i]
+}

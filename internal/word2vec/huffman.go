@@ -1,0 +1,119 @@
+package word2vec
+
+import "container/heap"
+
+// huffman holds the binary Huffman coding of the vocabulary used by
+// hierarchical softmax: for every vertex, the path of inner-node
+// indices from the root (points) and the left/right bits (codes).
+type huffman struct {
+	codes  [][]byte // codes[w][d]: bit d of w's code (0 = left)
+	points [][]int  // points[w][d]: inner node visited before bit d
+}
+
+type hnode struct {
+	count  int64
+	index  int // leaf: vertex index; inner: inner-node index
+	isLeaf bool
+	left   *hnode
+	right  *hnode
+}
+
+type hheap []*hnode
+
+func (h hheap) Len() int { return len(h) }
+func (h hheap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	// Deterministic tie-break so the tree is reproducible.
+	if h[i].isLeaf != h[j].isLeaf {
+		return h[i].isLeaf
+	}
+	return h[i].index < h[j].index
+}
+func (h hheap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *hheap) Push(x any)   { *h = append(*h, x.(*hnode)) }
+func (h *hheap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// buildHuffman constructs the Huffman tree over the given vertex
+// counts. Vertices that never occur are given count 1 so that every
+// vertex has a valid code. The tree has exactly len(counts)-1 inner
+// nodes; hierarchical softmax allocates one output vector per inner
+// node.
+func buildHuffman(counts []int) *huffman {
+	n := len(counts)
+	hf := &huffman{
+		codes:  make([][]byte, n),
+		points: make([][]int, n),
+	}
+	if n == 0 {
+		return hf
+	}
+	h := make(hheap, 0, n)
+	for w, c := range counts {
+		if c <= 0 {
+			c = 1
+		}
+		h = append(h, &hnode{count: int64(c), index: w, isLeaf: true})
+	}
+	heap.Init(&h)
+	inner := 0
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hnode)
+		b := heap.Pop(&h).(*hnode)
+		parent := &hnode{count: a.count + b.count, index: inner, left: a, right: b}
+		inner++
+		heap.Push(&h, parent)
+	}
+	root := h[0]
+	if root.isLeaf {
+		// Single-vertex vocabulary: empty code.
+		hf.codes[root.index] = []byte{}
+		hf.points[root.index] = []int{}
+		return hf
+	}
+	hf.assign(root)
+	return hf
+}
+
+// assign walks the tree breadth-first, accumulating each leaf's code
+// bits and inner-node path.
+func (hf *huffman) assign(root *hnode) {
+	type entry struct {
+		node   *hnode
+		code   []byte
+		points []int
+	}
+	queue := []entry{{root, nil, nil}}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if e.node.isLeaf {
+			hf.codes[e.node.index] = e.code
+			hf.points[e.node.index] = e.points
+			continue
+		}
+		points := append(append([]int(nil), e.points...), e.node.index)
+		left := append(append([]byte(nil), e.code...), 0)
+		right := append(append([]byte(nil), e.code...), 1)
+		queue = append(queue, entry{e.node.left, left, points})
+		queue = append(queue, entry{e.node.right, right, points})
+	}
+}
+
+// maxCodeLen returns the longest code length, for scratch sizing.
+func (hf *huffman) maxCodeLen() int {
+	m := 0
+	for _, c := range hf.codes {
+		if len(c) > m {
+			m = len(c)
+		}
+	}
+	return m
+}

@@ -1,0 +1,254 @@
+package word2vec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Model holds trained embeddings: one Dim-dimensional vector per
+// vocabulary item (vertex). Vectors are stored row-major in a single
+// backing slice.
+type Model struct {
+	Dim     int
+	Vocab   int
+	Vectors []float32 // len Vocab*Dim, row-major
+}
+
+// NewModel allocates a zero model.
+func NewModel(vocab, dim int) *Model {
+	return &Model{Dim: dim, Vocab: vocab, Vectors: make([]float32, vocab*dim)}
+}
+
+// Vector returns the embedding of vertex w. The slice aliases model
+// storage.
+func (m *Model) Vector(w int) []float32 {
+	return m.Vectors[w*m.Dim : (w+1)*m.Dim]
+}
+
+// VectorF64 returns a newly allocated float64 copy of w's embedding,
+// convenient for the linalg package.
+func (m *Model) VectorF64(w int) []float64 {
+	v := m.Vector(w)
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Rows returns all embeddings as a [Vocab][Dim] float64 matrix
+// (newly allocated), the interchange format used by clustering, PCA
+// and k-NN.
+func (m *Model) Rows() [][]float64 {
+	rows := make([][]float64, m.Vocab)
+	flat := make([]float64, m.Vocab*m.Dim)
+	for i, x := range m.Vectors {
+		flat[i] = float64(x)
+	}
+	for w := 0; w < m.Vocab; w++ {
+		rows[w] = flat[w*m.Dim : (w+1)*m.Dim]
+	}
+	return rows
+}
+
+// Cosine returns the cosine similarity between vertices a and b, or 0
+// when either vector is zero.
+func (m *Model) Cosine(a, b int) float64 {
+	va, vb := m.Vector(a), m.Vector(b)
+	var dot, na, nb float64
+	for i := range va {
+		dot += float64(va[i]) * float64(vb[i])
+		na += float64(va[i]) * float64(va[i])
+		nb += float64(vb[i]) * float64(vb[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Neighbor is a similarity search result.
+type Neighbor struct {
+	Word       int
+	Similarity float64
+}
+
+// MostSimilar returns the k vertices most cosine-similar to w,
+// excluding w itself, in decreasing similarity order.
+func (m *Model) MostSimilar(w, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	res := make([]Neighbor, 0, m.Vocab-1)
+	for u := 0; u < m.Vocab; u++ {
+		if u == w {
+			continue
+		}
+		res = append(res, Neighbor{Word: u, Similarity: m.Cosine(w, u)})
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Similarity != res[j].Similarity {
+			return res[i].Similarity > res[j].Similarity
+		}
+		return res[i].Word < res[j].Word
+	})
+	if k > len(res) {
+		k = len(res)
+	}
+	return res[:k]
+}
+
+// Analogy answers "a is to b as c is to ?" by ranking vertices by
+// cosine similarity to vector(b) - vector(a) + vector(c), excluding
+// the three query vertices. It returns the top k candidates.
+func (m *Model) Analogy(a, b, c, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	target := make([]float64, m.Dim)
+	va, vb, vc := m.Vector(a), m.Vector(b), m.Vector(c)
+	for i := range target {
+		target[i] = float64(vb[i]) - float64(va[i]) + float64(vc[i])
+	}
+	var tNorm float64
+	for _, x := range target {
+		tNorm += x * x
+	}
+	tNorm = math.Sqrt(tNorm)
+	res := make([]Neighbor, 0, m.Vocab)
+	for u := 0; u < m.Vocab; u++ {
+		if u == a || u == b || u == c {
+			continue
+		}
+		vu := m.Vector(u)
+		var dot, un float64
+		for i := range vu {
+			dot += float64(vu[i]) * target[i]
+			un += float64(vu[i]) * float64(vu[i])
+		}
+		sim := 0.0
+		if un > 0 && tNorm > 0 {
+			sim = dot / (math.Sqrt(un) * tNorm)
+		}
+		res = append(res, Neighbor{Word: u, Similarity: sim})
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Similarity != res[j].Similarity {
+			return res[i].Similarity > res[j].Similarity
+		}
+		return res[i].Word < res[j].Word
+	})
+	if k > len(res) {
+		k = len(res)
+	}
+	return res[:k]
+}
+
+// Centroid returns the mean vector of the given vertices.
+func (m *Model) Centroid(vertices []int) []float64 {
+	out := make([]float64, m.Dim)
+	if len(vertices) == 0 {
+		return out
+	}
+	for _, v := range vertices {
+		for i, x := range m.Vector(v) {
+			out[i] += float64(x)
+		}
+	}
+	inv := 1 / float64(len(vertices))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Normalize L2-normalises every vector in place. Zero vectors are
+// left untouched.
+func (m *Model) Normalize() {
+	for w := 0; w < m.Vocab; w++ {
+		v := m.Vector(w)
+		var n float64
+		for _, x := range v {
+			n += float64(x) * float64(x)
+		}
+		if n == 0 {
+			continue
+		}
+		inv := float32(1 / math.Sqrt(n))
+		for i := range v {
+			v[i] *= inv
+		}
+	}
+}
+
+// Save writes the model in the word2vec text format: a header line
+// "vocab dim" followed by one line per vertex: "index x1 x2 ... xD".
+// name maps a vertex index to its token; nil uses decimal indices.
+func (m *Model) Save(w io.Writer, name func(int) string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", m.Vocab, m.Dim)
+	for v := 0; v < m.Vocab; v++ {
+		if name != nil {
+			fmt.Fprint(bw, name(v))
+		} else {
+			fmt.Fprint(bw, v)
+		}
+		for _, x := range m.Vector(v) {
+			fmt.Fprintf(bw, " %g", x)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Load reads a model in the word2vec text format written by Save.
+// It returns the model and the token of every row (the first field of
+// each line).
+func Load(r io.Reader) (*Model, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("word2vec: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 {
+		return nil, nil, fmt.Errorf("word2vec: bad header %q", sc.Text())
+	}
+	vocab, err := strconv.Atoi(header[0])
+	if err != nil || vocab < 0 {
+		return nil, nil, fmt.Errorf("word2vec: bad vocab size %q", header[0])
+	}
+	dim, err := strconv.Atoi(header[1])
+	if err != nil || dim <= 0 {
+		return nil, nil, fmt.Errorf("word2vec: bad dimension %q", header[1])
+	}
+	m := NewModel(vocab, dim)
+	tokens := make([]string, vocab)
+	for v := 0; v < vocab; v++ {
+		if !sc.Scan() {
+			return nil, nil, fmt.Errorf("word2vec: truncated input at row %d of %d", v, vocab)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != dim+1 {
+			return nil, nil, fmt.Errorf("word2vec: row %d has %d fields, want %d", v, len(fields), dim+1)
+		}
+		tokens[v] = fields[0]
+		vec := m.Vector(v)
+		for i, f := range fields[1:] {
+			x, err := strconv.ParseFloat(f, 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("word2vec: row %d field %d: %v", v, i, err)
+			}
+			vec[i] = float32(x)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return m, tokens, nil
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+package word2vec
+
+// raceEnabled reports whether the race detector is active. Hogwild
+// training intentionally updates shared parameter matrices without
+// locks (benign for SGD convergence, as in the reference word2vec C
+// code); under the race detector we serialise training so that -race
+// test runs stay clean.
+const raceEnabled = false

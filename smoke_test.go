@@ -1,0 +1,34 @@
+package v2v
+
+import "testing"
+
+// TestSmokePipeline is a fast end-to-end check: embed the paper's
+// synthetic benchmark at alpha = 0.5, cluster, and verify the
+// communities beat chance by a wide margin.
+func TestSmokePipeline(t *testing.T) {
+	cfg := DefaultBenchmarkConfig(0.5, 42)
+	cfg.NumCommunities = 5
+	cfg.CommunitySize = 40
+	cfg.InterEdges = 50
+	g, truth := CommunityBenchmark(cfg)
+
+	opts := DefaultOptions(16)
+	opts.Seed = 7
+	emb, err := Embed(g, opts)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	res, err := emb.DetectCommunities(CommunityConfig{K: 5, Restarts: 20, Seed: 3})
+	if err != nil {
+		t.Fatalf("DetectCommunities: %v", err)
+	}
+	prec, rec, err := EvaluateCommunities(truth, res.Partition)
+	if err != nil {
+		t.Fatalf("EvaluateCommunities: %v", err)
+	}
+	t.Logf("precision=%.3f recall=%.3f walk=%v train=%v cluster=%v tokens=%d",
+		prec, rec, emb.WalkTime, emb.TrainTime, res.ClusterTime, emb.Tokens)
+	if prec < 0.8 || rec < 0.8 {
+		t.Fatalf("poor community recovery: precision=%.3f recall=%.3f", prec, rec)
+	}
+}

@@ -1,0 +1,488 @@
+// Package v2v is the public API of the V2V reproduction: vertex
+// embeddings of graphs learned from constrained random walks with a
+// CBOW (word2vec) model, plus the embedding-space applications studied
+// by the paper — community detection, visualization and feature
+// prediction — and the direct graph-based baselines (CNM,
+// Girvan-Newman) they are compared against.
+//
+// Reproduces: Nguyen & Tirthapura, "V2V: Vector Embedding of a Graph
+// and Applications", IPDPSW 2018.
+//
+// Quickstart:
+//
+//	g, truth := v2v.CommunityBenchmark(v2v.DefaultBenchmarkConfig(0.5, 1))
+//	emb, err := v2v.Embed(g, v2v.DefaultOptions(50))
+//	if err != nil { ... }
+//	res, err := emb.DetectCommunities(v2v.CommunityConfig{K: 10})
+//	prec, rec, _ := v2v.EvaluateCommunities(truth, res.Partition)
+package v2v
+
+import (
+	"io"
+
+	"v2v/internal/cluster"
+	"v2v/internal/community"
+	"v2v/internal/core"
+	"v2v/internal/graph"
+	"v2v/internal/knn"
+	"v2v/internal/linalg"
+	"v2v/internal/linkpred"
+	"v2v/internal/metrics"
+	"v2v/internal/openflights"
+	"v2v/internal/spectral"
+	"v2v/internal/tsne"
+	"v2v/internal/viz"
+	"v2v/internal/walk"
+	"v2v/internal/word2vec"
+)
+
+// ---- Graphs -------------------------------------------------------
+
+// Graph is an immutable CSR graph; build one with NewGraphBuilder, a
+// generator, or ReadEdgeList.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and produces a Graph.
+type GraphBuilder = graph.Builder
+
+// Edge is a single edge of a Graph.
+type Edge = graph.Edge
+
+// NewGraphBuilder returns a builder for an undirected graph with n
+// initial vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// EdgeListOptions controls ReadEdgeList parsing.
+type EdgeListOptions = graph.EdgeListOptions
+
+// ReadEdgeList parses a "u v [weight [time]]" edge list.
+func ReadEdgeList(r io.Reader, opts EdgeListOptions) (*Graph, error) {
+	return graph.ReadEdgeList(r, opts)
+}
+
+// WriteEdgeList writes g in the format accepted by ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// BenchmarkConfig describes the paper's synthetic community
+// benchmark (Section III-A).
+type BenchmarkConfig = graph.CommunityBenchmarkConfig
+
+// DefaultBenchmarkConfig returns the paper's benchmark at the given
+// community strength alpha: 10 communities x 100 vertices, 200
+// inter-community edges.
+func DefaultBenchmarkConfig(alpha float64, seed uint64) BenchmarkConfig {
+	return graph.DefaultCommunityBenchmark(alpha, seed)
+}
+
+// CommunityBenchmark generates the synthetic benchmark graph and its
+// ground-truth community of every vertex.
+func CommunityBenchmark(cfg BenchmarkConfig) (*Graph, []int) {
+	return graph.CommunityBenchmark(cfg)
+}
+
+// ErdosRenyiGNM generates a uniform random graph with n vertices and
+// m edges.
+func ErdosRenyiGNM(n, m int, seed uint64) *Graph { return graph.ErdosRenyiGNM(n, m, seed) }
+
+// ErdosRenyiGNP generates G(n, p).
+func ErdosRenyiGNP(n int, p float64, seed uint64) *Graph { return graph.ErdosRenyiGNP(n, p, seed) }
+
+// BarabasiAlbert generates a preferential-attachment graph.
+func BarabasiAlbert(n, m int, seed uint64) *Graph { return graph.BarabasiAlbert(n, m, seed) }
+
+// ---- Embedding ----------------------------------------------------
+
+// WalkStrategy selects the random-walk transition rule.
+type WalkStrategy = walk.Strategy
+
+// Walk strategies (paper Section II-A).
+const (
+	UniformWalk        = walk.Uniform
+	EdgeWeightedWalk   = walk.EdgeWeighted
+	VertexWeightedWalk = walk.VertexWeighted
+	TemporalWalk       = walk.Temporal
+	Node2VecWalk       = walk.Node2Vec
+)
+
+// Objective selects the word2vec prediction task.
+type Objective = word2vec.Objective
+
+// Objectives; the paper uses CBOW.
+const (
+	CBOW     = word2vec.CBOW
+	SkipGram = word2vec.SkipGram
+)
+
+// SamplerKind selects the word2vec output-layer approximation.
+type SamplerKind = word2vec.Sampler
+
+// Output-layer samplers.
+const (
+	NegativeSampling    = word2vec.NegativeSampling
+	HierarchicalSoftmax = word2vec.HierarchicalSoftmax
+)
+
+// Options are the end-to-end V2V hyper-parameters.
+type Options struct {
+	// Random walks (paper defaults: WalksPerVertex = WalkLength = 1000).
+	WalksPerVertex int
+	WalkLength     int
+	Strategy       WalkStrategy
+	TemporalWindow int64   // Temporal strategy: max gap between edges
+	ReturnParam    float64 // Node2Vec p
+	InOutParam     float64 // Node2Vec q
+
+	// Model (paper defaults: CBOW, window 5).
+	Dim             int
+	Window          int
+	Objective       Objective
+	Sampler         SamplerKind
+	NegativeSamples int
+	LearningRate    float64
+	Epochs          int
+	ConvergenceTol  float64 // > 0 enables convergence-based stopping
+	Subsample       float64
+
+	Seed    uint64
+	Workers int
+}
+
+// DefaultOptions returns the paper's configuration at the given
+// dimensionality, with a laptop-scale walk budget (raise
+// WalksPerVertex and WalkLength toward 1000 for paper scale).
+func DefaultOptions(dim int) Options {
+	return Options{
+		WalksPerVertex:  10,
+		WalkLength:      80,
+		Strategy:        UniformWalk,
+		Dim:             dim,
+		Window:          5,
+		Objective:       CBOW,
+		Sampler:         NegativeSampling,
+		NegativeSamples: 5,
+		Epochs:          3,
+	}
+}
+
+func (o Options) coreConfig() core.Config {
+	return core.Config{
+		Walk: walk.Config{
+			WalksPerVertex: o.WalksPerVertex,
+			Length:         o.WalkLength,
+			Strategy:       o.Strategy,
+			TemporalWindow: o.TemporalWindow,
+			ReturnParam:    o.ReturnParam,
+			InOutParam:     o.InOutParam,
+			Seed:           o.Seed,
+			Workers:        o.Workers,
+		},
+		Model: word2vec.Config{
+			Dim:             o.Dim,
+			Window:          o.Window,
+			Objective:       o.Objective,
+			Sampler:         o.Sampler,
+			NegativeSamples: o.NegativeSamples,
+			LearningRate:    o.LearningRate,
+			Epochs:          o.Epochs,
+			ConvergenceTol:  o.ConvergenceTol,
+			Subsample:       o.Subsample,
+			Workers:         o.Workers,
+			Seed:            o.Seed,
+		},
+	}
+}
+
+// Embedding is a trained V2V model bound to its graph.
+type Embedding = core.Embedding
+
+// TrainStats reports what happened during training.
+type TrainStats = word2vec.Stats
+
+// Model is the raw embedding matrix with similarity helpers.
+type Model = word2vec.Model
+
+// EmbeddingNeighbor is a similarity search result.
+type EmbeddingNeighbor = word2vec.Neighbor
+
+// Embed runs the V2V pipeline (random walks, then CBOW/SkipGram
+// training) on g.
+func Embed(g *Graph, opts Options) (*Embedding, error) {
+	return core.Embed(g, opts.coreConfig())
+}
+
+// WalkCorpus is a generated set of random walks. It can be saved,
+// reloaded and reused to train models of several dimensionalities on
+// identical contexts, as the paper's Figure 9 experiment does.
+type WalkCorpus = walk.Corpus
+
+// GenerateWalks runs only the walk phase of the pipeline.
+func GenerateWalks(g *Graph, opts Options) (*WalkCorpus, error) {
+	corpus, _, err := core.GenerateCorpus(g, opts.coreConfig().Walk)
+	return corpus, err
+}
+
+// EmbedWalks trains an embedding on a pre-generated corpus; only the
+// model fields of opts are consulted.
+func EmbedWalks(g *Graph, corpus *WalkCorpus, opts Options) (*Embedding, error) {
+	return core.EmbedCorpus(g, corpus, opts.coreConfig())
+}
+
+// LoadWalks reads a corpus written with WalkCorpus.Save.
+func LoadWalks(r io.Reader) (*WalkCorpus, error) { return walk.LoadCorpus(r) }
+
+// LoadModel reads embeddings saved with Model.Save.
+func LoadModel(r io.Reader) (*Model, []string, error) { return word2vec.Load(r) }
+
+// ---- Applications -------------------------------------------------
+
+// CommunityConfig controls embedding-space community detection.
+type CommunityConfig = core.CommunityConfig
+
+// CommunityResult is a detected community partition.
+type CommunityResult = core.CommunityResult
+
+// EvaluateCommunities returns the paper's pairwise precision and
+// recall of a partition against ground truth.
+func EvaluateCommunities(truth, pred []int) (precision, recall float64, err error) {
+	return core.EvaluateCommunities(truth, pred)
+}
+
+// PairwiseF1 is the harmonic mean of pairwise precision and recall.
+func PairwiseF1(truth, pred []int) (float64, error) { return metrics.PairwiseF1(truth, pred) }
+
+// NMI is the normalised mutual information of two partitions.
+func NMI(truth, pred []int) (float64, error) { return metrics.NMI(truth, pred) }
+
+// AdjustedRandIndex of two partitions.
+func AdjustedRandIndex(truth, pred []int) (float64, error) {
+	return metrics.AdjustedRandIndex(truth, pred)
+}
+
+// PCA is a fitted principal component analysis.
+type PCA = linalg.PCA
+
+// PCAOf fits a k-component PCA to arbitrary points (rows).
+func PCAOf(rows [][]float64, k int, seed uint64) (*PCA, error) {
+	return linalg.FitPCA(rows, k, seed)
+}
+
+// TSNEConfig controls the t-SNE embedding.
+type TSNEConfig = tsne.Config
+
+// TSNE computes a t-SNE projection of arbitrary points (the paper
+// cites t-SNE alongside PCA for visualization).
+func TSNE(points [][]float64, cfg TSNEConfig) ([][]float64, error) { return tsne.Embed(points, cfg) }
+
+// KMeansConfig controls direct k-means clustering of points.
+type KMeansConfig = cluster.Config
+
+// KMeansResult is a fitted clustering.
+type KMeansResult = cluster.Result
+
+// KMeans clusters arbitrary points (multi-restart Lloyd/k-means++).
+func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
+	return cluster.KMeans(points, cfg)
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering,
+// in [-1, 1].
+func Silhouette(points [][]float64, assign []int) (float64, error) {
+	return cluster.Silhouette(points, assign)
+}
+
+// KSelection reports the silhouette scores of candidate cluster
+// counts.
+type KSelection = cluster.KSelection
+
+// ChooseK selects the number of clusters by maximum silhouette over
+// [kMin, kMax] — a principled answer to the parameter-selection
+// question the paper leaves open.
+func ChooseK(points [][]float64, kMin, kMax int, cfg KMeansConfig) (*KSelection, error) {
+	return cluster.ChooseK(points, kMin, kMax, cfg)
+}
+
+// KNNDistance selects the k-NN metric.
+type KNNDistance = knn.Distance
+
+// k-NN distances; the paper uses cosine.
+const (
+	CosineDistance    = knn.Cosine
+	EuclideanDistance = knn.Euclidean
+)
+
+// KNNClassifier is a fitted k-nearest-neighbour classifier.
+type KNNClassifier = knn.Classifier
+
+// NewKNNClassifier stores the labelled training points.
+func NewKNNClassifier(k int, dist KNNDistance, points [][]float64, labels []int) *KNNClassifier {
+	return knn.NewClassifier(k, dist, points, labels)
+}
+
+// CrossValidateKNN runs folds-fold cross-validation of k-NN
+// classification and returns the mean accuracy.
+func CrossValidateKNN(points [][]float64, labels []int, k, folds int, dist KNNDistance, seed uint64) (float64, error) {
+	return knn.CrossValidate(points, labels, k, folds, dist, seed)
+}
+
+// ---- Graph-based baselines ----------------------------------------
+
+// Modularity returns Newman's modularity of a partition of g.
+func Modularity(g *Graph, partition []int) (float64, error) {
+	return community.Modularity(g, partition)
+}
+
+// CNMConfig controls the CNM greedy modularity baseline.
+type CNMConfig = community.CNMConfig
+
+// CNMResult is the outcome of a CNM run.
+type CNMResult = community.CNMResult
+
+// CNM runs the Clauset-Newman-Moore greedy modularity algorithm, one
+// of the paper's two direct graph-based baselines.
+func CNM(g *Graph, cfg CNMConfig) (*CNMResult, error) { return community.CNM(g, cfg) }
+
+// GNConfig controls the Girvan-Newman baseline.
+type GNConfig = community.GNConfig
+
+// GNResult is the outcome of a Girvan-Newman run.
+type GNResult = community.GNResult
+
+// GirvanNewman runs the edge-betweenness community detection
+// algorithm, the paper's second direct graph-based baseline.
+func GirvanNewman(g *Graph, cfg GNConfig) (*GNResult, error) { return community.GirvanNewman(g, cfg) }
+
+// LouvainConfig controls the Louvain extension baseline.
+type LouvainConfig = community.LouvainConfig
+
+// LouvainResult is the outcome of a Louvain run.
+type LouvainResult = community.LouvainResult
+
+// Louvain runs Blondel et al.'s modularity optimisation (extension;
+// not in the paper's comparison).
+func Louvain(g *Graph, cfg LouvainConfig) (*LouvainResult, error) {
+	return community.Louvain(g, cfg)
+}
+
+// LabelPropagationConfig controls the LPA extension baseline.
+type LabelPropagationConfig = community.LabelPropagationConfig
+
+// LabelPropagation runs asynchronous label propagation (extension).
+func LabelPropagation(g *Graph, cfg LabelPropagationConfig) ([]int, error) {
+	return community.LabelPropagation(g, cfg)
+}
+
+// WalktrapConfig controls the Walktrap baseline.
+type WalktrapConfig = community.WalktrapConfig
+
+// WalktrapResult is the outcome of a Walktrap run.
+type WalktrapResult = community.WalktrapResult
+
+// Walktrap runs Pons & Latapy's random-walk community detection (the
+// paper's reference [14] and V2V's closest ancestor: it compares
+// t-step walk distributions directly instead of learning embeddings).
+func Walktrap(g *Graph, cfg WalktrapConfig) (*WalktrapResult, error) {
+	return community.Walktrap(g, cfg)
+}
+
+// SpectralEmbedding holds Laplacian-eigenmap coordinates per vertex.
+type SpectralEmbedding = spectral.Embedding
+
+// SpectralEmbed computes the k-dimensional spectral embedding of an
+// undirected graph — the classical linear-algebraic alternative to
+// V2V's learned embedding.
+func SpectralEmbed(g *Graph, k int, seed uint64) (*SpectralEmbedding, error) {
+	return spectral.Embed(g, k, seed)
+}
+
+// SpectralCommunitiesConfig controls SpectralCommunities.
+type SpectralCommunitiesConfig = spectral.CommunitiesConfig
+
+// SpectralCommunities performs Ng-Jordan-Weiss spectral clustering.
+func SpectralCommunities(g *Graph, cfg SpectralCommunitiesConfig) ([]int, error) {
+	return spectral.Communities(g, cfg)
+}
+
+// ---- Link prediction (extension; paper conclusion) ------------------
+
+// LinkScorer assigns a likelihood score to candidate edges.
+type LinkScorer = linkpred.Scorer
+
+// LinkSplit is a train/test edge partition for link prediction.
+type LinkSplit = linkpred.Split
+
+// LinkResult is a link prediction evaluation (AUC, precision@k).
+type LinkResult = linkpred.Result
+
+// HoldOutEdges removes a fraction of edges as test positives and
+// samples matching non-edge negatives.
+func HoldOutEdges(g *Graph, fraction float64, seed uint64) (*LinkSplit, error) {
+	return linkpred.HoldOut(g, fraction, seed)
+}
+
+// EvaluateLinkScorer ranks the split's pairs and reports AUC and
+// precision@k.
+func EvaluateLinkScorer(s LinkScorer, split *LinkSplit) LinkResult {
+	return linkpred.Evaluate(s, split)
+}
+
+// EmbeddingLinkScorer scores pairs by embedding similarity (cosine,
+// or dot product with hadamard = true).
+func EmbeddingLinkScorer(m *Model, hadamard bool) LinkScorer {
+	return &linkpred.EmbeddingScorer{Vectors: m.Rows(), Hadamard: hadamard}
+}
+
+// CommonNeighborsScorer counts shared neighbours in g.
+func CommonNeighborsScorer(g *Graph) LinkScorer { return &linkpred.CommonNeighbors{G: g} }
+
+// JaccardScorer normalises shared neighbours by union size.
+func JaccardScorer(g *Graph) LinkScorer { return &linkpred.Jaccard{G: g} }
+
+// AdamicAdarScorer weights shared neighbours by 1/log(degree).
+func AdamicAdarScorer(g *Graph) LinkScorer { return &linkpred.AdamicAdar{G: g} }
+
+// PreferentialAttachmentScorer scores by degree product.
+func PreferentialAttachmentScorer(g *Graph) LinkScorer {
+	return &linkpred.PreferentialAttachment{G: g}
+}
+
+// ---- Datasets and visualization ------------------------------------
+
+// OpenFlightsConfig controls the synthetic OpenFlights-style route
+// network generator (see DESIGN.md for the substitution rationale).
+type OpenFlightsConfig = openflights.Config
+
+// OpenFlightsDataset is the generated route network with labels.
+type OpenFlightsDataset = openflights.Dataset
+
+// DefaultOpenFlightsConfig is the OpenFlights-scale configuration
+// (~10k airports, ~67k directed routes).
+func DefaultOpenFlightsConfig(seed uint64) OpenFlightsConfig {
+	return openflights.DefaultConfig(seed)
+}
+
+// GenerateOpenFlights builds the synthetic route network.
+func GenerateOpenFlights(cfg OpenFlightsConfig) (*OpenFlightsDataset, error) {
+	return openflights.Generate(cfg)
+}
+
+// ScatterPlot renders a categorical 2-D scatter as SVG.
+type ScatterPlot = viz.ScatterPlot
+
+// LineChart renders a multi-series line chart as SVG.
+type LineChart = viz.LineChart
+
+// ChartSeries is one line of a LineChart.
+type ChartSeries = viz.Series
+
+// GraphPlot renders a laid-out graph as SVG.
+type GraphPlot = viz.GraphPlot
+
+// BarChart renders labelled bars as SVG (degree histograms etc.).
+type BarChart = viz.BarChart
+
+// LayoutConfig controls the ForceAtlas2-style force-directed layout.
+type LayoutConfig = viz.LayoutConfig
+
+// ForceLayout computes 2-D positions for every vertex of g (the
+// paper's Figure 3 drawings).
+func ForceLayout(g *Graph, cfg LayoutConfig) (x, y []float64) { return viz.Layout(g, cfg) }
