@@ -2,8 +2,8 @@ package v2v
 
 // One benchmark per table and figure of the paper's evaluation, plus
 // ablation benchmarks for the design choices called out in DESIGN.md.
-// Benchmarks use scaled-down workloads (see EXPERIMENTS.md for the
-// scale rationale); run `go run ./cmd/repro -scale paper` for
+// Benchmarks use scaled-down workloads (see docs/EXPERIMENTS.md for
+// the scale rationale); run `go run ./cmd/repro -scale paper` for
 // paper-size regeneration.
 //
 // Quality numbers (precision, recall, accuracy) are attached to the
@@ -11,8 +11,11 @@ package v2v
 // visible directly in `go test -bench` output.
 
 import (
+	"runtime"
 	"strconv"
+	"sync"
 	"testing"
+	"time"
 )
 
 const (
@@ -409,6 +412,151 @@ func BenchmarkAblationParallelism(b *testing.B) {
 				o.Workers = workers
 				embedBench(b, g, o)
 			}
+		})
+	}
+}
+
+// ---- Streaming pipeline (docs/STREAMING.md) --------------------------
+
+// streamBench caches a ~1M-edge Barabási–Albert graph (100k vertices,
+// m = 10) shared by the streaming benchmarks; -short scales it down.
+var streamBench struct {
+	once sync.Once
+	g    *Graph
+}
+
+func streamBenchGraph(b *testing.B) *Graph {
+	b.Helper()
+	streamBench.once.Do(func() {
+		n, m := 100_000, 10
+		if testing.Short() {
+			n, m = 10_000, 5
+		}
+		streamBench.g = BarabasiAlbert(n, m, 42)
+	})
+	return streamBench.g
+}
+
+func streamBenchOptions() Options {
+	o := DefaultOptions(8)
+	o.WalksPerVertex = 1
+	o.WalkLength = 40
+	o.Epochs = 1
+	o.Seed = 42
+	return o
+}
+
+// BenchmarkWalkStageMaterialized measures the corpus stage of the
+// original pipeline on the 1M-edge graph: every token is buffered
+// before training can start, so B/op grows with the walk budget.
+func BenchmarkWalkStageMaterialized(b *testing.B) {
+	g := streamBenchGraph(b)
+	opts := streamBenchOptions()
+	var tokens int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := GenerateWalks(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tokens = c.NumTokens()
+	}
+	b.ReportMetric(float64(tokens)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mtokens/s")
+}
+
+// BenchmarkWalkStageStreaming drains the identical walks through the
+// stream's bounded buffers, sharded over GOMAXPROCS consumers like the
+// fused trainer: B/op is workers x StreamDepth x StreamBatch x Length,
+// independent of the total token count.
+func BenchmarkWalkStageStreaming(b *testing.B) {
+	g := streamBenchGraph(b)
+	opts := streamBenchOptions()
+	var tokens int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := StreamWalks(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workers := runtime.GOMAXPROCS(0)
+		numWalks := s.NumWalks()
+		counts := make([]int64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * numWalks / workers
+			hi := (w + 1) * numWalks / workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				for walk := range s.WalkSeq(lo, hi) {
+					counts[w] += int64(len(walk))
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		tokens = 0
+		for _, c := range counts {
+			tokens += c
+		}
+	}
+	b.ReportMetric(float64(tokens)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mtokens/s")
+}
+
+// BenchmarkPipeline1MEdges runs the full walk+train pipeline on the
+// 1M-edge graph both ways. The streaming path never materializes the
+// corpus (it pays one extra walk sweep for the counting pass instead),
+// so peakHeapMB — the maximum heap in use, sampled every 10ms during
+// the run — stays at the model matrices' floor while the materialized
+// path's peak additionally carries the full token corpus.
+func BenchmarkPipeline1MEdges(b *testing.B) {
+	g := streamBenchGraph(b)
+	for _, streaming := range []bool{false, true} {
+		name := "materialized"
+		if streaming {
+			name = "streaming"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := streamBenchOptions()
+			opts.Streaming = streaming
+			runtime.GC()
+			stop := make(chan struct{})
+			var peak uint64
+			var samplerWg sync.WaitGroup
+			samplerWg.Add(1)
+			go func() {
+				defer samplerWg.Done()
+				var ms runtime.MemStats
+				t := time.NewTicker(10 * time.Millisecond)
+				defer t.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-t.C:
+						runtime.ReadMemStats(&ms)
+						if ms.HeapInuse > peak {
+							peak = ms.HeapInuse
+						}
+					}
+				}
+			}()
+			var emb *Embedding
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				emb, err = Embed(g, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			samplerWg.Wait()
+			b.ReportMetric(float64(emb.Tokens)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mtokens/s")
+			b.ReportMetric(float64(peak)/(1<<20), "peakHeapMB")
 		})
 	}
 }

@@ -26,6 +26,7 @@ func (p params) embedOptions(dim int) v2v.Options {
 	o.WalksPerVertex = p.walksPerVertex
 	o.WalkLength = p.walkLength
 	o.Epochs = p.epochs
+	o.Streaming = p.streaming
 	o.Seed = p.seed + uint64(dim)*7919
 	return o
 }
@@ -85,6 +86,31 @@ func runFig4(p params, out string) error {
 	return nil
 }
 
+// sharedWalkEmbedder prepares one walk set generated under
+// p.embedOptions(seedDim) and returns an embed function that trains
+// any dimension on that same set — the paper's dimension-sweep
+// protocol. Materialized mode generates the corpus once and reuses
+// it; with -streaming a stream re-derives identical walks per model
+// so the set is never buffered.
+func (p params) sharedWalkEmbedder(g *v2v.Graph, seedDim int) (func(dim int) (*v2v.Embedding, error), error) {
+	if p.streaming {
+		stream, err := v2v.StreamWalks(g, p.embedOptions(seedDim))
+		if err != nil {
+			return nil, err
+		}
+		return func(dim int) (*v2v.Embedding, error) {
+			return v2v.EmbedWalkStream(g, stream, p.embedOptions(dim))
+		}, nil
+	}
+	corpus, err := v2v.GenerateWalks(g, p.embedOptions(seedDim))
+	if err != nil {
+		return nil, err
+	}
+	return func(dim int) (*v2v.Embedding, error) {
+		return v2v.EmbedWalks(g, corpus, p.embedOptions(dim))
+	}, nil
+}
+
 // ---- Figures 5 and 6: precision/recall vs alpha per dimension ------
 
 // sweepPrecisionRecall runs the alpha x dims grid once and returns
@@ -100,12 +126,12 @@ func sweepPrecisionRecall(p params, dims []int) ([][]float64, [][]float64, error
 		g, truth := p.benchmarkGraph(alpha)
 		// All dimension settings train on the same walk set, as the
 		// paper specifies for its dimension sweeps.
-		corpus, err := v2v.GenerateWalks(g, p.embedOptions(dims[0]))
+		embed, err := p.sharedWalkEmbedder(g, dims[0])
 		if err != nil {
 			return nil, nil, err
 		}
 		for di, dim := range dims {
-			emb, err := v2v.EmbedWalks(g, corpus, p.embedOptions(dim))
+			emb, err := embed(dim)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -359,13 +385,6 @@ func (p params) embedOpenFlights(ds *v2v.OpenFlightsDataset, dim int) (*v2v.Embe
 	return v2v.Embed(ds.Graph, o)
 }
 
-// embedOpenFlightsCorpus trains at the given dimension on a shared
-// walk set, following the paper's Figure 9 protocol ("we trained the
-// V2V, with different settings of dimensions, in the same set of
-// random walk paths" — the stated cause of the overfitting shape).
-func (p params) embedOpenFlightsCorpus(ds *v2v.OpenFlightsDataset, corpus *v2v.WalkCorpus, dim int) (*v2v.Embedding, error) {
-	return v2v.EmbedWalks(ds.Graph, corpus, p.embedOptions(dim))
-}
 
 func runFig8(p params, out string) error {
 	ds, err := p.openFlights()
@@ -434,13 +453,17 @@ func predictionGrid(p params, dims []int) ([][]float64, *v2v.OpenFlightsDataset,
 	if err != nil {
 		return nil, nil, err
 	}
-	corpus, err := v2v.GenerateWalks(ds.Graph, p.embedOptions(dims[0]))
+	// All dimension settings train on the same walk set, following the
+	// paper's Figure 9 protocol ("we trained the V2V, with different
+	// settings of dimensions, in the same set of random walk paths" —
+	// the stated cause of the overfitting shape).
+	embed, err := p.sharedWalkEmbedder(ds.Graph, dims[0])
 	if err != nil {
 		return nil, nil, err
 	}
 	acc := make([][]float64, len(dims))
 	for di, dim := range dims {
-		emb, err := p.embedOpenFlightsCorpus(ds, corpus, dim)
+		emb, err := embed(dim)
 		if err != nil {
 			return nil, nil, err
 		}

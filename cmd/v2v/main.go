@@ -6,7 +6,7 @@
 //	v2v -in graph.txt [-out vectors.txt] [-dim 50] [-walks 10]
 //	    [-length 80] [-window 5] [-epochs 3] [-directed] [-named]
 //	    [-strategy uniform|edge-weighted|vertex-weighted|temporal|node2vec]
-//	    [-objective cbow|skipgram] [-sampler ns|hs] [-seed 1]
+//	    [-objective cbow|skipgram] [-sampler ns|hs] [-streaming] [-seed 1]
 //
 // The input format is one edge per line: "u v [weight [time]]"; lines
 // starting with '#' are comments. With -named, u and v are arbitrary
@@ -39,6 +39,7 @@ func main() {
 		q         = flag.Float64("q", 1, "node2vec in-out parameter")
 		objective = flag.String("objective", "cbow", "cbow or skipgram")
 		sampler   = flag.String("sampler", "ns", "ns (negative sampling) or hs (hierarchical softmax)")
+		streaming = flag.Bool("streaming", false, "fused walk→train pipeline: regenerate walks on the fly instead of materializing the corpus (see docs/STREAMING.md)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		verbose   = flag.Bool("v", false, "log progress to stderr")
 	)
@@ -75,6 +76,7 @@ func main() {
 	opts.TemporalWindow = *window64
 	opts.ReturnParam = *p
 	opts.InOutParam = *q
+	opts.Streaming = *streaming
 	opts.Seed = *seed
 	switch *strategy {
 	case "uniform":

@@ -1,0 +1,3 @@
+module v2v
+
+go 1.24

@@ -24,12 +24,20 @@ import (
 type Config struct {
 	Walk  walk.Config
 	Model word2vec.Config
+
+	// Streaming fuses the two stages: walks are re-derived from their
+	// deterministic RNG streams each epoch and fed to the trainer
+	// through bounded buffers, instead of materializing the full token
+	// corpus first. Same seed, same result (bit-identical with
+	// Workers = 1); memory bounded by workers x buffers instead of
+	// total tokens. See docs/STREAMING.md.
+	Streaming bool
 }
 
 // DefaultConfig returns a configuration matching the paper's defaults
 // (t = l = 1000, CBOW, window 5) at the given dimensionality. The
 // walk budget is usually scaled down for experiments; see
-// EXPERIMENTS.md.
+// docs/EXPERIMENTS.md.
 func DefaultConfig(dim int) Config {
 	return Config{
 		Walk:  walk.DefaultConfig(),
@@ -43,13 +51,32 @@ type Embedding struct {
 	Model *word2vec.Model
 	Stats *word2vec.Stats
 
-	WalkTime  time.Duration // corpus generation wall clock
+	// WalkTime is the corpus-generation wall clock. On the streaming
+	// path it covers only the counting pass; the per-epoch walk
+	// regeneration is fused into training and lands in TrainTime.
+	WalkTime  time.Duration
 	TrainTime time.Duration // CBOW training wall clock
 	Tokens    int           // corpus size in vertex occurrences
 }
 
-// Embed runs the full V2V pipeline on g.
+// modelConfig applies the cross-stage seed default shared by every
+// pipeline variant: the trainer is seeded differently from the walker
+// so the two stages draw independent streams even with identical user
+// seeds.
+func (cfg Config) modelConfig() word2vec.Config {
+	mcfg := cfg.Model
+	if mcfg.Seed == 0 {
+		mcfg.Seed = cfg.Walk.Seed + 0x1000
+	}
+	return mcfg
+}
+
+// Embed runs the full V2V pipeline on g, dispatching on cfg.Streaming
+// between the materialized and the fused streaming path.
 func Embed(g *graph.Graph, cfg Config) (*Embedding, error) {
+	if cfg.Streaming {
+		return EmbedStreaming(g, cfg)
+	}
 	corpus, walkTime, err := GenerateCorpus(g, cfg.Walk)
 	if err != nil {
 		return nil, err
@@ -60,6 +87,61 @@ func Embed(g *graph.Graph, cfg Config) (*Embedding, error) {
 	}
 	emb.WalkTime = walkTime
 	return emb, nil
+}
+
+// EmbedStreaming runs the fused pipeline: a counting pass derives the
+// exact token statistics the trainer needs (learning-rate budget,
+// negative-sampling distribution), then every epoch regenerates the
+// walks from their per-walk RNG streams and feeds them to the trainer
+// through bounded buffers. Peak corpus-stage memory is
+// workers x StreamDepth x StreamBatch x Length tokens, independent of
+// the total corpus size. With identical seeds the embedding is
+// bit-identical to Embed's when Workers = 1 (Hogwild races make
+// multi-worker training nondeterministic on both paths).
+func EmbedStreaming(g *graph.Graph, cfg Config) (*Embedding, error) {
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	stream, err := walk.NewStream(g, cfg.Walk)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	tokens := stream.NumTokens() // runs the counting pass
+	walkTime := time.Since(start)
+	if tokens == 0 {
+		return nil, fmt.Errorf("core: walk generation produced an empty corpus")
+	}
+	emb, err := EmbedStream(g, stream, cfg)
+	if err != nil {
+		return nil, err
+	}
+	emb.WalkTime = walkTime
+	return emb, nil
+}
+
+// EmbedStream trains an embedding on a pre-built walk stream, the
+// streaming counterpart of EmbedCorpus: protocols that train several
+// models "in the same set of random walk paths" (the paper's Figure 9
+// dimension sweep) share one stream the way they would share one
+// corpus, re-deriving identical walks per model instead of buffering
+// them. Only cfg.Model is consulted (plus cfg.Walk.Seed for default
+// seeding); the walk configuration lives in the stream.
+func EmbedStream(g *graph.Graph, stream *walk.Stream, cfg Config) (*Embedding, error) {
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	model, stats, err := word2vec.TrainStreaming(stream, g.NumVertices(), cfg.modelConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Embedding{
+		Graph:     g,
+		Model:     model,
+		Stats:     stats,
+		TrainTime: stats.Duration,
+		Tokens:    stream.NumTokens(),
+	}, nil
 }
 
 // GenerateCorpus runs only the walk phase, returning the corpus and
@@ -89,13 +171,7 @@ func EmbedCorpus(g *graph.Graph, corpus *walk.Corpus, cfg Config) (*Embedding, e
 	if g.NumVertices() == 0 {
 		return nil, fmt.Errorf("core: empty graph")
 	}
-	// Seed the trainer differently from the walker so the two stages
-	// draw independent streams even with identical user seeds.
-	mcfg := cfg.Model
-	if mcfg.Seed == 0 {
-		mcfg.Seed = cfg.Walk.Seed + 0x1000
-	}
-	model, stats, err := word2vec.Train(corpus, g.NumVertices(), mcfg)
+	model, stats, err := word2vec.Train(corpus, g.NumVertices(), cfg.modelConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,243 @@
+package walk
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"v2v/internal/graph"
+)
+
+func mustStream(t *testing.T, g *graph.Graph, cfg Config) *Stream {
+	t.Helper()
+	s, err := NewStream(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStreamMatchesGenerate is the core determinism contract: walk i
+// of the stream is byte-identical to walk i of the materialized
+// corpus under the same config.
+func TestStreamMatchesGenerate(t *testing.T) {
+	g := graph.ErdosRenyiGNM(80, 300, 7)
+	cfg := Config{WalksPerVertex: 4, Length: 25, Seed: 11}
+	want := mustGen(t, g, cfg).Generate()
+	s := mustStream(t, g, cfg)
+
+	if s.NumWalks() != want.NumWalks() {
+		t.Fatalf("NumWalks = %d, want %d", s.NumWalks(), want.NumWalks())
+	}
+	if s.NumTokens() != want.NumTokens() {
+		t.Fatalf("NumTokens = %d, want %d", s.NumTokens(), want.NumTokens())
+	}
+	i := 0
+	for w := range s.WalkSeq(0, s.NumWalks()) {
+		exp := want.Walk(i)
+		if len(w) != len(exp) {
+			t.Fatalf("walk %d: length %d, want %d", i, len(w), len(exp))
+		}
+		for j := range w {
+			if w[j] != exp[j] {
+				t.Fatalf("walk %d token %d: %d, want %d", i, j, w[j], exp[j])
+			}
+		}
+		i++
+	}
+	if i != want.NumWalks() {
+		t.Fatalf("stream yielded %d walks, want %d", i, want.NumWalks())
+	}
+}
+
+// TestStreamCountsMatchCorpus checks that the counting pass agrees
+// exactly with the materialized corpus counts.
+func TestStreamCountsMatchCorpus(t *testing.T) {
+	g := graph.BarabasiAlbert(120, 3, 5)
+	cfg := Config{WalksPerVertex: 3, Length: 15, Seed: 2}
+	want := mustGen(t, g, cfg).Generate().Counts(g.NumVertices())
+	got, err := mustStream(t, g, cfg).Counts(g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("count[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+// TestStreamCountsVocabTooSmall: a vocab smaller than the largest
+// visited vertex must be rejected, matching the materialized trainer.
+func TestStreamCountsVocabTooSmall(t *testing.T) {
+	g := graph.Ring(10)
+	s := mustStream(t, g, Config{WalksPerVertex: 1, Length: 5, Seed: 1})
+	if _, err := s.Counts(3); err == nil {
+		t.Fatal("Counts(3) on a 10-vertex ring corpus: want error, got nil")
+	}
+}
+
+// TestStreamShardConcatenation: the concatenation of arbitrary shard
+// iterators equals the full sequence (this is how trainer workers
+// consume the stream).
+func TestStreamShardConcatenation(t *testing.T) {
+	g := graph.ErdosRenyiGNM(50, 180, 3)
+	cfg := Config{WalksPerVertex: 3, Length: 12, Seed: 9, StreamBatch: 5, StreamDepth: 1}
+	s := mustStream(t, g, cfg)
+	want := mustGen(t, g, cfg).Generate()
+
+	bounds := []int{0, 1, 7, 64, 64, 99, s.NumWalks()}
+	i := 0
+	for k := 0; k+1 < len(bounds); k++ {
+		for w := range s.WalkSeq(bounds[k], bounds[k+1]) {
+			exp := want.Walk(i)
+			if len(w) != len(exp) {
+				t.Fatalf("walk %d: length %d, want %d", i, len(w), len(exp))
+			}
+			for j := range w {
+				if w[j] != exp[j] {
+					t.Fatalf("walk %d token %d: %d, want %d", i, j, w[j], exp[j])
+				}
+			}
+			i++
+		}
+	}
+	if i != s.NumWalks() {
+		t.Fatalf("shards yielded %d walks, want %d", i, s.NumWalks())
+	}
+}
+
+// TestStreamReopen: a shard can be re-opened any number of times and
+// yields the same walks (the trainer re-opens every epoch).
+func TestStreamReopen(t *testing.T) {
+	g := graph.Ring(20)
+	s := mustStream(t, g, Config{WalksPerVertex: 2, Length: 8, Seed: 4})
+	var first [][]int32
+	for w := range s.WalkSeq(5, 15) {
+		first = append(first, append([]int32(nil), w...))
+	}
+	for round := 0; round < 3; round++ {
+		i := 0
+		for w := range s.WalkSeq(5, 15) {
+			for j := range w {
+				if w[j] != first[i][j] {
+					t.Fatalf("round %d walk %d token %d: %d, want %d", round, i, j, w[j], first[i][j])
+				}
+			}
+			i++
+		}
+		if i != len(first) {
+			t.Fatalf("round %d yielded %d walks, want %d", round, i, len(first))
+		}
+	}
+}
+
+// TestStreamEarlyStop: breaking out of the iterator must stop the
+// producer goroutine rather than leak it.
+func TestStreamEarlyStop(t *testing.T) {
+	g := graph.Ring(30)
+	s := mustStream(t, g, Config{WalksPerVertex: 10, Length: 50, Seed: 6, StreamBatch: 4})
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		n := 0
+		for range s.WalkSeq(0, s.NumWalks()) {
+			n++
+			if n == 3 {
+				break
+			}
+		}
+	}
+	// Producers exit asynchronously after the stop signal; poll
+	// briefly rather than flake.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines after early stops: %d, was %d (producer leak)", n, before)
+	}
+}
+
+// TestStreamEmpty: a zero-vertex graph yields a zero-walk stream, the
+// streaming analogue of the empty-corpus edge case.
+func TestStreamEmpty(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	s := mustStream(t, g, Config{WalksPerVertex: 5, Length: 5, Seed: 1})
+	if s.NumWalks() != 0 {
+		t.Fatalf("NumWalks = %d, want 0", s.NumWalks())
+	}
+	if s.NumTokens() != 0 {
+		t.Fatalf("NumTokens = %d, want 0", s.NumTokens())
+	}
+	for range s.WalkSeq(0, 0) {
+		t.Fatal("empty stream yielded a walk")
+	}
+	for range s.WalkSeq(0, s.NumWalks()) {
+		t.Fatal("empty stream yielded a walk")
+	}
+}
+
+// TestStreamMaterialize round-trips the stream into a Corpus and
+// compares it with the generator's output.
+func TestStreamMaterialize(t *testing.T) {
+	g := graph.ErdosRenyiGNM(40, 120, 8)
+	cfg := Config{WalksPerVertex: 2, Length: 10, Seed: 13}
+	want := mustGen(t, g, cfg).Generate()
+	got := mustStream(t, g, cfg).Materialize()
+	if got.NumWalks() != want.NumWalks() || got.NumTokens() != want.NumTokens() {
+		t.Fatalf("materialized %d walks/%d tokens, want %d/%d",
+			got.NumWalks(), got.NumTokens(), want.NumWalks(), want.NumTokens())
+	}
+	for i := range want.Tokens {
+		if got.Tokens[i] != want.Tokens[i] {
+			t.Fatalf("token %d: %d, want %d", i, got.Tokens[i], want.Tokens[i])
+		}
+	}
+	for i := range want.Offsets {
+		if got.Offsets[i] != want.Offsets[i] {
+			t.Fatalf("offset %d: %d, want %d", i, got.Offsets[i], want.Offsets[i])
+		}
+	}
+}
+
+// TestStreamWeightedStrategies: the determinism contract holds for
+// every walk strategy, not just Uniform.
+func TestStreamStrategies(t *testing.T) {
+	weighted := weightedTestGraph()
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		cfg  Config
+	}{
+		{"edge-weighted", weighted, Config{WalksPerVertex: 3, Length: 10, Strategy: EdgeWeighted, Seed: 3}},
+		{"node2vec", graph.ErdosRenyiGNM(40, 150, 2), Config{WalksPerVertex: 3, Length: 10, Strategy: Node2Vec, ReturnParam: 1, InOutParam: 0.5, Seed: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := mustGen(t, tc.g, tc.cfg).Generate()
+			i := 0
+			for w := range mustStream(t, tc.g, tc.cfg).WalkSeq(0, want.NumWalks()) {
+				exp := want.Walk(i)
+				if len(w) != len(exp) {
+					t.Fatalf("walk %d: length %d, want %d", i, len(w), len(exp))
+				}
+				for j := range w {
+					if w[j] != exp[j] {
+						t.Fatalf("walk %d token %d: %d, want %d", i, j, w[j], exp[j])
+					}
+				}
+				i++
+			}
+		})
+	}
+}
+
+// weightedTestGraph builds a small weighted graph for strategy tests.
+func weightedTestGraph() *graph.Graph {
+	b := graph.NewBuilder(12)
+	for i := 0; i < 12; i++ {
+		b.AddWeightedEdge(i, (i+1)%12, float64(1+i%3))
+		b.AddWeightedEdge(i, (i+5)%12, 2)
+	}
+	return b.Build()
+}

@@ -71,7 +71,7 @@ func (s Strategy) String() string {
 
 // Config controls corpus generation. The paper's defaults are
 // WalksPerVertex = Length = 1000; tests and benchmarks use smaller
-// budgets (see EXPERIMENTS.md).
+// budgets (see docs/EXPERIMENTS.md).
 type Config struct {
 	WalksPerVertex int      // t in the paper
 	Length         int      // l in the paper (number of vertices per walk)
@@ -81,6 +81,12 @@ type Config struct {
 	InOutParam     float64  // node2vec q; <= 0 means 1
 	Seed           uint64   //
 	Workers        int      // 0 means GOMAXPROCS
+
+	// Streaming knobs, consulted only by NewStream (see stream.go):
+	// walks per producer batch and batches buffered per shard. Zero
+	// selects the defaults (64 and 2).
+	StreamBatch int
+	StreamDepth int
 }
 
 // DefaultConfig returns the paper's default walk parameters.
@@ -314,10 +320,11 @@ func (gen *Generator) Generate() *Corpus {
 			buf := make([]int32, 0, (hi-lo)*min(gen.cfg.Length, 64))
 			lengths := make([]int, 0, hi-lo)
 			scratch := make([]int32, gen.cfg.Length)
+			var rng xrand.RNG
 			for id := lo; id < hi; id++ {
 				start := id / t
-				rng := xrand.NewStream(gen.cfg.Seed, uint64(id))
-				walkLen := gen.walkFrom(start, rng, scratch)
+				rng.SeedStream(gen.cfg.Seed, uint64(id))
+				walkLen := gen.walkFrom(start, &rng, scratch)
 				buf = append(buf, scratch[:walkLen]...)
 				lengths = append(lengths, walkLen)
 			}

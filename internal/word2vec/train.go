@@ -2,6 +2,7 @@ package word2vec
 
 import (
 	"fmt"
+	"iter"
 	"math"
 	"runtime"
 	"sync"
@@ -25,25 +26,72 @@ type Stats struct {
 // given corpus. See Config for the hyper-parameters; the paper's V2V
 // uses CBOW with window 5.
 func Train(corpus Corpus, vocab int, cfg Config) (*Model, *Stats, error) {
+	return trainSource(corpusSource{corpus}, vocab, cfg)
+}
+
+// TrainStreaming learns embeddings from a streaming corpus without
+// ever materializing it: each worker consumes its walk shard through
+// WalkSeq, so corpus memory is bounded by the source's buffers instead
+// of the total token count. With the same seed and Workers = 1 the
+// result is bit-identical to Train on the materialized equivalent —
+// the two entry points share the training loop and differ only in
+// where walks come from.
+func TrainStreaming(corpus StreamingCorpus, vocab int, cfg Config) (*Model, *Stats, error) {
+	return trainSource(corpus, vocab, cfg)
+}
+
+// trainSource is the shared implementation behind Train and
+// TrainStreaming.
+func trainSource(src StreamingCorpus, vocab int, cfg Config) (*Model, *Stats, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
 	if vocab <= 0 {
 		return nil, nil, fmt.Errorf("word2vec: vocab must be positive, got %d", vocab)
 	}
-	if corpus.NumWalks() == 0 || corpus.NumTokens() == 0 {
+	if src.NumWalks() == 0 || src.NumTokens() == 0 {
 		return nil, nil, fmt.Errorf("word2vec: empty corpus")
 	}
 
-	tr, err := newTrainer(corpus, vocab, cfg)
+	tr, err := newTrainer(src, vocab, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	return tr.run()
 }
 
+// corpusSource adapts a materialized Corpus to the StreamingCorpus
+// contract so the trainer has a single walk-consumption path.
+type corpusSource struct{ c Corpus }
+
+func (s corpusSource) NumWalks() int  { return s.c.NumWalks() }
+func (s corpusSource) NumTokens() int { return s.c.NumTokens() }
+
+func (s corpusSource) Counts(vocab int) ([]int, error) {
+	counts := make([]int, vocab)
+	for i := 0; i < s.c.NumWalks(); i++ {
+		for _, tok := range s.c.Walk(i) {
+			if int(tok) < 0 || int(tok) >= vocab {
+				return nil, fmt.Errorf("word2vec: token %d out of vocab [0,%d)", tok, vocab)
+			}
+			counts[tok]++
+		}
+	}
+	return counts, nil
+}
+
+func (s corpusSource) WalkSeq(lo, hi int) iter.Seq[[]int32] {
+	return func(yield func([]int32) bool) {
+		for i := lo; i < hi; i++ {
+			if !yield(s.c.Walk(i)) {
+				return
+			}
+		}
+	}
+}
+
 type trainer struct {
-	corpus Corpus
+	corpus StreamingCorpus
 	vocab  int
 	cfg    Config
 
@@ -60,18 +108,14 @@ type trainer struct {
 	budget    int64        // tokens expected over all (cap) epochs
 }
 
-func newTrainer(corpus Corpus, vocab int, cfg Config) (*trainer, error) {
+func newTrainer(corpus StreamingCorpus, vocab int, cfg Config) (*trainer, error) {
 	tr := &trainer{corpus: corpus, vocab: vocab, cfg: cfg}
 
-	tr.counts = make([]int, vocab)
-	for i := 0; i < corpus.NumWalks(); i++ {
-		for _, tok := range corpus.Walk(i) {
-			if int(tok) < 0 || int(tok) >= vocab {
-				return nil, fmt.Errorf("word2vec: token %d out of vocab [0,%d)", tok, vocab)
-			}
-			tr.counts[tok]++
-		}
+	counts, err := corpus.Counts(vocab)
+	if err != nil {
+		return nil, err
 	}
+	tr.counts = counts
 	tr.totalTokens = int64(corpus.NumTokens())
 	tr.budget = tr.totalTokens * int64(cfg.Epochs)
 
@@ -166,7 +210,9 @@ func (tr *trainer) runEpoch(epoch int) (float64, int64) {
 	return loss, n
 }
 
-// work trains on walks [lo, hi). It is the hot loop; shared syn0/syn1
+// work trains on walks [lo, hi), consumed through the corpus walk
+// iterator (a slice view for materialized corpora, a bounded-buffer
+// producer for streaming ones). It is the hot loop; shared syn0/syn1
 // are updated without synchronisation (Hogwild).
 func (tr *trainer) work(epoch, worker, workers, lo, hi int) (loss float64, samples int64) {
 	cfg := tr.cfg
@@ -180,9 +226,7 @@ func (tr *trainer) work(epoch, worker, workers, lo, hi int) (loss float64, sampl
 	alpha := tr.currentAlpha()
 	var sinceAlpha int64
 
-	for wi := lo; wi < hi; wi++ {
-		walk := tr.corpus.Walk(wi)
-
+	for walk := range tr.corpus.WalkSeq(lo, hi) {
 		sen = sen[:0]
 		if cfg.Subsample > 0 {
 			for _, tok := range walk {

@@ -20,6 +20,7 @@ package word2vec
 
 import (
 	"fmt"
+	"iter"
 	"math"
 )
 
@@ -77,6 +78,26 @@ type Corpus interface {
 	NumWalks() int
 	NumTokens() int
 	Walk(i int) []int32
+}
+
+// StreamingCorpus is a corpus whose walks are produced on demand
+// instead of being held in memory, the input of TrainStreaming. It is
+// satisfied by *walk.Stream.
+//
+// The contract mirrors what the trainer needs from a materialized
+// corpus: NumTokens must be the exact total token count (it drives the
+// learning-rate decay budget), Counts must be the exact per-token
+// occurrence counts (they build the negative-sampling and hierarchical
+// softmax structures) and WalkSeq(lo, hi) must yield walks lo..hi-1 in
+// order, producing identical token sequences every time it is
+// re-opened — the trainer opens one shard per worker per epoch.
+// Yielded slices are only read between iteration steps, so
+// implementations may reuse buffers.
+type StreamingCorpus interface {
+	NumWalks() int
+	NumTokens() int
+	Counts(vocab int) ([]int, error)
+	WalkSeq(lo, hi int) iter.Seq[[]int32]
 }
 
 // Config holds the training hyper-parameters.

@@ -32,6 +32,12 @@ func splitmix64(state *uint64) uint64 {
 // New returns a generator seeded from seed.
 func New(seed uint64) *RNG {
 	var r RNG
+	r.Seed(seed)
+	return &r
+}
+
+// Seed reinitialises r in place to the state New(seed) would return.
+func (r *RNG) Seed(seed uint64) {
 	sm := seed
 	r.s0 = splitmix64(&sm)
 	r.s1 = splitmix64(&sm)
@@ -41,17 +47,25 @@ func New(seed uint64) *RNG {
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
 		r.s0 = 1
 	}
-	return &r
 }
 
 // NewStream returns a generator for stream index i derived from seed.
 // Distinct (seed, i) pairs give independent sequences, so parallel
 // workers can each call NewStream(seed, workerID).
 func NewStream(seed uint64, i uint64) *RNG {
+	var r RNG
+	r.SeedStream(seed, i)
+	return &r
+}
+
+// SeedStream reinitialises r in place to the state NewStream(seed, i)
+// would return, letting hot loops that consume one stream per work
+// item (e.g. one per random walk) reuse a single allocation.
+func (r *RNG) SeedStream(seed, i uint64) {
 	// Mix the stream index through splitmix64 so that consecutive
 	// indices land far apart in seed space.
 	sm := seed ^ (0x632be59bd9b4e019 * (i + 1))
-	return New(splitmix64(&sm))
+	r.Seed(splitmix64(&sm))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

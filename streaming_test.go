@@ -1,0 +1,193 @@
+package v2v
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func streamingTestOptions() Options {
+	o := DefaultOptions(16)
+	o.WalksPerVertex = 4
+	o.WalkLength = 30
+	o.Epochs = 2
+	o.Seed = 17
+	o.Workers = 1
+	return o
+}
+
+// TestStreamingEmbeddingParity is the headline determinism guarantee:
+// with a fixed seed and Workers = 1, the streaming and materialized
+// pipelines produce bit-identical embeddings.
+func TestStreamingEmbeddingParity(t *testing.T) {
+	g, _ := CommunityBenchmark(DefaultBenchmarkConfig(0.5, 3))
+	opts := streamingTestOptions()
+
+	want, err := Embed(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EmbedStreaming(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tokens != want.Tokens {
+		t.Fatalf("streaming Tokens = %d, want %d", got.Tokens, want.Tokens)
+	}
+	for i := range want.Model.Vectors {
+		if got.Model.Vectors[i] != want.Model.Vectors[i] {
+			t.Fatalf("vector[%d] = %g, want %g (paths diverged)",
+				i, got.Model.Vectors[i], want.Model.Vectors[i])
+		}
+	}
+}
+
+// TestStreamingOptionFlag: Options.Streaming routes Embed through the
+// same fused path as EmbedStreaming.
+func TestStreamingOptionFlag(t *testing.T) {
+	g := ErdosRenyiGNM(60, 200, 9)
+	opts := streamingTestOptions()
+	opts.Streaming = true
+	viaFlag, err := Embed(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := EmbedStreaming(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Model.Vectors {
+		if viaFlag.Model.Vectors[i] != direct.Model.Vectors[i] {
+			t.Fatalf("vector[%d]: flag path %g, direct path %g",
+				i, viaFlag.Model.Vectors[i], direct.Model.Vectors[i])
+		}
+	}
+}
+
+// TestStreamingWalkMultisetParity: with Workers = N the streaming
+// shards, drained concurrently, produce exactly the walk multiset of
+// the materialized corpus.
+func TestStreamingWalkMultisetParity(t *testing.T) {
+	g := BarabasiAlbert(150, 3, 5)
+	opts := streamingTestOptions()
+	opts.Workers = 4
+
+	corpus, err := GenerateWalks(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, corpus.NumWalks())
+	for i := 0; i < corpus.NumWalks(); i++ {
+		want[i] = fmt.Sprint(corpus.Walk(i))
+	}
+
+	stream, err := StreamWalks(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := 4
+	numWalks := stream.NumWalks()
+	shardWalks := make([][]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * numWalks / workers
+		hi := (w + 1) * numWalks / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for wk := range stream.WalkSeq(lo, hi) {
+				shardWalks[w] = append(shardWalks[w], fmt.Sprint(wk))
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var got []string
+	for _, s := range shardWalks {
+		got = append(got, s...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d walks, want %d", len(got), len(want))
+	}
+	sortedWant := append([]string(nil), want...)
+	sort.Strings(sortedWant)
+	sort.Strings(got)
+	for i := range got {
+		if got[i] != sortedWant[i] {
+			t.Fatalf("walk multiset mismatch at rank %d: %s vs %s", i, got[i], sortedWant[i])
+		}
+	}
+}
+
+// TestStreamingSharedWalkParity: the Figure 9 protocol — several
+// models trained "in the same set of random walk paths" — must give
+// identical results whether the shared walks are a materialized
+// corpus or a stream re-derived per model.
+func TestStreamingSharedWalkParity(t *testing.T) {
+	g := ErdosRenyiGNM(70, 250, 11)
+	walkOpts := streamingTestOptions()
+
+	corpus, err := GenerateWalks(g, walkOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := StreamWalks(g, walkOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dim := range []int{8, 24} {
+		modelOpts := walkOpts
+		modelOpts.Dim = dim
+		want, err := EmbedWalks(g, corpus, modelOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EmbedWalkStream(g, stream, modelOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Model.Vectors {
+			if got.Model.Vectors[i] != want.Model.Vectors[i] {
+				t.Fatalf("dim %d: vector[%d] = %g, want %g", dim, i, got.Model.Vectors[i], want.Model.Vectors[i])
+			}
+		}
+	}
+}
+
+// TestStreamingEmptyGraph: both pipelines reject the degenerate
+// zero-vertex graph with the same class of error.
+func TestStreamingEmptyGraph(t *testing.T) {
+	g := NewGraphBuilder(0).Build()
+	opts := streamingTestOptions()
+	if _, err := Embed(g, opts); err == nil {
+		t.Error("materialized Embed accepted an empty graph")
+	}
+	if _, err := EmbedStreaming(g, opts); err == nil {
+		t.Error("streaming Embed accepted an empty graph")
+	}
+}
+
+// TestStreamingIsolatedVertices: a graph of only isolated vertices
+// yields length-1 walks on both paths, which must still agree.
+func TestStreamingIsolatedVertices(t *testing.T) {
+	g := NewGraphBuilder(8).Build()
+	opts := streamingTestOptions()
+	opts.WalksPerVertex = 2
+	want, err := Embed(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EmbedStreaming(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tokens != want.Tokens {
+		t.Fatalf("Tokens = %d, want %d", got.Tokens, want.Tokens)
+	}
+	for i := range want.Model.Vectors {
+		if got.Model.Vectors[i] != want.Model.Vectors[i] {
+			t.Fatalf("vector[%d] = %g, want %g", i, got.Model.Vectors[i], want.Model.Vectors[i])
+		}
+	}
+}

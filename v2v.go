@@ -145,6 +145,18 @@ type Options struct {
 
 	Seed    uint64
 	Workers int
+
+	// Streaming selects the fused walk→train pipeline: walks are
+	// re-derived from their deterministic per-walk RNG streams each
+	// epoch and consumed through bounded buffers instead of being
+	// materialized up front, so corpus memory no longer grows with the
+	// walk budget. Same seed, same embedding (bit-identical with
+	// Workers = 1). StreamBatch and StreamDepth tune the buffers
+	// (walks per batch, batches per worker; zero = defaults 64 and 2).
+	// See docs/STREAMING.md.
+	Streaming   bool
+	StreamBatch int
+	StreamDepth int
 }
 
 // DefaultOptions returns the paper's configuration at the given
@@ -175,6 +187,8 @@ func (o Options) coreConfig() core.Config {
 			InOutParam:     o.InOutParam,
 			Seed:           o.Seed,
 			Workers:        o.Workers,
+			StreamBatch:    o.StreamBatch,
+			StreamDepth:    o.StreamDepth,
 		},
 		Model: word2vec.Config{
 			Dim:             o.Dim,
@@ -189,6 +203,7 @@ func (o Options) coreConfig() core.Config {
 			Workers:         o.Workers,
 			Seed:            o.Seed,
 		},
+		Streaming: o.Streaming,
 	}
 }
 
@@ -208,6 +223,36 @@ type EmbeddingNeighbor = word2vec.Neighbor
 // training) on g.
 func Embed(g *Graph, opts Options) (*Embedding, error) {
 	return core.Embed(g, opts.coreConfig())
+}
+
+// EmbedStreaming runs the fused streaming pipeline on g regardless of
+// opts.Streaming: walks are generated on the fly and never
+// materialized, bounding corpus memory by the stream buffers instead
+// of the walk budget. Equivalent to Embed with opts.Streaming = true.
+func EmbedStreaming(g *Graph, opts Options) (*Embedding, error) {
+	cfg := opts.coreConfig()
+	cfg.Streaming = true
+	return core.EmbedStreaming(g, cfg)
+}
+
+// WalkStream is a streaming walk corpus: walks are re-derived on
+// demand from their deterministic per-walk RNG streams, byte-identical
+// to the materialized WalkCorpus under the same options.
+type WalkStream = walk.Stream
+
+// StreamWalks returns the streaming counterpart of GenerateWalks. No
+// walks are generated until the stream is consumed.
+func StreamWalks(g *Graph, opts Options) (*WalkStream, error) {
+	return walk.NewStream(g, opts.coreConfig().Walk)
+}
+
+// EmbedWalkStream trains an embedding on a pre-built walk stream, the
+// streaming counterpart of EmbedWalks: several models (e.g. a
+// dimension sweep) can share one stream the way they would share one
+// corpus, training on identical walks without materializing them.
+// Only the model fields of opts are consulted.
+func EmbedWalkStream(g *Graph, stream *WalkStream, opts Options) (*Embedding, error) {
+	return core.EmbedStream(g, stream, opts.coreConfig())
 }
 
 // WalkCorpus is a generated set of random walks. It can be saved,
