@@ -1,0 +1,43 @@
+# Build, test and benchmark-trajectory targets. The bench targets
+# snapshot the perf of the three hot paths — walk generation, CBOW
+# training and top-k vector search — into BENCH_<date>.json so every
+# future PR has a baseline to diff against (see cmd/benchjson).
+
+GO      ?= go
+DATE    := $(shell date -u +%Y-%m-%d)
+BENCH_OUT ?= BENCH_$(DATE).json
+
+# One representative benchmark per pipeline stage plus the full query
+# matrix; keep this pattern in sync with docs/VECTORS.md.
+BENCH_PATTERN ?= BenchmarkGenerateUniform$$|BenchmarkTrainCBOWNegSampling$$|BenchmarkSearch|BenchmarkPredictScaling|BenchmarkPredictCosine$$
+BENCH_PKGS    ?= ./internal/walk ./internal/word2vec ./internal/vecstore ./internal/knn
+
+.PHONY: build test race vet bench bench-short clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/walk/... ./internal/word2vec/... \
+		./internal/knn/... ./internal/linkpred/... ./internal/vecstore/...
+
+# Full trajectory snapshot (minutes; run before publishing perf claims).
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -date $(DATE) > $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)
+
+# Scaled-down snapshot for CI (testing.Short sizes, one iteration).
+bench-short:
+	$(GO) test -short -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem $(BENCH_PKGS) \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -date $(DATE) > $(BENCH_OUT)
+	@echo wrote $(BENCH_OUT)
+
+clean:
+	rm -f BENCH_*.json

@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into the repository's benchmark-trajectory JSON format, so
+// every PR can snapshot walk/train/query performance as
+// BENCH_<date>.json and future changes have a baseline to diff
+// against (see the Makefile's bench targets and docs/VECTORS.md).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson [-date 2026-07-26] > BENCH_2026-07-26.json
+//
+// Standard columns (iterations, ns/op, B/op, allocs/op) and custom
+// b.ReportMetric columns (e.g. "precision", "Mtokens/s") are both
+// captured; goos/goarch/cpu/pkg header lines annotate the snapshot.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the emitted document.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "snapshot date stamp")
+	flag.Parse()
+
+	snap := Snapshot{
+		Date:      *date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping unparsable line: %s\n", line)
+			continue
+		}
+		b.Package = pkg
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkSearchExactSerial-8  100  11951772 ns/op  320 B/op  2 allocs/op
+//	BenchmarkFig5PrecisionVsAlpha  5  1.2e8 ns/op  0.93 precision
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	metrics := map[string]float64{}
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return Benchmark{Name: name, Iterations: iters, Metrics: metrics}, true
+}

@@ -7,10 +7,16 @@
 //
 //	predict -in graph.txt -labels labels.txt [-k 3] [-folds 10]
 //	        [-dim 50] [-predict-missing] [-seed 1]
+//	        [-index exact|ivf] [-nlists 0] [-nprobe 0]
 //
 // labels.txt holds one label per line in vertex order; with
 // -predict-missing, lines equal to "?" are predicted from the rest
 // and the completed list is printed.
+//
+// -index ivf serves -predict-missing through an approximate IVF
+// index (sub-linear in the labelled set; see docs/VECTORS.md for the
+// nlists/nprobe recall trade-off). Cross-validation always uses the
+// exact index so reported accuracies stay comparable with the paper.
 package main
 
 import (
@@ -35,6 +41,9 @@ func main() {
 		missing = flag.Bool("predict-missing", false, "predict '?' labels instead of cross-validating")
 		dirFlag = flag.Bool("directed", false, "treat edges as directed")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		index   = flag.String("index", "exact", "similarity index for -predict-missing: exact or ivf")
+		nlists  = flag.Int("nlists", 0, "ivf: coarse cells (0 = sqrt(n))")
+		nprobe  = flag.Int("nprobe", 0, "ivf: cells scanned per query (0 = nlists/4)")
 	)
 	flag.Parse()
 	if *in == "" || *labelsF == "" {
@@ -63,6 +72,14 @@ func main() {
 	opts.WalksPerVertex = *walks
 	opts.WalkLength = *length
 	opts.Seed = *seed
+	switch *index {
+	case "exact":
+		opts.Index = v2v.IndexConfig{Kind: v2v.ExactIndex}
+	case "ivf":
+		opts.Index = v2v.IndexConfig{Kind: v2v.IVFIndex, NLists: *nlists, NProbe: *nprobe, Seed: *seed}
+	default:
+		fatal(fmt.Errorf("unknown index kind %q", *index))
+	}
 	emb, err := v2v.Embed(g, opts)
 	if err != nil {
 		fatal(err)

@@ -1,12 +1,23 @@
 // Command v2v trains vertex embeddings for a graph given as an edge
-// list and writes them in the word2vec text format.
+// list and writes them in the word2vec text format, and serves top-k
+// similarity queries over saved embeddings.
 //
-// Usage:
+// Training usage:
 //
 //	v2v -in graph.txt [-out vectors.txt] [-dim 50] [-walks 10]
 //	    [-length 80] [-window 5] [-epochs 3] [-directed] [-named]
 //	    [-strategy uniform|edge-weighted|vertex-weighted|temporal|node2vec]
 //	    [-objective cbow|skipgram] [-sampler ns|hs] [-streaming] [-seed 1]
+//
+// Query usage (the fast path over a trained model):
+//
+//	v2v query -model vectors.txt [-k 10] [-index exact|ivf]
+//	          [-nlists 0] [-nprobe 0] [-v] [vertex ...]
+//
+// Queries are vertex tokens, taken from the command line or — when
+// none are given — one per line from stdin; each answer line is
+// "query neighbor similarity". The IVF index trades exact results for
+// speed; see docs/VECTORS.md for the nlists/nprobe knobs.
 //
 // The input format is one edge per line: "u v [weight [time]]"; lines
 // starting with '#' are comments. With -named, u and v are arbitrary
@@ -14,6 +25,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +35,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "query" {
+		queryMain(os.Args[2:])
+		return
+	}
+	trainMain()
+}
+
+func trainMain() {
 	var (
 		in        = flag.String("in", "", "input edge list (required; '-' for stdin)")
 		out       = flag.String("out", "", "output vector file (default stdout)")
@@ -131,6 +151,91 @@ func main() {
 		output = f
 	}
 	if err := emb.Model.Save(output, g.Name); err != nil {
+		fatal(err)
+	}
+}
+
+// queryMain serves top-k neighbor queries over a saved model.
+func queryMain(args []string) {
+	fs := flag.NewFlagSet("v2v query", flag.ExitOnError)
+	var (
+		modelF  = fs.String("model", "", "saved vector file (required; output of v2v -out)")
+		k       = fs.Int("k", 10, "neighbors per query")
+		kind    = fs.String("index", "exact", "index kind: exact or ivf")
+		nlists  = fs.Int("nlists", 0, "ivf: coarse cells (0 = sqrt(n))")
+		nprobe  = fs.Int("nprobe", 0, "ivf: cells scanned per query (0 = nlists/4)")
+		seed    = fs.Uint64("seed", 1, "ivf quantizer seed")
+		verbose = fs.Bool("v", false, "log index build and query timing to stderr")
+	)
+	fs.Parse(args)
+	if *modelF == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*modelF)
+	if err != nil {
+		fatal(err)
+	}
+	model, tokens, err := v2v.LoadModel(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	byToken := make(map[string]int, len(tokens))
+	for i, tok := range tokens {
+		byToken[tok] = i
+	}
+
+	cfg := v2v.IndexConfig{NLists: *nlists, NProbe: *nprobe, Seed: *seed}
+	switch *kind {
+	case "exact":
+		cfg.Kind = v2v.ExactIndex
+	case "ivf":
+		cfg.Kind = v2v.IVFIndex
+	default:
+		fatal(fmt.Errorf("unknown index kind %q", *kind))
+	}
+	start := time.Now()
+	idx, err := v2v.NewIndex(model, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "model: %d vectors, dim %d; %s index built in %v\n",
+			model.Vocab, model.Dim, *kind, time.Since(start).Round(time.Millisecond))
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	queries := fs.Args()
+	answer := func(tok string) {
+		w, ok := byToken[tok]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "v2v query: unknown vertex %q\n", tok)
+			return
+		}
+		qStart := time.Now()
+		res := idx.SearchRow(w, *k)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "query %q: %v\n", tok, time.Since(qStart).Round(time.Microsecond))
+		}
+		for _, r := range res {
+			fmt.Fprintf(out, "%s\t%s\t%.6f\n", tok, tokens[r.ID], r.Score)
+		}
+	}
+	if len(queries) > 0 {
+		for _, q := range queries {
+			answer(q)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if tok := sc.Text(); tok != "" {
+			answer(tok)
+		}
+	}
+	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
 }

@@ -1,0 +1,88 @@
+package v2v
+
+import "testing"
+
+// TestVectorIndexThroughFacade exercises the public index surface:
+// train, build exact and IVF indexes, and check the approximate index
+// agrees with the exact one on an easy graph.
+func TestVectorIndexThroughFacade(t *testing.T) {
+	g, _ := CommunityBenchmark(DefaultBenchmarkConfig(0.8, 21))
+	opts := DefaultOptions(16)
+	opts.WalksPerVertex = 4
+	opts.WalkLength = 30
+	opts.Epochs = 1
+	opts.Seed = 23
+	emb, err := Embed(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exact, err := NewIndex(emb.Model, IndexConfig{Kind: ExactIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivf, err := NewIndex(emb.Model, IndexConfig{Kind: IVFIndex, NLists: 20, NProbe: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := emb.Model.Store().Row(0)
+	a, b := exact.Search(q, 5), ivf.Search(q, 5)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("result sizes %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] { // nprobe = nlists: exhaustive, must agree
+			t.Fatalf("rank %d: exact %+v vs ivf %+v", i, a[i], b[i])
+		}
+	}
+
+	// Neighbors through the embedding's configured index.
+	nn, err := emb.Neighbors(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 3 || nn[0].Word == 0 {
+		t.Fatalf("Neighbors(0, 3) = %+v", nn)
+	}
+	// Must agree with the model's own exact query path.
+	direct := emb.Model.Neighbors(0, 3)
+	for i := range nn {
+		if nn[i] != direct[i] {
+			t.Fatalf("embedding index diverged: %+v vs %+v", nn[i], direct[i])
+		}
+	}
+}
+
+// TestOptionsIndexDrivesPrediction checks Options.Index reaches the
+// missing-label fast path.
+func TestOptionsIndexDrivesPrediction(t *testing.T) {
+	g, truth := CommunityBenchmark(DefaultBenchmarkConfig(0.9, 31))
+	opts := DefaultOptions(16)
+	opts.WalksPerVertex = 4
+	opts.WalkLength = 30
+	opts.Epochs = 2
+	opts.Seed = 33
+	opts.Index = IndexConfig{Kind: IVFIndex, NLists: 16, NProbe: 8, Seed: 5}
+	emb, err := Embed(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := append([]int(nil), truth...)
+	for i := 0; i < len(labels); i += 10 {
+		labels[i] = -1
+	}
+	completed, err := emb.PredictLabels(labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for i := 0; i < len(labels); i += 10 {
+		total++
+		if completed[i] == truth[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.6 {
+		t.Fatalf("IVF-indexed label recovery accuracy %.3f", acc)
+	}
+}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"v2v/internal/cluster"
@@ -16,6 +17,7 @@ import (
 	"v2v/internal/knn"
 	"v2v/internal/linalg"
 	"v2v/internal/metrics"
+	"v2v/internal/vecstore"
 	"v2v/internal/walk"
 	"v2v/internal/word2vec"
 )
@@ -32,6 +34,13 @@ type Config struct {
 	// Workers = 1); memory bounded by workers x buffers instead of
 	// total tokens. See docs/STREAMING.md.
 	Streaming bool
+
+	// Index selects the similarity index the embedding's query paths
+	// (Neighbors, missing-label prediction) are served by. The zero
+	// value is the exact index; Kind = vecstore.KindIVF trades exact
+	// results for nprobe-pruned approximate search. The metric is
+	// always cosine, the paper's similarity. See docs/VECTORS.md.
+	Index vecstore.Config
 }
 
 // DefaultConfig returns a configuration matching the paper's defaults
@@ -57,6 +66,56 @@ type Embedding struct {
 	WalkTime  time.Duration
 	TrainTime time.Duration // CBOW training wall clock
 	Tokens    int           // corpus size in vertex occurrences
+
+	// IndexCfg is the query-path index configuration this embedding
+	// was trained under (from Config.Index); VectorIndex builds and
+	// caches it.
+	IndexCfg vecstore.Config
+	idxMu    sync.Mutex
+	vecIdx   vecstore.Index
+}
+
+// VectorIndex returns the embedding's similarity index, building it
+// on first call from IndexCfg over the model's vector store (cosine
+// metric). The index is cached and safe to build under concurrent
+// queries; after mutating the model's vectors, call
+// Embedding.InvalidateIndex to force a rebuild.
+func (e *Embedding) VectorIndex() (vecstore.Index, error) {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	if e.vecIdx == nil {
+		cfg := e.IndexCfg
+		cfg.Metric = vecstore.Cosine
+		idx, err := vecstore.Open(e.Model.Store(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.vecIdx = idx
+	}
+	return e.vecIdx, nil
+}
+
+// InvalidateIndex drops the cached similarity index (and the model's
+// own store/norm caches) after the embedding vectors were mutated —
+// an IVF index would otherwise keep serving cell assignments computed
+// from the old geometry. Like the mutation itself, it must not run
+// concurrently with queries.
+func (e *Embedding) InvalidateIndex() {
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	e.vecIdx = nil
+	e.Model.InvalidateIndex()
+}
+
+// Neighbors returns the k vertices most cosine-similar to v through
+// the configured index — exact by default, nprobe-pruned when the
+// embedding was configured with an IVF index.
+func (e *Embedding) Neighbors(v, k int) ([]word2vec.Neighbor, error) {
+	idx, err := e.VectorIndex()
+	if err != nil {
+		return nil, err
+	}
+	return word2vec.NeighborsIndex(idx, v, k), nil
 }
 
 // modelConfig applies the cross-stage seed default shared by every
@@ -141,6 +200,7 @@ func EmbedStream(g *graph.Graph, stream *walk.Stream, cfg Config) (*Embedding, e
 		Stats:     stats,
 		TrainTime: stats.Duration,
 		Tokens:    stream.NumTokens(),
+		IndexCfg:  cfg.Index,
 	}, nil
 }
 
@@ -181,6 +241,7 @@ func EmbedCorpus(g *graph.Graph, corpus *walk.Corpus, cfg Config) (*Embedding, e
 		Stats:     stats,
 		TrainTime: stats.Duration,
 		Tokens:    corpus.NumTokens(),
+		IndexCfg:  cfg.Index,
 	}, nil
 }
 
@@ -262,47 +323,52 @@ func (e *Embedding) ProjectPCA(k int, seed uint64) ([][]float64, *linalg.PCA, er
 // CrossValidateLabels runs the paper's feature-prediction protocol
 // (Section V): folds-fold cross-validated k-NN classification of
 // vertex labels in the embedding space under cosine distance,
-// returning the mean accuracy.
+// returning the mean accuracy. The classifier reads the trained
+// float32 vectors in place — no float64 interchange copies.
 func (e *Embedding) CrossValidateLabels(labels []int, k, folds int, seed uint64) (float64, error) {
 	if len(labels) != e.Model.Vocab {
 		return 0, fmt.Errorf("core: %d labels for %d vertices", len(labels), e.Model.Vocab)
 	}
-	return knn.CrossValidate(e.Model.Rows(), labels, k, folds, knn.Cosine, seed)
+	return knn.CrossValidateStore(e.Model.Store(), labels, k, folds, knn.Cosine, seed)
 }
 
 // PredictLabels trains a k-NN classifier on the vertices with label
 // >= 0 and predicts a label for every vertex with label < 0,
 // returning the completed label slice (the paper's missing-data
-// recovery scenario).
+// recovery scenario). When the embedding is configured with an IVF
+// index (Config.Index), prediction searches approximately through it.
 func (e *Embedding) PredictLabels(labels []int, k int) ([]int, error) {
 	if len(labels) != e.Model.Vocab {
 		return nil, fmt.Errorf("core: %d labels for %d vertices", len(labels), e.Model.Vocab)
 	}
-	rows := e.Model.Rows()
-	var trainPts [][]float64
-	var trainLbl []int
-	var queryIdx []int
+	store := e.Model.Store()
+	var trainIdx, trainLbl, queryIdx []int
 	for v, l := range labels {
 		if l >= 0 {
-			trainPts = append(trainPts, rows[v])
+			trainIdx = append(trainIdx, v)
 			trainLbl = append(trainLbl, l)
 		} else {
 			queryIdx = append(queryIdx, v)
 		}
 	}
-	if len(trainPts) == 0 {
+	if len(trainIdx) == 0 {
 		return nil, fmt.Errorf("core: no labelled vertices to train on")
 	}
 	out := append([]int(nil), labels...)
 	if len(queryIdx) == 0 {
 		return out, nil
 	}
-	clf := knn.NewClassifier(k, knn.Cosine, trainPts, trainLbl)
-	queries := make([][]float64, len(queryIdx))
-	for i, v := range queryIdx {
-		queries[i] = rows[v]
+	clf := knn.NewClassifierStore(k, knn.Cosine, store.Gather(trainIdx), trainLbl)
+	if e.IndexCfg.Kind != vecstore.KindExact {
+		if err := clf.UseIndex(e.IndexCfg); err != nil {
+			return nil, err
+		}
 	}
-	pred := clf.PredictAll(queries)
+	queries := make([][]float32, len(queryIdx))
+	for i, v := range queryIdx {
+		queries[i] = store.Row(v)
+	}
+	pred := clf.PredictRows(queries)
 	for i, v := range queryIdx {
 		out[v] = pred[i]
 	}

@@ -1,6 +1,7 @@
 package knn
 
 import (
+	"strconv"
 	"testing"
 
 	"v2v/internal/xrand"
@@ -51,6 +52,28 @@ func BenchmarkCrossValidate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := CrossValidate(pts, lbl, 3, 10, Cosine, 4); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictScaling is the O(n log k) regression benchmark for
+// the satellite fix: prediction cost must grow linearly when n
+// doubles at fixed k (top-k selection), and stay near-flat when k
+// grows at fixed n (the heap threshold, not a full sort, pays for k).
+// A regression to sort-all-n behavior shows up as super-linear growth
+// in the n sweep.
+func BenchmarkPredictScaling(b *testing.B) {
+	for _, n := range []int{10000, 20000, 40000} {
+		pts, lbl := benchData(n, 50, 100, 5)
+		q := pts[0]
+		for _, k := range []int{1, 10, 100} {
+			clf := NewClassifier(k, Cosine, pts, lbl)
+			b.Run("n="+strconv.Itoa(n)+"/k="+strconv.Itoa(k), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					clf.Predict(q)
+				}
+			})
 		}
 	}
 }

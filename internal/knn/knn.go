@@ -2,15 +2,28 @@
 // k-fold cross-validation harness used by the paper's feature
 // prediction experiments (Section V): labels are predicted by a
 // majority vote of the k nearest embeddings under cosine distance.
+//
+// Neighbour search runs on the shared vector subsystem
+// (internal/vecstore): training points live in a contiguous float32
+// store with cached norms, and queries use bounded top-k selection —
+// O(n log k) per query instead of scoring plus sorting all n training
+// points — through a pluggable index (exact by default, optionally
+// IVF for approximate prediction at scale). Distance evaluation
+// accumulates in float64 in the same order as the historical
+// [][]float64 code, so on float32-representable inputs — embeddings,
+// which are born float32 — exact-index predictions are bit-for-bit
+// identical to the seed's. Arbitrary float64 inputs passed through
+// the [][]float64 shims are quantized to float32 at fit/query time;
+// distances then differ from the historical float64 path by at most
+// the rounding of the inputs (near-ties may resolve differently).
 package knn
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
-	"v2v/internal/linalg"
+	"v2v/internal/vecstore"
 	"v2v/internal/xrand"
 )
 
@@ -36,89 +49,166 @@ func (d Distance) String() string {
 	}
 }
 
-func (d Distance) eval(a, b []float64) float64 {
-	switch d {
-	case Cosine:
-		return linalg.CosineDistance(a, b)
-	default:
-		return linalg.SquaredDistance(a, b) // monotone in Euclidean
+// metric maps the classifier distance onto the vecstore score
+// convention (higher is better).
+func (d Distance) metric() vecstore.Metric {
+	if d == Euclidean {
+		return vecstore.Euclidean
 	}
+	return vecstore.Cosine
 }
 
-// Classifier is a fitted k-NN model. Fitting just stores the training
-// set; prediction is a linear scan, adequate at the graph sizes of
-// the paper's experiments.
+// dist converts an index score back to the distance the seed
+// implementation compared: 1 - similarity for cosine, the squared
+// distance (monotone in Euclidean) for Euclidean. Both conversions
+// are exact, so vote tie-breaking matches the seed bit-for-bit.
+func (d Distance) dist(score float64) float64 {
+	if d == Euclidean {
+		return -score
+	}
+	return 1 - score
+}
+
+// Classifier is a fitted k-NN model: fitting stores the labelled
+// training points in a vector store; prediction is a top-k index
+// query plus a majority vote.
 type Classifier struct {
 	K        int
 	Distance Distance
-	points   [][]float64
-	labels   []int
+
+	store  *vecstore.Store
+	labels []int
+	index  vecstore.Index
+
+	// Exact fallback for queries an approximate index answers with
+	// zero candidates (e.g. all probed IVF cells empty); built
+	// lazily, the training set is never empty so it always yields a
+	// vote.
+	fallbackMu sync.Mutex
+	fallback   *vecstore.Exact
 }
 
-// NewClassifier stores the labelled training points. It panics when
-// the inputs disagree in length or k < 1.
+// NewClassifier stores the labelled training points, converting the
+// historical [][]float64 row format into the float32 store. It panics
+// when the inputs disagree in length or k < 1.
 func NewClassifier(k int, dist Distance, points [][]float64, labels []int) *Classifier {
 	if len(points) != len(labels) {
 		panic(fmt.Sprintf("knn: %d points but %d labels", len(points), len(labels)))
 	}
+	return NewClassifierStore(k, dist, vecstore.FromRows64(points), labels)
+}
+
+// NewClassifierStore is the allocation-free fast path: it fits the
+// classifier directly over an existing vector store (e.g. trained
+// embeddings), sharing storage. It panics when the store and labels
+// disagree in length, the store is empty, or k < 1.
+func NewClassifierStore(k int, dist Distance, s *vecstore.Store, labels []int) *Classifier {
+	if s.Len() != len(labels) {
+		panic(fmt.Sprintf("knn: %d points but %d labels", s.Len(), len(labels)))
+	}
 	if k < 1 {
 		panic(fmt.Sprintf("knn: k must be >= 1, got %d", k))
 	}
-	if len(points) == 0 {
+	if s.Len() == 0 {
 		panic("knn: empty training set")
 	}
-	return &Classifier{K: k, Distance: dist, points: points, labels: labels}
+	return &Classifier{
+		K:        k,
+		Distance: dist,
+		store:    s,
+		labels:   labels,
+		index:    vecstore.NewExact(s, dist.metric(), 0),
+	}
+}
+
+// UseIndex replaces the default exact index with the one described by
+// cfg (the metric is forced to the classifier's distance). An IVF
+// index makes prediction approximate but sub-linear in the training
+// set size; see docs/VECTORS.md.
+func (c *Classifier) UseIndex(cfg vecstore.Config) error {
+	cfg.Metric = c.Distance.metric()
+	idx, err := vecstore.Open(c.store, cfg)
+	if err != nil {
+		return err
+	}
+	c.index = idx
+	return nil
 }
 
 // Predict returns the majority label of x's k nearest training
 // points. Vote ties are broken toward the smaller total distance,
 // then toward the smaller label for determinism.
 func (c *Classifier) Predict(x []float64) int {
-	type cand struct {
-		dist  float64
-		label int
+	q := make([]float32, len(x))
+	for i, v := range x {
+		q[i] = float32(v)
 	}
-	k := c.K
-	if k > len(c.points) {
-		k = len(c.points)
+	res := c.index.Search(q, c.K)
+	if len(res) == 0 {
+		res = c.exactFallback().Search(q, c.K)
 	}
-	// Bounded insertion into a fixed-size worst-first array: O(n*k)
-	// with tiny constants; k is <= 10 in the paper's experiments.
-	best := make([]cand, 0, k)
-	worst := -1.0
-	for i, p := range c.points {
-		d := c.Distance.eval(x, p)
-		if len(best) < k {
-			best = append(best, cand{d, c.labels[i]})
-			if d > worst {
-				worst = d
-			}
-			continue
-		}
-		if d >= worst {
-			continue
-		}
-		// Replace the current worst.
-		wi, wd := 0, -1.0
-		for j, b := range best {
-			if b.dist > wd {
-				wi, wd = j, b.dist
-			}
-		}
-		best[wi] = cand{d, c.labels[i]}
-		worst = -1
-		for _, b := range best {
-			if b.dist > worst {
-				worst = b.dist
-			}
-		}
-	}
+	return c.vote(res)
+}
 
+// exactFallback returns (building on first use) the exact index used
+// when the configured index returns no candidates.
+func (c *Classifier) exactFallback() *vecstore.Exact {
+	if e, ok := c.index.(*vecstore.Exact); ok {
+		return e
+	}
+	c.fallbackMu.Lock()
+	defer c.fallbackMu.Unlock()
+	if c.fallback == nil {
+		c.fallback = vecstore.NewExact(c.store, c.Distance.metric(), 0)
+	}
+	return c.fallback
+}
+
+// PredictAll classifies every query through the index's batch path.
+func (c *Classifier) PredictAll(queries [][]float64) []int {
+	qs := make([][]float32, len(queries))
+	for i, x := range queries {
+		qs[i] = make([]float32, len(x))
+		for j, v := range x {
+			qs[i][j] = float32(v)
+		}
+	}
+	return c.predictBatch(qs)
+}
+
+// PredictStore classifies every row of qs, the zero-conversion fast
+// path for embedding queries.
+func (c *Classifier) PredictStore(qs *vecstore.Store) []int {
+	rows := make([][]float32, qs.Len())
+	for i := range rows {
+		rows[i] = qs.Row(i)
+	}
+	return c.predictBatch(rows)
+}
+
+// PredictRows classifies float32 row views directly.
+func (c *Classifier) PredictRows(qs [][]float32) []int { return c.predictBatch(qs) }
+
+func (c *Classifier) predictBatch(qs [][]float32) []int {
+	out := make([]int, len(qs))
+	for i, res := range c.index.SearchBatch(qs, c.K) {
+		if len(res) == 0 {
+			res = c.exactFallback().Search(qs[i], c.K)
+		}
+		out[i] = c.vote(res)
+	}
+	return out
+}
+
+// vote reproduces the seed's majority vote: ties toward the smaller
+// summed distance, then toward the smaller label.
+func (c *Classifier) vote(res []vecstore.Result) int {
 	votes := make(map[int]int)
 	distSum := make(map[int]float64)
-	for _, b := range best {
-		votes[b.label]++
-		distSum[b.label] += b.dist
+	for _, r := range res {
+		l := c.labels[r.ID]
+		votes[l]++
+		distSum[l] += c.Distance.dist(r.Score)
 	}
 	bestLabel, bestVotes, bestDist := -1, -1, 0.0
 	labels := make([]int, 0, len(votes))
@@ -138,41 +228,19 @@ func (c *Classifier) Predict(x []float64) int {
 	return bestLabel
 }
 
-// PredictAll classifies every query in parallel.
-func (c *Classifier) PredictAll(queries [][]float64) []int {
-	out := make([]int, len(queries))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers <= 1 {
-		for i, q := range queries {
-			out[i] = c.Predict(q)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * len(queries) / workers
-		hi := (w + 1) * len(queries) / workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = c.Predict(queries[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
-}
-
 // CrossValidate runs folds-fold cross-validation of a k-NN classifier
 // over the labelled points and returns the mean accuracy (fraction of
 // correctly predicted held-out labels), mirroring the paper's 10-fold
 // protocol. The fold split is a seeded uniform permutation.
 func CrossValidate(points [][]float64, labels []int, k, folds int, dist Distance, seed uint64) (float64, error) {
-	n := len(points)
+	return CrossValidateStore(vecstore.FromRows64(points), labels, k, folds, dist, seed)
+}
+
+// CrossValidateStore is the fast path over an existing vector store:
+// folds are gathered as float32 sub-stores (no float64 interchange
+// copies) and every fold's queries run through the batch search.
+func CrossValidateStore(s *vecstore.Store, labels []int, k, folds int, dist Distance, seed uint64) (float64, error) {
+	n := s.Len()
 	if n != len(labels) {
 		return 0, fmt.Errorf("knn: %d points but %d labels", n, len(labels))
 	}
@@ -181,24 +249,25 @@ func CrossValidate(points [][]float64, labels []int, k, folds int, dist Distance
 	}
 	perm := xrand.New(seed).Perm(n)
 	correct, total := 0, 0
+	trainIdx := make([]int, 0, n)
+	trainLbl := make([]int, 0, n)
 	for f := 0; f < folds; f++ {
 		lo := f * n / folds
 		hi := (f + 1) * n / folds
-		trainPts := make([][]float64, 0, n-(hi-lo))
-		trainLbl := make([]int, 0, n-(hi-lo))
-		testPts := make([][]float64, 0, hi-lo)
+		trainIdx, trainLbl = trainIdx[:0], trainLbl[:0]
+		queries := make([][]float32, 0, hi-lo)
 		testLbl := make([]int, 0, hi-lo)
 		for i, idx := range perm {
 			if i >= lo && i < hi {
-				testPts = append(testPts, points[idx])
+				queries = append(queries, s.Row(idx))
 				testLbl = append(testLbl, labels[idx])
 			} else {
-				trainPts = append(trainPts, points[idx])
+				trainIdx = append(trainIdx, idx)
 				trainLbl = append(trainLbl, labels[idx])
 			}
 		}
-		clf := NewClassifier(k, dist, trainPts, trainLbl)
-		pred := clf.PredictAll(testPts)
+		clf := NewClassifierStore(k, dist, s.Gather(trainIdx), append([]int(nil), trainLbl...))
+		pred := clf.predictBatch(queries)
 		for i, p := range pred {
 			if p == testLbl[i] {
 				correct++

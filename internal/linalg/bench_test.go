@@ -71,17 +71,6 @@ func BenchmarkJacobiEigen(b *testing.B) {
 	}
 }
 
-// BenchmarkCosineSimilarity measures the k-NN distance kernel.
-func BenchmarkCosineSimilarity(b *testing.B) {
-	x := randRows(1, 100, 6)[0]
-	y := randRows(1, 100, 7)[0]
-	var sink float64
-	for i := 0; i < b.N; i++ {
-		sink += CosineSimilarity(x, y)
-	}
-	_ = sink
-}
-
 func dstr(d int) string {
 	switch d {
 	case 4:

@@ -68,24 +68,6 @@ func TestDistances(t *testing.T) {
 	}
 }
 
-func TestCosine(t *testing.T) {
-	if got := CosineSimilarity([]float64{1, 0}, []float64{2, 0}); !almostEq(got, 1, 1e-12) {
-		t.Fatalf("parallel cosine = %v", got)
-	}
-	if got := CosineSimilarity([]float64{1, 0}, []float64{0, 3}); !almostEq(got, 0, 1e-12) {
-		t.Fatalf("orthogonal cosine = %v", got)
-	}
-	if got := CosineSimilarity([]float64{1, 1}, []float64{-1, -1}); !almostEq(got, -1, 1e-12) {
-		t.Fatalf("antiparallel cosine = %v", got)
-	}
-	if got := CosineSimilarity([]float64{0, 0}, []float64{1, 1}); got != 0 {
-		t.Fatalf("zero-vector cosine = %v", got)
-	}
-	if got := CosineDistance([]float64{1, 0}, []float64{1, 0}); !almostEq(got, 0, 1e-12) {
-		t.Fatalf("self cosine distance = %v", got)
-	}
-}
-
 func TestMean(t *testing.T) {
 	m := Mean([][]float64{{1, 2}, {3, 4}, {5, 6}})
 	if m[0] != 3 || m[1] != 4 {

@@ -81,30 +81,6 @@ func EuclideanDistance(a, b []float64) float64 {
 	return math.Sqrt(SquaredDistance(a, b))
 }
 
-// CosineSimilarity returns the cosine of the angle between a and b,
-// or 0 when either is the zero vector.
-func CosineSimilarity(a, b []float64) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("linalg: CosineSimilarity length mismatch %d vs %d", len(a), len(b)))
-	}
-	var dot, na, nb float64
-	for i := range a {
-		dot += a[i] * b[i]
-		na += a[i] * a[i]
-		nb += b[i] * b[i]
-	}
-	if na == 0 || nb == 0 {
-		return 0
-	}
-	return dot / math.Sqrt(na*nb)
-}
-
-// CosineDistance returns 1 - CosineSimilarity(a, b), the distance
-// used by the paper's k-NN experiments.
-func CosineDistance(a, b []float64) float64 {
-	return 1 - CosineSimilarity(a, b)
-}
-
 // Mean returns the coordinate-wise mean of the rows. It panics when
 // rows is empty or ragged.
 func Mean(rows [][]float64) []float64 {

@@ -11,41 +11,42 @@ package linkpred
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"v2v/internal/graph"
-	"v2v/internal/linalg"
+	"v2v/internal/vecstore"
 	"v2v/internal/xrand"
 )
 
 // Scorer assigns a likelihood score to a candidate edge (u, v);
-// higher means more likely.
+// higher means more likely. Score must be safe for concurrent calls
+// to be used with EvaluateParallel (every scorer in this package is:
+// they only read the graph or the vector store); plain Evaluate never
+// calls Score concurrently.
 type Scorer interface {
 	Score(u, v int) float64
 	Name() string
 }
 
-// EmbeddingScorer scores pairs by similarity of embedding vectors.
+// EmbeddingScorer scores pairs by similarity of embedding vectors,
+// read directly from the shared float32 vector store (no per-scorer
+// float64 copies; norms are cached by the store).
 type EmbeddingScorer struct {
-	Vectors [][]float64
-	// Hadamard switches from cosine similarity to the negative
-	// Euclidean distance of the Hadamard (element-wise) product
-	// against the zero vector — equivalent to the L2 norm of the
-	// product, a common node2vec link feature.
+	Store *vecstore.Store
+	// Hadamard switches from cosine similarity to the dot product
+	// (the sum of the Hadamard element-wise product), a common
+	// node2vec link feature.
 	Hadamard bool
 }
 
 // Score implements Scorer.
 func (s *EmbeddingScorer) Score(u, v int) float64 {
 	if s.Hadamard {
-		var norm float64
-		for i := range s.Vectors[u] {
-			p := s.Vectors[u][i] * s.Vectors[v][i]
-			norm += p
-		}
-		return norm // sum of Hadamard product == dot product
+		return s.Store.Dot(u, v)
 	}
-	return linalg.CosineSimilarity(s.Vectors[u], s.Vectors[v])
+	return s.Store.Cosine(u, v)
 }
 
 // Name implements Scorer.
@@ -219,18 +220,58 @@ type Result struct {
 }
 
 // Evaluate ranks the split's positives and negatives with the scorer
-// and computes AUC and precision@k (k = number of positives).
+// and computes AUC and precision@k (k = number of positives). Scoring
+// is serial, preserving the historical contract that Score is never
+// called concurrently; use EvaluateParallel for concurrency-safe
+// scorers.
 func Evaluate(s Scorer, split *Split) Result {
+	return EvaluateParallel(s, split, 1)
+}
+
+// EvaluateParallel is Evaluate with pair scoring fanned out over
+// workers goroutines (0 = GOMAXPROCS); the Scorer must tolerate
+// concurrent Score calls. Every pair's score lands in a preassigned
+// slot and the ranking is a deterministic sort of those slots, so the
+// result is identical for every worker count (assuming a
+// deterministic Scorer).
+func EvaluateParallel(s Scorer, split *Split, workers int) Result {
 	type scored struct {
 		score float64
 		pos   bool
 	}
-	all := make([]scored, 0, len(split.TestEdges)+len(split.NonEdges))
-	for _, e := range split.TestEdges {
-		all = append(all, scored{s.Score(e[0], e[1]), true})
+	nPosEdges := len(split.TestEdges)
+	all := make([]scored, nPosEdges+len(split.NonEdges))
+	score := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i < nPosEdges {
+				e := split.TestEdges[i]
+				all[i] = scored{score: s.Score(e[0], e[1]), pos: true}
+			} else {
+				e := split.NonEdges[i-nPosEdges]
+				all[i] = scored{score: s.Score(e[0], e[1]), pos: false}
+			}
+		}
 	}
-	for _, e := range split.NonEdges {
-		all = append(all, scored{s.Score(e[0], e[1]), false})
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(all) {
+		workers = len(all)
+	}
+	if workers <= 1 {
+		score(0, len(all))
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(all) / workers
+			hi := (w + 1) * len(all) / workers
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				score(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
 	}
 	// AUC by rank statistic (ties get half credit).
 	sort.Slice(all, func(i, j int) bool { return all[i].score < all[j].score })

@@ -1,0 +1,211 @@
+package linkpred
+
+import (
+	"math"
+	"testing"
+
+	"v2v/internal/graph"
+	"v2v/internal/vecstore"
+	"v2v/internal/xrand"
+)
+
+// seedEmbeddingScore is the pre-vecstore scorer kept verbatim:
+// float64 rows, one-pass cosine (or the plain dot product for the
+// Hadamard feature).
+func seedEmbeddingScore(rows [][]float64, u, v int, hadamard bool) float64 {
+	if hadamard {
+		var s float64
+		for i := range rows[u] {
+			s += rows[u][i] * rows[v][i]
+		}
+		return s
+	}
+	var dot, na, nb float64
+	for i := range rows[u] {
+		dot += rows[u][i] * rows[v][i]
+		na += rows[u][i] * rows[u][i]
+		nb += rows[v][i] * rows[v][i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// TestEmbeddingScorerMatchesSeedBitForBit: the store-backed scorer
+// reproduces the historical float64 scores exactly on
+// float32-representable vectors (the embedding case).
+func TestEmbeddingScorerMatchesSeedBitForBit(t *testing.T) {
+	rng := xrand.New(111)
+	n, dim := 60, 15
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, dim)
+		for j := range rows[i] {
+			rows[i][j] = float64(float32(rng.NormFloat64()))
+		}
+	}
+	// A zero vector exercises the similarity-0 convention.
+	for j := range rows[7] {
+		rows[7][j] = 0
+	}
+	store := vecstore.FromRows64(rows)
+	for _, hadamard := range []bool{false, true} {
+		s := &EmbeddingScorer{Store: store, Hadamard: hadamard}
+		for u := 0; u < n; u += 3 {
+			for v := 0; v < n; v += 7 {
+				got := s.Score(u, v)
+				want := seedEmbeddingScore(rows, u, v, hadamard)
+				if got != want {
+					t.Fatalf("hadamard=%v (%d,%d): %v, want %v (bit-for-bit)", hadamard, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateEmbeddingMatricParityEndToEnd runs the full evaluation
+// through both scorer generations on the same split and demands
+// identical AUC and precision@k.
+func TestEvaluateEmbeddingMetricParityEndToEnd(t *testing.T) {
+	g, _ := benchmarkGraph(12)
+	split, err := HoldOut(g, 0.15, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(115)
+	rows := make([][]float64, g.NumVertices())
+	for i := range rows {
+		rows[i] = make([]float64, 8)
+		for j := range rows[i] {
+			rows[i][j] = float64(float32(rng.NormFloat64()))
+		}
+	}
+	oldStyle := scorerFunc{fn: func(u, v int) float64 { return seedEmbeddingScore(rows, u, v, false) }}
+	newStyle := &EmbeddingScorer{Store: vecstore.FromRows64(rows)}
+	a, b := Evaluate(oldStyle, split), Evaluate(newStyle, split)
+	if a.AUC != b.AUC || a.PrecisionAtK != b.PrecisionAtK || a.K != b.K {
+		t.Fatalf("old %+v vs store %+v", a, b)
+	}
+}
+
+// TestEvaluateDeterministicAcrossWorkers: identical results for every
+// scoring worker count, including counts above the pair count.
+func TestEvaluateDeterministicAcrossWorkers(t *testing.T) {
+	g, _ := benchmarkGraph(14)
+	split, err := HoldOut(g, 0.2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(117)
+	rows := make([][]float64, g.NumVertices())
+	for i := range rows {
+		rows[i] = make([]float64, 6)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	s := &EmbeddingScorer{Store: vecstore.FromRows64(rows)}
+	base := EvaluateParallel(s, split, 1)
+	for _, workers := range []int{2, 3, 8, 10000} {
+		got := EvaluateParallel(s, split, workers)
+		if got != base {
+			t.Fatalf("workers=%d: %+v differs from serial %+v", workers, got, base)
+		}
+	}
+	if def := Evaluate(s, split); def != base {
+		t.Fatalf("default Evaluate %+v differs from serial %+v", def, base)
+	}
+}
+
+// TestEvaluateParallelColdStore: parallel scoring over a store whose
+// norm cache has never been computed must be race-free (the lazy
+// SqNorms computation is triggered concurrently by every worker;
+// regression test for the unsynchronized-cache race, run under
+// -race in CI).
+func TestEvaluateParallelColdStore(t *testing.T) {
+	g, _ := benchmarkGraph(16)
+	split, err := HoldOut(g, 0.2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(119)
+	rows := make([][]float64, g.NumVertices())
+	for i := range rows {
+		rows[i] = make([]float64, 6)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	// Fresh store per run: the first Score calls race to build norms.
+	warm := EvaluateParallel(&EmbeddingScorer{Store: vecstore.FromRows64(rows)}, split, 1)
+	for _, workers := range []int{4, 16} {
+		cold := EvaluateParallel(&EmbeddingScorer{Store: vecstore.FromRows64(rows)}, split, workers)
+		if cold != warm {
+			t.Fatalf("cold store, workers=%d: %+v vs %+v", workers, cold, warm)
+		}
+	}
+}
+
+// TestHoldOutDegenerateGraphs: empty and too-sparse graphs fail
+// cleanly instead of hanging or panicking.
+func TestHoldOutDegenerateGraphs(t *testing.T) {
+	// Empty graph: nothing to remove.
+	if _, err := HoldOut(graph.NewBuilder(0).Build(), 0.5, 1); err == nil {
+		t.Error("empty graph accepted")
+	}
+	// Graph with vertices but no edges.
+	if _, err := HoldOut(graph.NewBuilder(10).Build(), 0.5, 1); err == nil {
+		t.Error("edgeless graph accepted")
+	}
+	// A single edge cannot be removed without isolating its ends.
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	if _, err := HoldOut(b.Build(), 0.5, 1); err == nil {
+		t.Error("single-edge graph accepted")
+	}
+	// A path graph still yields a valid (possibly tiny) split thanks
+	// to the degree guard.
+	p := graph.NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		p.AddEdge(i, i+1)
+	}
+	split, err := HoldOut(p.Build(), 0.3, 1)
+	if err != nil {
+		t.Fatalf("path graph: %v", err)
+	}
+	for v := 0; v < 5; v++ {
+		if split.Train.Degree(v) == 0 {
+			t.Fatal("path split isolated a vertex")
+		}
+	}
+}
+
+// TestEvaluateDegenerateSplits: tiny splits (single positive) still
+// produce well-defined metrics.
+func TestEvaluateDegenerateSplits(t *testing.T) {
+	split := &Split{
+		TestEdges: [][2]int{{0, 1}},
+		NonEdges:  [][2]int{{2, 3}},
+	}
+	hi := scorerFunc{fn: func(u, v int) float64 {
+		if u == 0 {
+			return 1
+		}
+		return 0
+	}}
+	res := Evaluate(hi, split)
+	if res.AUC != 1 || res.PrecisionAtK != 1 || res.K != 1 {
+		t.Fatalf("single-pair oracle: %+v", res)
+	}
+	lo := scorerFunc{fn: func(u, v int) float64 {
+		if u == 0 {
+			return 0
+		}
+		return 1
+	}}
+	res = Evaluate(lo, split)
+	if res.AUC != 0 || res.PrecisionAtK != 0 {
+		t.Fatalf("single-pair anti-oracle: %+v", res)
+	}
+}

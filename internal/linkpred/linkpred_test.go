@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"v2v/internal/graph"
+	"v2v/internal/vecstore"
 )
 
 func benchmarkGraph(seed uint64) (*graph.Graph, []int) {
@@ -107,12 +108,12 @@ func TestPreferentialAttachmentWeaker(t *testing.T) {
 
 func TestEmbeddingScorer(t *testing.T) {
 	// Hand-built embedding: vertices 0,1 identical; 2 orthogonal.
-	vectors := [][]float64{{1, 0}, {1, 0}, {0, 1}}
-	cos := &EmbeddingScorer{Vectors: vectors}
+	store := vecstore.FromRows64([][]float64{{1, 0}, {1, 0}, {0, 1}})
+	cos := &EmbeddingScorer{Store: store}
 	if cos.Score(0, 1) <= cos.Score(0, 2) {
 		t.Fatal("cosine scorer ordering wrong")
 	}
-	dot := &EmbeddingScorer{Vectors: vectors, Hadamard: true}
+	dot := &EmbeddingScorer{Store: store, Hadamard: true}
 	if dot.Score(0, 1) != 1 || dot.Score(0, 2) != 0 {
 		t.Fatalf("dot scores %v %v", dot.Score(0, 1), dot.Score(0, 2))
 	}

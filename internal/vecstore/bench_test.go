@@ -1,0 +1,153 @@
+package vecstore
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"v2v/internal/xrand"
+)
+
+// The acceptance benchmark pair: batched cosine top-10 over a
+// 100k x 128 store versus the seed's per-query path (allocate a
+// result per row, sort all of them). -short scales the store down for
+// CI.
+var queryBench struct {
+	once sync.Once
+	s    *Store
+	qs   [][]float32
+}
+
+func queryBenchSetup(b *testing.B) (*Store, [][]float32) {
+	b.Helper()
+	queryBench.once.Do(func() {
+		n, dim := 100_000, 128
+		if testing.Short() {
+			n, dim = 10_000, 64
+		}
+		queryBench.s = randStore(n, dim, 101)
+		rng := xrand.New(103)
+		qs := make([][]float32, 64)
+		for i := range qs {
+			qs[i] = queryBench.s.Row(rng.Intn(n))
+		}
+		queryBench.qs = qs
+	})
+	return queryBench.s, queryBench.qs
+}
+
+// seedNeighbor mirrors the seed's word2vec.Neighbor/MostSimilar
+// shape: one allocation-heavy full sort per query.
+type seedNeighbor struct {
+	Word       int
+	Similarity float64
+}
+
+func seedMostSimilar(s *Store, q []float32, k int) []seedNeighbor {
+	res := make([]seedNeighbor, 0, s.Len())
+	qn := sqNorm(q)
+	for u := 0; u < s.Len(); u++ {
+		row := s.Row(u)
+		var dot, rn float64
+		for i := range row {
+			dot += float64(q[i]) * float64(row[i])
+			rn += float64(row[i]) * float64(row[i])
+		}
+		sim := 0.0
+		if qn != 0 && rn != 0 {
+			sim = dot / math.Sqrt(qn*rn)
+		}
+		res = append(res, seedNeighbor{Word: u, Similarity: sim})
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Similarity != res[j].Similarity {
+			return res[i].Similarity > res[j].Similarity
+		}
+		return res[i].Word < res[j].Word
+	})
+	if k > len(res) {
+		k = len(res)
+	}
+	return res[:k]
+}
+
+// BenchmarkSearchSeedBaseline is the pre-vecstore query path: per-row
+// float64 norm recomputation, an n-element result slice and a full
+// sort, once per query.
+func BenchmarkSearchSeedBaseline(b *testing.B) {
+	s, qs := queryBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seedMostSimilar(s, qs[i%len(qs)], 10)
+	}
+}
+
+// BenchmarkSearchExactSerial is one exact cosine top-10 per op on a
+// single worker: cached norms, blocked kernels, bounded top-k heap.
+func BenchmarkSearchExactSerial(b *testing.B) {
+	s, qs := queryBenchSetup(b)
+	idx := NewExact(s, Cosine, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Search(qs[i%len(qs)], 10)
+	}
+}
+
+// BenchmarkSearchExactParallel adds the partitioned parallel scan.
+func BenchmarkSearchExactParallel(b *testing.B) {
+	s, qs := queryBenchSetup(b)
+	idx := NewExact(s, Cosine, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Search(qs[i%len(qs)], 10)
+	}
+}
+
+// BenchmarkSearchExactBatch is the batched fast path: 64 queries per
+// op sharded across workers with reused heaps and a single result
+// allocation, so allocations per query are amortized to ~0.
+// Compare ns/query against BenchmarkSearchSeedBaseline's ns/op (the
+// acceptance bar is >= 3x).
+func BenchmarkSearchExactBatch(b *testing.B) {
+	s, qs := queryBenchSetup(b)
+	idx := NewExact(s, Cosine, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.SearchBatch(qs, 10)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(qs)), "ns/query")
+}
+
+// BenchmarkSearchIVF is the approximate path at nprobe defaults.
+func BenchmarkSearchIVF(b *testing.B) {
+	s, qs := queryBenchSetup(b)
+	ivf, err := NewIVF(s, Cosine, IVFConfig{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ivf.Search(qs[i%len(qs)], 10)
+	}
+}
+
+// BenchmarkSearchIVFBatch is the approximate batched path.
+func BenchmarkSearchIVFBatch(b *testing.B) {
+	s, qs := queryBenchSetup(b)
+	ivf, err := NewIVF(s, Cosine, IVFConfig{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ivf.SearchBatch(qs, 10)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(qs)), "ns/query")
+}

@@ -1,0 +1,134 @@
+package vecstore
+
+import "sync"
+
+// Exact is the brute-force index: a partitioned parallel scan with
+// bounded top-k heaps per partition. Results are exact, and — because
+// the kernels preserve the seed's float64 accumulation order —
+// bit-for-bit identical to the historical sort-everything paths.
+type Exact struct {
+	s       *Store
+	metric  Metric
+	workers int
+}
+
+// serialScanFloor is the row count below which a single query is
+// scanned serially; goroutine fan-out costs more than it saves on
+// small stores.
+const serialScanFloor = 4096
+
+// NewExact builds an exact index. workers <= 0 means GOMAXPROCS.
+func NewExact(s *Store, metric Metric, workers int) *Exact {
+	s.SqNorms() // precompute so concurrent queries never race the cache
+	return &Exact{s: s, metric: metric, workers: normWorkers(workers)}
+}
+
+// Store implements Index.
+func (e *Exact) Store() *Store { return e.s }
+
+// Metric implements Index.
+func (e *Exact) Metric() Metric { return e.metric }
+
+// Search implements Index.
+func (e *Exact) Search(q []float32, k int) []Result {
+	return e.search(q, k, -1, nil)
+}
+
+// SearchRow implements Index.
+func (e *Exact) SearchRow(i, k int) []Result {
+	return e.search(e.s.Row(i), k, i, nil)
+}
+
+// search runs one query, excluding row exclude (-1 for none),
+// appending the results to dst.
+func (e *Exact) search(q []float32, k int, exclude int, dst []Result) []Result {
+	checkDim(e.s, q)
+	n := e.s.Len()
+	k = clampK(k, n)
+	if k <= 0 {
+		return dst
+	}
+	qn := queryNorm(e.metric, q)
+	workers := e.workers
+	if workers > 1 && n >= serialScanFloor {
+		return e.searchParallel(q, qn, k, exclude, dst, workers)
+	}
+	var t TopK
+	t.Reset(k)
+	scanRange(e.s, e.metric, q, qn, 0, n, exclude, &t)
+	return t.Append(dst)
+}
+
+// searchParallel partitions the rows across workers, each with its
+// own bounded heap, and merges the per-partition candidates. The
+// merge is a plain best-first sort of <= workers*k candidates, so the
+// result is deterministic regardless of worker count.
+func (e *Exact) searchParallel(q []float32, qn float64, k, exclude int, dst []Result, workers int) []Result {
+	n := e.s.Len()
+	if workers > n {
+		workers = n
+	}
+	heaps := make([]TopK, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			heaps[w].Reset(clampK(k, hi-lo))
+			scanRange(e.s, e.metric, q, qn, lo, hi, exclude, &heaps[w])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	cands := make([]Result, 0, workers*k)
+	for w := range heaps {
+		cands = heaps[w].Append(cands)
+	}
+	sortResults(cands)
+	return append(dst, cands[:clampK(k, len(cands))]...)
+}
+
+// SearchBatch implements Index. Queries are sharded across workers;
+// each worker reuses one heap and all results share one backing
+// allocation, so per-query allocation is amortized to ~0.
+func (e *Exact) SearchBatch(qs [][]float32, k int) [][]Result {
+	n := e.s.Len()
+	k = clampK(k, n)
+	out := make([][]Result, len(qs))
+	if k <= 0 || len(qs) == 0 {
+		return out
+	}
+	for _, q := range qs {
+		checkDim(e.s, q)
+	}
+	backing := make([]Result, len(qs)*k)
+	workers := e.workers
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	run := func(lo, hi int) {
+		var t TopK
+		for i := lo; i < hi; i++ {
+			t.Reset(k)
+			scanRange(e.s, e.metric, qs[i], queryNorm(e.metric, qs[i]), 0, n, -1, &t)
+			out[i] = t.Append(backing[i*k : i*k : (i+1)*k])
+		}
+	}
+	if workers <= 1 {
+		run(0, len(qs))
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(qs) / workers
+		hi := (w + 1) * len(qs) / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			run(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,365 @@
+package vecstore
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"v2v/internal/xrand"
+)
+
+// IVFConfig tunes the inverted-file index; see docs/VECTORS.md for
+// the recall/latency trade-off.
+type IVFConfig struct {
+	// NLists is the number of coarse cells (0 = sqrt(n), clamped to
+	// [1, n]).
+	NLists int
+	// NProbe is the number of cells scanned per query
+	// (0 = max(1, NLists/4)).
+	NProbe int
+	// Seed drives quantizer training; a fixed seed gives a
+	// deterministic index regardless of Workers.
+	Seed uint64
+	// Workers bounds build/batch parallelism (0 = GOMAXPROCS).
+	Workers int
+	// KMeansIters bounds Lloyd iterations of quantizer training
+	// (0 = 10).
+	KMeansIters int
+}
+
+// maxTrainPoints caps the quantizer training sample; training on a
+// deterministic stride sample bounds build cost at large n without
+// hurting cell quality (the full store is still assigned to cells
+// afterwards).
+const maxTrainPoints = 8192
+
+// IVF is an inverted-file approximate index: a k-means coarse
+// quantizer partitions the rows into cells, and a query scans only
+// the cells whose centroids score best. Recall is controlled by
+// NProbe; NProbe == NLists degenerates to an exact scan in cell
+// order.
+type IVF struct {
+	s         *Store
+	metric    Metric
+	nprobe    int
+	workers   int
+	centroids *Store
+	lists     [][]int32
+}
+
+// NewIVF trains the coarse quantizer and builds the inverted lists.
+func NewIVF(s *Store, metric Metric, cfg IVFConfig) (*IVF, error) {
+	n := s.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("vecstore: cannot build IVF over an empty store")
+	}
+	nlists := cfg.NLists
+	if nlists <= 0 {
+		nlists = int(math.Sqrt(float64(n)))
+	}
+	if nlists < 1 {
+		nlists = 1
+	}
+	if nlists > n {
+		nlists = n
+	}
+	nprobe := cfg.NProbe
+	if nprobe <= 0 {
+		nprobe = nlists / 4
+		if nprobe < 1 {
+			nprobe = 1
+		}
+	}
+	if nprobe > nlists {
+		nprobe = nlists
+	}
+	iters := cfg.KMeansIters
+	if iters <= 0 {
+		iters = 10
+	}
+	workers := normWorkers(cfg.Workers)
+
+	// Cosine clusters on L2-normalized copies so that cell shape
+	// follows angle, not magnitude; other metrics cluster raw rows.
+	space := s
+	if metric == Cosine {
+		space = normalizedCopy(s)
+	}
+	centroids := trainQuantizer(space, nlists, iters, cfg.Seed, workers)
+
+	// Final full-store assignment pass.
+	assign := make([]int32, n)
+	parallelRange(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			assign[i] = int32(nearestCentroid(centroids, space.Row(i)))
+		}
+	})
+	lists := make([][]int32, centroids.Len())
+	counts := make([]int, centroids.Len())
+	for _, c := range assign {
+		counts[c]++
+	}
+	backing := make([]int32, n)
+	off := 0
+	for c := range lists {
+		lists[c] = backing[off:off:off+counts[c]]
+		off += counts[c]
+	}
+	for i, c := range assign {
+		lists[c] = append(lists[c], int32(i))
+	}
+
+	s.SqNorms() // precompute for concurrent queries
+	centroids.SqNorms()
+	return &IVF{
+		s: s, metric: metric, nprobe: nprobe, workers: workers,
+		centroids: centroids, lists: lists,
+	}, nil
+}
+
+// normalizedCopy returns an L2-normalized copy of s (zero rows stay
+// zero).
+func normalizedCopy(s *Store) *Store {
+	out := New(s.Len(), s.Dim())
+	norms := s.SqNorms()
+	for i := 0; i < s.Len(); i++ {
+		src, dst := s.Row(i), out.Row(i)
+		if norms[i] == 0 {
+			continue
+		}
+		inv := float32(1 / math.Sqrt(norms[i]))
+		for j, x := range src {
+			dst[j] = x * inv
+		}
+	}
+	return out
+}
+
+// trainQuantizer runs k-means++ initialisation and bounded Lloyd
+// iterations over a deterministic stride sample of space. Point
+// assignment is parallel (each point independent); centroid
+// accumulation is serial in point order, so the result does not
+// depend on the worker count.
+func trainQuantizer(space *Store, k, iters int, seed uint64, workers int) *Store {
+	n, dim := space.Len(), space.Dim()
+	sample := make([]int, 0, maxTrainPoints)
+	if n <= maxTrainPoints {
+		for i := 0; i < n; i++ {
+			sample = append(sample, i)
+		}
+	} else {
+		stride := float64(n) / maxTrainPoints
+		for i := 0; i < maxTrainPoints; i++ {
+			sample = append(sample, int(float64(i)*stride))
+		}
+	}
+	if k > len(sample) {
+		k = len(sample)
+	}
+
+	rng := xrand.New(seed + 0x1F1F)
+	centroids := New(k, dim)
+
+	// k-means++ seeding over the sample.
+	copy(centroids.Row(0), space.Row(sample[rng.Intn(len(sample))]))
+	d2 := make([]float64, len(sample))
+	for i, id := range sample {
+		d2[i] = sqDistF64(space.Row(id), centroids.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		pick := sample[rng.Intn(len(sample))] // fallback: all mass at zero
+		if total > 0 {
+			r := rng.Float64() * total
+			for i, d := range d2 {
+				r -= d
+				if r <= 0 {
+					pick = sample[i]
+					break
+				}
+			}
+		}
+		copy(centroids.Row(c), space.Row(pick))
+		row := centroids.Row(c)
+		for i, id := range sample {
+			if d := sqDistF64(space.Row(id), row); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+
+	// Lloyd iterations.
+	assign := make([]int, len(sample))
+	sums := make([]float64, k*dim)
+	counts := make([]int, k)
+	for it := 0; it < iters; it++ {
+		centroids.InvalidateNorms()
+		changed := false
+		parallelRange(len(sample), workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				assign[i] = nearestCentroid(centroids, space.Row(sample[i]))
+			}
+		})
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i, id := range sample {
+			c := assign[i]
+			counts[c]++
+			row := space.Row(id)
+			acc := sums[c*dim : (c+1)*dim]
+			for j, x := range row {
+				acc[j] += float64(x)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue // keep the old centroid for empty cells
+			}
+			inv := 1 / float64(counts[c])
+			row := centroids.Row(c)
+			for j := 0; j < dim; j++ {
+				nv := float32(sums[c*dim+j] * inv)
+				if nv != row[j] {
+					row[j] = nv
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	centroids.InvalidateNorms()
+	return centroids
+}
+
+// nearestCentroid returns the centroid with the smallest squared
+// Euclidean distance to v, ties toward the smaller index.
+func nearestCentroid(centroids *Store, v []float32) int {
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < centroids.Len(); c++ {
+		if d := sqDistF64(v, centroids.Row(c)); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// parallelRange splits [0, n) across workers and blocks until done.
+func parallelRange(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Store implements Index.
+func (v *IVF) Store() *Store { return v.s }
+
+// Metric implements Index.
+func (v *IVF) Metric() Metric { return v.metric }
+
+// NLists returns the number of coarse cells.
+func (v *IVF) NLists() int { return v.centroids.Len() }
+
+// NProbe returns the number of cells scanned per query.
+func (v *IVF) NProbe() int { return v.nprobe }
+
+// ivfScratch holds the per-query working state so batch queries reuse
+// it across the whole shard: no per-query heap or probe allocations.
+type ivfScratch struct {
+	top    TopK
+	probes []Result
+}
+
+// Search implements Index.
+func (v *IVF) Search(q []float32, k int) []Result {
+	return v.search(q, k, -1, nil, new(ivfScratch))
+}
+
+// SearchRow implements Index.
+func (v *IVF) SearchRow(i, k int) []Result {
+	return v.search(v.s.Row(i), k, i, nil, new(ivfScratch))
+}
+
+func (v *IVF) search(q []float32, k, exclude int, dst []Result, sc *ivfScratch) []Result {
+	checkDim(v.s, q)
+	k = clampK(k, v.s.Len())
+	if k <= 0 {
+		return dst
+	}
+	qn := queryNorm(v.metric, q)
+
+	// Rank cells by the query's score against their centroids, in the
+	// index metric (for cosine the centroids of normalized rows are
+	// not unit vectors, but cosine against them ranks cells
+	// correctly).
+	sc.top.Reset(v.nprobe)
+	cn := v.centroids.SqNorms()
+	for c := 0; c < v.centroids.Len(); c++ {
+		switch v.metric {
+		case Euclidean:
+			sc.top.Push(c, -sqDistF64(q, v.centroids.Row(c)))
+		case Cosine:
+			sc.top.Push(c, cosineFromDot(dotF64(q, v.centroids.Row(c)), qn, cn[c]))
+		default:
+			sc.top.Push(c, dotF64(q, v.centroids.Row(c)))
+		}
+	}
+	sc.probes = sc.top.Append(sc.probes[:0])
+
+	sc.top.Reset(k)
+	for _, p := range sc.probes {
+		for _, id := range v.lists[p.ID] {
+			i := int(id)
+			if i == exclude {
+				continue
+			}
+			sc.top.Push(i, scoreRow(v.s, v.metric, q, qn, i))
+		}
+	}
+	return sc.top.Append(dst)
+}
+
+// SearchBatch implements Index; queries are sharded across workers
+// with per-worker scratch, amortizing allocation.
+func (v *IVF) SearchBatch(qs [][]float32, k int) [][]Result {
+	out := make([][]Result, len(qs))
+	k = clampK(k, v.s.Len())
+	if k <= 0 || len(qs) == 0 {
+		return out
+	}
+	parallelRange(len(qs), v.workers, func(lo, hi int) {
+		var sc ivfScratch
+		// One backing allocation per shard; each query appends at
+		// most k results, so the buffer never reallocates.
+		buf := make([]Result, 0, (hi-lo)*k)
+		for i := lo; i < hi; i++ {
+			start := len(buf)
+			buf = v.search(qs[i], k, -1, buf, &sc)
+			out[i] = buf[start:len(buf):len(buf)]
+		}
+	})
+	return out
+}

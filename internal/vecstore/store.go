@@ -1,0 +1,201 @@
+// Package vecstore is the shared vector subsystem of the repository:
+// a contiguous, 64-byte-aligned float32 matrix with cached L2 norms
+// and pluggable top-k similarity indexes over it. Every similarity
+// consumer — word2vec neighbor queries, k-NN feature prediction, link
+// prediction scoring and the v2v facade — searches through this
+// package instead of re-implementing brute-force scans over
+// [][]float64 rows.
+//
+// Numeric contract: vectors are stored as float32 (the trainer's
+// native precision) but every kernel accumulates in float64 in row
+// order, exactly like the seed implementations did after their
+// float64 row copies. Exact search is therefore bit-for-bit
+// compatible with the historical brute-force results; only the
+// storage and the selection algorithm changed. See docs/VECTORS.md.
+package vecstore
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// cacheLine is the alignment (in bytes) of store allocations. Rows
+// themselves are not padded — contiguity matters more than per-row
+// alignment at the dimensionalities the paper uses (50-128) — but the
+// matrix base is aligned so blocked kernels start on a boundary.
+const cacheLine = 64
+
+// AlignedSlice allocates a float32 slice of length n whose backing
+// array starts on a 64-byte boundary. The Go allocator already
+// 64-byte-aligns large allocations; this makes it a guarantee rather
+// than an accident.
+func AlignedSlice(n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	pad := cacheLine / 4
+	buf := make([]float32, n+pad)
+	addr := uintptr(unsafe.Pointer(unsafe.SliceData(buf)))
+	off := 0
+	if rem := addr % cacheLine; rem != 0 {
+		off = int((cacheLine - rem) / 4)
+	}
+	return buf[off : off+n : off+n]
+}
+
+// Store is an immutable-shape (n x dim) float32 matrix with cached
+// squared L2 norms. The norm cache is computed lazily on first use
+// (safely under concurrent queries); callers that mutate rows through
+// Row must call InvalidateNorms before the next similarity query.
+type Store struct {
+	n, dim int
+	data   []float32 // len n*dim, row-major
+
+	// Squared L2 norm per row. Published through an atomic pointer so
+	// concurrent readers can trigger the lazy computation without a
+	// race; normMu serialises (re)computation.
+	sqnorms atomic.Pointer[[]float64]
+	normMu  sync.Mutex
+}
+
+// New allocates an aligned zero store.
+func New(n, dim int) *Store {
+	if n < 0 || dim <= 0 {
+		panic(fmt.Sprintf("vecstore: invalid shape %dx%d", n, dim))
+	}
+	return &Store{n: n, dim: dim, data: AlignedSlice(n * dim)}
+}
+
+// Wrap builds a store sharing the given row-major backing slice
+// (typically a trained model's weight matrix) without copying. The
+// slice must have length n*dim.
+func Wrap(data []float32, n, dim int) *Store {
+	if dim <= 0 || len(data) != n*dim {
+		panic(fmt.Sprintf("vecstore: Wrap(%d floats) does not match %dx%d", len(data), n, dim))
+	}
+	return &Store{n: n, dim: dim, data: data}
+}
+
+// FromRows64 copies a [][]float64 row matrix into a new aligned
+// store, the migration shim for the historical interchange format.
+// It panics on ragged rows.
+func FromRows64(rows [][]float64) *Store {
+	if len(rows) == 0 {
+		return &Store{n: 0, dim: 1}
+	}
+	dim := len(rows[0])
+	if dim == 0 {
+		panic("vecstore: FromRows64 with zero-dimensional rows")
+	}
+	s := New(len(rows), dim)
+	for i, r := range rows {
+		if len(r) != dim {
+			panic(fmt.Sprintf("vecstore: ragged row %d (%d vs %d)", i, len(r), dim))
+		}
+		dst := s.Row(i)
+		for j, x := range r {
+			dst[j] = float32(x)
+		}
+	}
+	return s
+}
+
+// Len returns the number of rows.
+func (s *Store) Len() int { return s.n }
+
+// Dim returns the dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// Data returns the row-major backing slice.
+func (s *Store) Data() []float32 { return s.data }
+
+// Row returns row i, aliasing store memory.
+func (s *Store) Row(i int) []float32 {
+	return s.data[i*s.dim : (i+1)*s.dim : (i+1)*s.dim]
+}
+
+// SetRow copies v into row i and updates its cached norm if the cache
+// exists. SetRow is a mutation API: like Row writes, it must not run
+// concurrently with queries.
+func (s *Store) SetRow(i int, v []float32) {
+	if len(v) != s.dim {
+		panic(fmt.Sprintf("vecstore: SetRow dim %d vs %d", len(v), s.dim))
+	}
+	copy(s.Row(i), v)
+	if p := s.sqnorms.Load(); p != nil {
+		(*p)[i] = sqNorm(v)
+	}
+}
+
+// SqNorms returns the cached squared L2 norms, computing them on
+// first call; concurrent callers are safe. The square root is
+// deferred to the kernels (cosine needs sqrt(na*nb), which is cheaper
+// and bit-identical to the seed's single-pass formula).
+func (s *Store) SqNorms() []float64 {
+	if p := s.sqnorms.Load(); p != nil {
+		return *p
+	}
+	s.normMu.Lock()
+	defer s.normMu.Unlock()
+	if p := s.sqnorms.Load(); p != nil {
+		return *p
+	}
+	norms := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		norms[i] = sqNorm(s.Row(i))
+	}
+	s.sqnorms.Store(&norms)
+	return norms
+}
+
+// InvalidateNorms drops the norm cache after external mutation of row
+// storage (e.g. continued training over a wrapped weight matrix).
+func (s *Store) InvalidateNorms() {
+	s.normMu.Lock()
+	defer s.normMu.Unlock()
+	s.sqnorms.Store(nil)
+}
+
+// Gather copies the given rows, in order, into a new aligned store.
+// Row norms are carried over when already computed.
+func (s *Store) Gather(ids []int) *Store {
+	out := New(len(ids), s.dim)
+	for i, id := range ids {
+		copy(out.Row(i), s.Row(id))
+	}
+	if p := s.sqnorms.Load(); p != nil {
+		norms := make([]float64, len(ids))
+		for i, id := range ids {
+			norms[i] = (*p)[id]
+		}
+		out.sqnorms.Store(&norms)
+	}
+	return out
+}
+
+// Dot returns the float64-accumulated inner product of rows i and j.
+func (s *Store) Dot(i, j int) float64 { return dotF64(s.Row(i), s.Row(j)) }
+
+// Cosine returns the cosine similarity of rows i and j, or 0 when
+// either row is the zero vector — the same convention (and the same
+// float64 accumulation order) as the seed's Model.Cosine.
+func (s *Store) Cosine(i, j int) float64 {
+	norms := s.SqNorms()
+	na, nb := norms[i], norms[j]
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dotF64(s.Row(i), s.Row(j)) / math.Sqrt(na*nb)
+}
+
+// sqNorm accumulates the squared L2 norm in float64, row order.
+func sqNorm(v []float32) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return s
+}

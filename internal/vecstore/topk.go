@@ -1,0 +1,121 @@
+package vecstore
+
+// Result is one similarity search hit. Score follows the "higher is
+// better" convention of the active Metric (cosine similarity, inner
+// product, or negated squared Euclidean distance).
+type Result struct {
+	ID    int
+	Score float64
+}
+
+// better reports whether a ranks strictly ahead of b: larger score
+// first, ties broken toward the smaller ID — the ordering the seed's
+// full sorts used.
+func better(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// TopK is a bounded selection heap: it retains the k best results
+// seen (score descending, ID ascending on ties) in O(log k) per
+// candidate, replacing the seed's collect-all-then-sort pattern. The
+// zero value is unusable; call Reset first. TopK is reusable across
+// queries without reallocating.
+type TopK struct {
+	k int
+	h []Result // binary heap, h[0] = worst retained result
+}
+
+// Reset prepares the selector for a fresh query keeping at most k
+// results. It reuses the existing buffer when large enough.
+func (t *TopK) Reset(k int) {
+	t.k = k
+	if cap(t.h) < k {
+		t.h = make([]Result, 0, k)
+	}
+	t.h = t.h[:0]
+}
+
+// Len returns the number of retained results.
+func (t *TopK) Len() int { return len(t.h) }
+
+// Threshold returns the current worst retained result; valid only
+// when Len() == k. Candidates not better than it cannot enter.
+func (t *TopK) Threshold() Result { return t.h[0] }
+
+// Full reports whether k results are retained.
+func (t *TopK) Full() bool { return len(t.h) == t.k }
+
+// Push offers a candidate.
+func (t *TopK) Push(id int, score float64) {
+	c := Result{ID: id, Score: score}
+	if len(t.h) < t.k {
+		t.h = append(t.h, c)
+		t.up(len(t.h) - 1)
+		return
+	}
+	if t.k == 0 || !better(c, t.h[0]) {
+		return
+	}
+	t.h[0] = c
+	t.down(0)
+}
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		// Sift toward the root while the child is worse than the
+		// parent (the root holds the worst).
+		if !better(t.h[p], t.h[i]) {
+			break
+		}
+		t.h[p], t.h[i] = t.h[i], t.h[p]
+		i = p
+	}
+}
+
+func (t *TopK) down(i int) {
+	n := len(t.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && better(t.h[worst], t.h[l]) {
+			worst = l
+		}
+		if r < n && better(t.h[worst], t.h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.h[i], t.h[worst] = t.h[worst], t.h[i]
+		i = worst
+	}
+}
+
+// Append sorts the retained results best-first and appends them to
+// dst, returning the extended slice. The selector remains valid (its
+// heap order is destroyed; call Reset before reuse).
+func (t *TopK) Append(dst []Result) []Result {
+	start := len(dst)
+	dst = append(dst, t.h...)
+	sortResults(dst[start:])
+	return dst
+}
+
+// sortResults orders best-first. Insertion sort: k is small (<= a few
+// hundred) on every call site and this keeps extraction allocation
+// free.
+func sortResults(rs []Result) {
+	for i := 1; i < len(rs); i++ {
+		x := rs[i]
+		j := i - 1
+		for j >= 0 && better(x, rs[j]) {
+			rs[j+1] = rs[j]
+			j--
+		}
+		rs[j+1] = x
+	}
+}

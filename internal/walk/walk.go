@@ -479,10 +479,3 @@ func (gen *Generator) node2vecStep(prev, cur int, rng *xrand.RNG) (int, bool) {
 		}
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -5,45 +5,87 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
+	"sync"
+
+	"v2v/internal/vecstore"
 )
 
 // Model holds trained embeddings: one Dim-dimensional vector per
 // vocabulary item (vertex). Vectors are stored row-major in a single
-// backing slice.
+// 64-byte-aligned backing slice shared with the model's vector store,
+// so similarity queries run on the trained weights without copying.
 type Model struct {
 	Dim     int
 	Vocab   int
 	Vectors []float32 // len Vocab*Dim, row-major
+
+	// Lazily built query machinery over Vectors (see Store and
+	// InvalidateIndex); mu guards the lazy initialisation so
+	// concurrent queries on a fresh model are safe.
+	mu    sync.Mutex
+	store *vecstore.Store
+	exact *vecstore.Exact
 }
 
-// NewModel allocates a zero model.
+// NewModel allocates a zero model with aligned vector storage.
 func NewModel(vocab, dim int) *Model {
-	return &Model{Dim: dim, Vocab: vocab, Vectors: make([]float32, vocab*dim)}
+	return &Model{Dim: dim, Vocab: vocab, Vectors: vecstore.AlignedSlice(vocab * dim)}
+}
+
+// Store returns the model's vector store: a zero-copy view of the
+// trained weight matrix with cached L2 norms, the input for building
+// search indexes. The store (and its norm cache) is built on first
+// use, safely under concurrent queries; call InvalidateIndex after
+// mutating Vectors directly.
+func (m *Model) Store() *vecstore.Store {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.storeLocked()
+}
+
+func (m *Model) storeLocked() *vecstore.Store {
+	if m.store == nil {
+		m.store = vecstore.Wrap(m.Vectors, m.Vocab, m.Dim)
+	}
+	return m.store
+}
+
+// exactIndex returns the model's cached exact cosine index.
+func (m *Model) exactIndex() *vecstore.Exact {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.exact == nil {
+		m.exact = vecstore.NewExact(m.storeLocked(), vecstore.Cosine, 0)
+	}
+	return m.exact
+}
+
+// InvalidateIndex drops the cached store, norms and index after the
+// embedding matrix was mutated (e.g. continued training or
+// normalisation). The next query rebuilds them. Invalidation must not
+// run concurrently with queries (it is a mutation-side API, like
+// writing Vectors).
+func (m *Model) InvalidateIndex() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store != nil {
+		m.store.InvalidateNorms()
+	}
+	m.store, m.exact = nil, nil
 }
 
 // Vector returns the embedding of vertex w. The slice aliases model
-// storage.
+// storage; call InvalidateIndex before querying again if you mutate
+// it.
 func (m *Model) Vector(w int) []float32 {
 	return m.Vectors[w*m.Dim : (w+1)*m.Dim]
 }
 
-// VectorF64 returns a newly allocated float64 copy of w's embedding,
-// convenient for the linalg package.
-func (m *Model) VectorF64(w int) []float64 {
-	v := m.Vector(w)
-	out := make([]float64, len(v))
-	for i, x := range v {
-		out[i] = float64(x)
-	}
-	return out
-}
-
 // Rows returns all embeddings as a [Vocab][Dim] float64 matrix
-// (newly allocated), the interchange format used by clustering, PCA
-// and k-NN.
+// (newly allocated), the interchange format still used by clustering
+// and PCA. Similarity consumers should use Store instead.
 func (m *Model) Rows() [][]float64 {
 	rows := make([][]float64, m.Vocab)
 	flat := make([]float64, m.Vocab*m.Dim)
@@ -59,17 +101,7 @@ func (m *Model) Rows() [][]float64 {
 // Cosine returns the cosine similarity between vertices a and b, or 0
 // when either vector is zero.
 func (m *Model) Cosine(a, b int) float64 {
-	va, vb := m.Vector(a), m.Vector(b)
-	var dot, na, nb float64
-	for i := range va {
-		dot += float64(va[i]) * float64(vb[i])
-		na += float64(va[i]) * float64(va[i])
-		nb += float64(vb[i]) * float64(vb[i])
-	}
-	if na == 0 || nb == 0 {
-		return 0
-	}
-	return dot / math.Sqrt(na*nb)
+	return m.Store().Cosine(a, b)
 }
 
 // Neighbor is a similarity search result.
@@ -78,34 +110,43 @@ type Neighbor struct {
 	Similarity float64
 }
 
-// MostSimilar returns the k vertices most cosine-similar to w,
-// excluding w itself, in decreasing similarity order.
-func (m *Model) MostSimilar(w, k int) []Neighbor {
+// Neighbors returns the k vertices most cosine-similar to w,
+// excluding w itself, in decreasing similarity order (ties toward the
+// smaller vertex). It runs on the model's exact index: cached norms,
+// blocked kernels and bounded top-k selection instead of the
+// historical sort-everything scan, with identical results.
+func (m *Model) Neighbors(w, k int) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
-	res := make([]Neighbor, 0, m.Vocab-1)
-	for u := 0; u < m.Vocab; u++ {
-		if u == w {
-			continue
-		}
-		res = append(res, Neighbor{Word: u, Similarity: m.Cosine(w, u)})
+	return toNeighbors(m.exactIndex().SearchRow(w, k))
+}
+
+// MostSimilar is the historical name of Neighbors.
+func (m *Model) MostSimilar(w, k int) []Neighbor { return m.Neighbors(w, k) }
+
+// NeighborsIndex answers a neighbor query through a caller-supplied
+// index (e.g. an IVF index for approximate search); w is excluded
+// from the results.
+func NeighborsIndex(idx vecstore.Index, w, k int) []Neighbor {
+	if k <= 0 {
+		return nil
 	}
-	sort.Slice(res, func(i, j int) bool {
-		if res[i].Similarity != res[j].Similarity {
-			return res[i].Similarity > res[j].Similarity
-		}
-		return res[i].Word < res[j].Word
-	})
-	if k > len(res) {
-		k = len(res)
+	return toNeighbors(idx.SearchRow(w, k))
+}
+
+func toNeighbors(res []vecstore.Result) []Neighbor {
+	out := make([]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = Neighbor{Word: r.ID, Similarity: r.Score}
 	}
-	return res[:k]
+	return out
 }
 
 // Analogy answers "a is to b as c is to ?" by ranking vertices by
 // cosine similarity to vector(b) - vector(a) + vector(c), excluding
-// the three query vertices. It returns the top k candidates.
+// the three query vertices. It returns the top k candidates, selected
+// with a bounded heap instead of a full sort.
 func (m *Model) Analogy(a, b, c, k int) []Neighbor {
 	if k <= 0 {
 		return nil
@@ -120,7 +161,8 @@ func (m *Model) Analogy(a, b, c, k int) []Neighbor {
 		tNorm += x * x
 	}
 	tNorm = math.Sqrt(tNorm)
-	res := make([]Neighbor, 0, m.Vocab)
+	var top vecstore.TopK
+	top.Reset(k)
 	for u := 0; u < m.Vocab; u++ {
 		if u == a || u == b || u == c {
 			continue
@@ -135,18 +177,9 @@ func (m *Model) Analogy(a, b, c, k int) []Neighbor {
 		if un > 0 && tNorm > 0 {
 			sim = dot / (math.Sqrt(un) * tNorm)
 		}
-		res = append(res, Neighbor{Word: u, Similarity: sim})
+		top.Push(u, sim)
 	}
-	sort.Slice(res, func(i, j int) bool {
-		if res[i].Similarity != res[j].Similarity {
-			return res[i].Similarity > res[j].Similarity
-		}
-		return res[i].Word < res[j].Word
-	})
-	if k > len(res) {
-		k = len(res)
-	}
-	return res[:k]
+	return toNeighbors(top.Append(nil))
 }
 
 // Centroid returns the mean vector of the given vertices.
@@ -167,8 +200,8 @@ func (m *Model) Centroid(vertices []int) []float64 {
 	return out
 }
 
-// Normalize L2-normalises every vector in place. Zero vectors are
-// left untouched.
+// Normalize L2-normalises every vector in place and invalidates the
+// cached index. Zero vectors are left untouched.
 func (m *Model) Normalize() {
 	for w := 0; w < m.Vocab; w++ {
 		v := m.Vector(w)
@@ -184,6 +217,7 @@ func (m *Model) Normalize() {
 			v[i] *= inv
 		}
 	}
+	m.InvalidateIndex()
 }
 
 // Save writes the model in the word2vec text format: a header line

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"v2v/internal/vecstore"
 	"v2v/internal/xrand"
 )
 
@@ -120,21 +121,23 @@ func newTrainer(corpus StreamingCorpus, vocab int, cfg Config) (*trainer, error)
 	tr.budget = tr.totalTokens * int64(cfg.Epochs)
 
 	dim := cfg.Dim
-	tr.syn0 = make([]float32, vocab*dim)
+	// Aligned weight matrices: syn0 becomes the model's vector store
+	// after training, syn1 just shares the hot-loop cache behavior.
+	tr.syn0 = vecstore.AlignedSlice(vocab * dim)
 	rng := xrand.New(cfg.Seed ^ 0x5eedf00d)
 	for i := range tr.syn0 {
 		tr.syn0[i] = (rng.Float32() - 0.5) / float32(dim)
 	}
 	switch cfg.Sampler {
 	case NegativeSampling:
-		tr.syn1 = make([]float32, vocab*dim)
+		tr.syn1 = vecstore.AlignedSlice(vocab * dim)
 		tr.unigram = newAliasSampler(tr.counts, 0.75)
 	case HierarchicalSoftmax:
 		inner := vocab - 1
 		if inner < 1 {
 			inner = 1
 		}
-		tr.syn1 = make([]float32, inner*dim)
+		tr.syn1 = vecstore.AlignedSlice(inner * dim)
 		tr.tree = buildHuffman(tr.counts)
 	}
 	return tr, nil

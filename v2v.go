@@ -31,6 +31,7 @@ import (
 	"v2v/internal/openflights"
 	"v2v/internal/spectral"
 	"v2v/internal/tsne"
+	"v2v/internal/vecstore"
 	"v2v/internal/viz"
 	"v2v/internal/walk"
 	"v2v/internal/word2vec"
@@ -157,6 +158,13 @@ type Options struct {
 	Streaming   bool
 	StreamBatch int
 	StreamDepth int
+
+	// Index selects the similarity index serving the embedding's
+	// query paths (Embedding.Neighbors, missing-label prediction):
+	// the zero value is the exact scan; {Kind: IVFIndex, NProbe: n}
+	// trades exactness for nprobe-pruned approximate search. See
+	// docs/VECTORS.md.
+	Index IndexConfig
 }
 
 // DefaultOptions returns the paper's configuration at the given
@@ -204,6 +212,7 @@ func (o Options) coreConfig() core.Config {
 			Seed:            o.Seed,
 		},
 		Streaming: o.Streaming,
+		Index:     o.Index,
 	}
 }
 
@@ -277,6 +286,62 @@ func LoadWalks(r io.Reader) (*WalkCorpus, error) { return walk.LoadCorpus(r) }
 
 // LoadModel reads embeddings saved with Model.Save.
 func LoadModel(r io.Reader) (*Model, []string, error) { return word2vec.Load(r) }
+
+// ---- Vector store and top-k indexes --------------------------------
+
+// VectorStore is a contiguous, aligned float32 matrix with cached L2
+// norms — the storage every similarity consumer shares. Get a model's
+// store with Model.Store().
+type VectorStore = vecstore.Store
+
+// Index is a pluggable top-k similarity index over a VectorStore.
+type Index = vecstore.Index
+
+// IndexKind selects the index implementation.
+type IndexKind = vecstore.Kind
+
+// Index kinds.
+const (
+	// ExactIndex scans every vector with blocked kernels and bounded
+	// top-k heaps; results are exact (and bit-for-bit identical to
+	// the pre-index brute-force paths).
+	ExactIndex = vecstore.KindExact
+	// IVFIndex prunes the scan with a k-means coarse quantizer,
+	// probing only the NProbe closest cells; approximate.
+	IVFIndex = vecstore.KindIVF
+)
+
+// IndexConfig selects and tunes an index (kind, metric, NLists,
+// NProbe, workers, seed). The zero value is an exact cosine index.
+type IndexConfig = vecstore.Config
+
+// SearchResult is one similarity hit (vertex ID and score, higher
+// better).
+type SearchResult = vecstore.Result
+
+// IndexMetric selects the similarity an index scores by.
+type IndexMetric = vecstore.Metric
+
+// Index metrics.
+const (
+	CosineSimilarityMetric = vecstore.Cosine
+	DotProductMetric       = vecstore.Dot
+	EuclideanMetric        = vecstore.Euclidean
+)
+
+// NewIndex builds a similarity index over a trained model's vectors.
+func NewIndex(m *Model, cfg IndexConfig) (Index, error) {
+	return vecstore.Open(m.Store(), cfg)
+}
+
+// NewVectorIndex builds a similarity index over an arbitrary store.
+func NewVectorIndex(s *VectorStore, cfg IndexConfig) (Index, error) {
+	return vecstore.Open(s, cfg)
+}
+
+// VectorStoreOf copies [][]float64 rows into an aligned store (the
+// bridge from the historical interchange format).
+func VectorStoreOf(rows [][]float64) *VectorStore { return vecstore.FromRows64(rows) }
 
 // ---- Applications -------------------------------------------------
 
@@ -471,9 +536,18 @@ func EvaluateLinkScorer(s LinkScorer, split *LinkSplit) LinkResult {
 }
 
 // EmbeddingLinkScorer scores pairs by embedding similarity (cosine,
-// or dot product with hadamard = true).
+// or dot product with hadamard = true), reading the trained vectors
+// in place through the model's store.
 func EmbeddingLinkScorer(m *Model, hadamard bool) LinkScorer {
-	return &linkpred.EmbeddingScorer{Vectors: m.Rows(), Hadamard: hadamard}
+	return &linkpred.EmbeddingScorer{Store: m.Store(), Hadamard: hadamard}
+}
+
+// EvaluateLinkScorerParallel is EvaluateLinkScorer with pair scoring
+// fanned out over workers goroutines (0 = GOMAXPROCS). The scorer's
+// Score method must tolerate concurrent calls — every scorer built by
+// this package does. Results are identical for every worker count.
+func EvaluateLinkScorerParallel(s LinkScorer, split *LinkSplit, workers int) LinkResult {
+	return linkpred.EvaluateParallel(s, split, workers)
 }
 
 // CommonNeighborsScorer counts shared neighbours in g.
