@@ -1,18 +1,20 @@
 # Build, test and benchmark-trajectory targets. The bench targets
 # snapshot the perf of the three hot paths — walk generation, CBOW
 # training and top-k vector search — into BENCH_<date>.json so every
-# future PR has a baseline to diff against (see cmd/benchjson).
+# future PR has a baseline to diff against (see cmd/benchjson); the
+# loadgen targets snapshot serving latency the same way.
 
 GO      ?= go
 DATE    := $(shell date -u +%Y-%m-%d)
 BENCH_OUT ?= BENCH_$(DATE).json
+LOADGEN_OUT ?= LOADGEN_$(DATE).json
 
 # One representative benchmark per pipeline stage plus the full query
 # matrix; keep this pattern in sync with docs/VECTORS.md.
 BENCH_PATTERN ?= BenchmarkGenerateUniform$$|BenchmarkTrainCBOWNegSampling$$|BenchmarkSearch|BenchmarkPredictScaling|BenchmarkPredictCosine$$
 BENCH_PKGS    ?= ./internal/walk ./internal/word2vec ./internal/vecstore ./internal/knn
 
-.PHONY: build test race vet bench bench-short clean
+.PHONY: build test race vet bench bench-short serve-smoke loadgen-bench loadgen-short clean
 
 build:
 	$(GO) build ./...
@@ -25,7 +27,14 @@ vet:
 
 race:
 	$(GO) test -race ./internal/walk/... ./internal/word2vec/... \
-		./internal/knn/... ./internal/linkpred/... ./internal/vecstore/...
+		./internal/knn/... ./internal/linkpred/... ./internal/vecstore/... \
+		./internal/server/... ./internal/snapshot/... ./internal/loadgen/...
+
+# End-to-end serving smoke test: builds the v2v binary, serves a
+# snapshot on a random port, issues one query per endpoint (including
+# a hot reload) and asserts a clean SIGTERM shutdown.
+serve-smoke:
+	$(GO) test -run TestServeSmokeE2E -count 1 -v .
 
 # Full trajectory snapshot (minutes; run before publishing perf claims).
 bench:
@@ -39,5 +48,24 @@ bench-short:
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -date $(DATE) > $(BENCH_OUT)
 	@echo wrote $(BENCH_OUT)
 
+# Serving-latency snapshot: loadgen against an in-process server over
+# a synthetic 10k x 64 model (exact index, cache covering the vocab,
+# one warm-up pass), neighbors-heavy mix. Writes LOADGEN_<date>.json
+# in the same trajectory format as BENCH_<date>.json.
+loadgen-bench:
+	$(GO) run ./cmd/loadgen -selfserve -vectors 10000 -dim 64 -cache 16384 \
+		-warmup 1 -duration 10s -workers 8 \
+		-mix 'neighbors=0.85,similarity=0.05,predict=0.05,neighbors-batch=0.05' \
+		-out $(LOADGEN_OUT)
+	@echo wrote $(LOADGEN_OUT)
+
+# Scaled-down serving snapshot for CI.
+loadgen-short:
+	$(GO) run ./cmd/loadgen -selfserve -vectors 2000 -dim 32 -cache 4096 \
+		-warmup 1 -duration 2s -workers 4 \
+		-mix 'neighbors=0.85,similarity=0.05,predict=0.05,neighbors-batch=0.05' \
+		-out $(LOADGEN_OUT)
+	@echo wrote $(LOADGEN_OUT)
+
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_*.json LOADGEN_*.json

@@ -1,0 +1,150 @@
+// Command loadgen benchmarks a running `v2v serve` instance: it fires
+// a configurable mix of endpoint queries at a target QPS from N
+// concurrent workers and reports throughput and p50/p95/p99 latency,
+// as human-readable text on stderr and as JSON (compatible with the
+// BENCH_<date>.json trajectory format) on the output file.
+//
+// Against a running server:
+//
+//	loadgen -addr http://127.0.0.1:8080 -duration 10s -workers 8 \
+//	        -qps 0 -mix 'neighbors=0.8,similarity=0.1,predict=0.1' \
+//	        -k 10 -out loadgen.json
+//
+// Self-contained (spins an in-process server over a synthetic model —
+// the zero-setup smoke benchmark used by CI):
+//
+//	loadgen -selfserve -vectors 10000 -dim 64 -duration 5s
+//
+// A qps of 0 runs closed-loop at maximum speed; otherwise arrival
+// times are paced open-loop at the target aggregate rate. See
+// docs/SERVING.md.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"v2v/internal/loadgen"
+	"v2v/internal/server"
+	"v2v/internal/word2vec"
+	"v2v/internal/xrand"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the target server")
+		workers  = flag.Int("workers", 0, "concurrent client workers (0 = GOMAXPROCS)")
+		qps      = flag.Float64("qps", 0, "target aggregate requests/sec (0 = unlimited)")
+		requests = flag.Int("requests", 0, "total requests (0 = run for -duration)")
+		duration = flag.Duration("duration", 10*time.Second, "run length when -requests is 0")
+		mixFlag  = flag.String("mix", "neighbors=1", "operation mix, e.g. 'neighbors=0.8,similarity=0.1,predict=0.1'")
+		k        = flag.Int("k", 10, "top-k per neighbors/analogy query")
+		batch    = flag.Int("batch", 16, "queries per batch request")
+		warmup   = flag.Int("warmup", 0, "unmeasured warm-up passes over the vocabulary before the clock starts")
+		seed     = flag.Uint64("seed", 1, "query sampling seed")
+		out      = flag.String("out", "", "write the JSON snapshot here (default stdout)")
+		date     = flag.String("date", time.Now().UTC().Format("2006-01-02"), "snapshot date stamp")
+
+		selfserve = flag.Bool("selfserve", false, "spin an in-process server over a synthetic model and benchmark it")
+		vectors   = flag.Int("vectors", 10000, "selfserve: synthetic model size")
+		dim       = flag.Int("dim", 64, "selfserve: synthetic model dimensionality")
+		cacheSize = flag.Int("cache", 4096, "selfserve: server response-cache entries (negative disables)")
+	)
+	flag.Parse()
+
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := *addr
+	if *selfserve {
+		var stop func()
+		base, stop, err = startSelfServe(*vectors, *dim, *seed, *cacheSize)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "loadgen: self-serving %d x %d synthetic model at %s\n", *vectors, *dim, base)
+	}
+
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:      base,
+		Workers:      *workers,
+		QPS:          *qps,
+		Requests:     *requests,
+		Duration:     *duration,
+		Mix:          mix,
+		K:            *k,
+		BatchSize:    *batch,
+		WarmupPasses: *warmup,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests in %.2fs (%.0f req/s, %d errors, %d workers)\n",
+		res.Overall.Requests, res.DurationSeconds, res.Overall.QPS, res.Overall.Errors, res.Workers)
+	for _, o := range res.PerOp {
+		fmt.Fprintf(os.Stderr, "  %-17s %8d reqs  %8.0f req/s  p50 %6.3fms  p95 %6.3fms  p99 %6.3fms  max %6.1fms\n",
+			o.Op, o.Requests, o.QPS, o.P50Ms, o.P95Ms, o.P99Ms, o.MaxMs)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res.Snapshot(*date)); err != nil {
+		fatal(err)
+	}
+}
+
+// startSelfServe builds a deterministic random model, serves it on a
+// loopback port, and returns the base URL plus a shutdown function.
+func startSelfServe(vectors, dim int, seed uint64, cacheSize int) (string, func(), error) {
+	m := word2vec.NewModel(vectors, dim)
+	rng := xrand.New(seed)
+	for i := range m.Vectors {
+		m.Vectors[i] = float32(rng.Float64()*2 - 1)
+	}
+	srv, err := server.NewFromModel(server.Config{
+		Addr:      "127.0.0.1:0",
+		CacheSize: cacheSize,
+	}, m, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(ctx, ready) }()
+	select {
+	case a := <-ready:
+		stop := func() {
+			cancel()
+			<-errc
+		}
+		return "http://" + a.String(), stop, nil
+	case err := <-errc:
+		cancel()
+		return "", nil, err
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,10 @@
 //	predict -in graph.txt -labels labels.txt [-k 3] [-folds 10]
 //	        [-dim 50] [-predict-missing] [-seed 1]
 //	        [-index exact|ivf] [-nlists 0] [-nprobe 0]
+//	        [-model-out model.snap]
+//
+// -model-out additionally saves the trained embedding as a binary
+// snapshot, ready to be served with `v2v serve` (docs/SERVING.md).
 //
 // labels.txt holds one label per line in vertex order; with
 // -predict-missing, lines equal to "?" are predicted from the rest
@@ -44,6 +48,7 @@ func main() {
 		index   = flag.String("index", "exact", "similarity index for -predict-missing: exact or ivf")
 		nlists  = flag.Int("nlists", 0, "ivf: coarse cells (0 = sqrt(n))")
 		nprobe  = flag.Int("nprobe", 0, "ivf: cells scanned per query (0 = nlists/4)")
+		modelF  = flag.String("model-out", "", "also save the trained embedding here as a binary snapshot (servable with `v2v serve`)")
 	)
 	flag.Parse()
 	if *in == "" || *labelsF == "" {
@@ -83,6 +88,23 @@ func main() {
 	emb, err := v2v.Embed(g, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *modelF != "" {
+		f, err := os.Create(*modelF)
+		if err != nil {
+			fatal(err)
+		}
+		tokens := make([]string, g.NumVertices())
+		for v := range tokens {
+			tokens[v] = g.Name(v)
+		}
+		if err := v2v.SaveSnapshot(f, emb.Model, tokens); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *missing {

@@ -1,15 +1,21 @@
 // Command v2v trains vertex embeddings for a graph given as an edge
-// list and writes them in the word2vec text format, and serves top-k
-// similarity queries over saved embeddings.
+// list, writes them in the word2vec text format or the fast binary
+// snapshot format, serves top-k similarity queries over saved
+// embeddings, and runs a long-lived HTTP query server.
 //
 // Training usage:
 //
-//	v2v -in graph.txt [-out vectors.txt] [-dim 50] [-walks 10]
-//	    [-length 80] [-window 5] [-epochs 3] [-directed] [-named]
+//	v2v -in graph.txt [-out vectors.txt] [-format text|bin] [-dim 50]
+//	    [-walks 10] [-length 80] [-window 5] [-epochs 3] [-directed]
+//	    [-named]
 //	    [-strategy uniform|edge-weighted|vertex-weighted|temporal|node2vec]
 //	    [-objective cbow|skipgram] [-sampler ns|hs] [-streaming] [-seed 1]
 //
-// Query usage (the fast path over a trained model):
+// -format bin writes a versioned binary snapshot (magic header, token
+// table, raw float32 matrix, CRC) that loads ~10x faster than the
+// text format; every model-reading command auto-detects both formats.
+//
+// Query usage (one-shot, over a saved model):
 //
 //	v2v query -model vectors.txt [-k 10] [-index exact|ivf]
 //	          [-nlists 0] [-nprobe 0] [-v] [vertex ...]
@@ -19,6 +25,17 @@
 // "query neighbor similarity". The IVF index trades exact results for
 // speed; see docs/VECTORS.md for the nlists/nprobe knobs.
 //
+// Serve usage (the long-lived HTTP/JSON query server):
+//
+//	v2v serve -model vectors.snap [-addr 127.0.0.1:8080]
+//	          [-index exact|ivf] [-nlists 0] [-nprobe 0] [-cache 4096]
+//
+// The server exposes /v1/neighbors, /v1/similarity, /v1/analogy,
+// /v1/predict (plus /batch variants), /v1/vocab, /v1/reload (atomic
+// hot model swap), /healthz and /stats, and shuts down gracefully on
+// SIGTERM/SIGINT. See docs/SERVING.md for the API reference and
+// cmd/loadgen for the load-generating client.
+//
 // The input format is one edge per line: "u v [weight [time]]"; lines
 // starting with '#' are comments. With -named, u and v are arbitrary
 // vertex names rather than integer indices.
@@ -26,18 +43,28 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"v2v"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "query" {
-		queryMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "query":
+			queryMain(os.Args[2:])
+			return
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		}
 	}
 	trainMain()
 }
@@ -60,6 +87,7 @@ func trainMain() {
 		objective = flag.String("objective", "cbow", "cbow or skipgram")
 		sampler   = flag.String("sampler", "ns", "ns (negative sampling) or hs (hierarchical softmax)")
 		streaming = flag.Bool("streaming", false, "fused walk→train pipeline: regenerate walks on the fly instead of materializing the corpus (see docs/STREAMING.md)")
+		format    = flag.String("format", "text", "output format: text (word2vec) or bin (binary snapshot, ~10x faster to load)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		verbose   = flag.Bool("v", false, "log progress to stderr")
 	)
@@ -67,6 +95,9 @@ func trainMain() {
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *format != "text" && *format != "bin" {
+		fatal(fmt.Errorf("unknown format %q (want text or bin)", *format))
 	}
 
 	var input *os.File
@@ -150,7 +181,63 @@ func trainMain() {
 		defer f.Close()
 		output = f
 	}
+	if *format == "bin" {
+		tokens := make([]string, g.NumVertices())
+		for v := range tokens {
+			tokens[v] = g.Name(v)
+		}
+		if err := v2v.SaveSnapshot(output, emb.Model, tokens); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if err := emb.Model.Save(output, g.Name); err != nil {
+		fatal(err)
+	}
+}
+
+// serveMain runs the long-lived HTTP query server with graceful
+// shutdown on SIGTERM/SIGINT.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("v2v serve", flag.ExitOnError)
+	var (
+		modelF = fs.String("model", "", "saved model (required; snapshot or text, auto-detected)")
+		addr   = fs.String("addr", "127.0.0.1:8080", "listen address")
+		kind   = fs.String("index", "exact", "index kind: exact or ivf")
+		nlists = fs.Int("nlists", 0, "ivf: coarse cells (0 = sqrt(n))")
+		nprobe = fs.Int("nprobe", 0, "ivf: cells scanned per query (0 = nlists/4)")
+		seed   = fs.Uint64("seed", 1, "ivf quantizer seed")
+		cache  = fs.Int("cache", 4096, "response cache entries (negative disables)")
+		quiet  = fs.Bool("q", false, "suppress serving logs")
+	)
+	fs.Parse(args)
+	if *modelF == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	cfg := v2v.ServeConfig{
+		Addr:      *addr,
+		ModelPath: *modelF,
+		CacheSize: *cache,
+	}
+	cfg.Index = v2v.IndexConfig{NLists: *nlists, NProbe: *nprobe, Seed: *seed}
+	switch *kind {
+	case "exact":
+		cfg.Index.Kind = v2v.ExactIndex
+	case "ivf":
+		cfg.Index.Kind = v2v.IVFIndex
+	default:
+		fatal(fmt.Errorf("unknown index kind %q", *kind))
+	}
+	if !*quiet {
+		cfg.Log = log.New(os.Stderr, "", log.LstdFlags)
+	}
+
+	// SIGTERM/SIGINT cancel the context; Serve then stops accepting,
+	// drains in-flight requests and returns nil on a clean shutdown.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	if err := v2v.Serve(ctx, cfg); err != nil {
 		fatal(err)
 	}
 }

@@ -1,0 +1,550 @@
+// Package loadgen is the measuring client for the embedding query
+// server: a FalkorDB-benchmark-style load generator that fires a
+// configurable mix of endpoint queries at a target aggregate QPS from
+// N concurrent workers and reports throughput plus latency
+// percentiles. cmd/loadgen is the CLI; the server's end-to-end tests
+// reuse this package to assert sustained throughput and zero failed
+// requests under hot reload.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"v2v/internal/xrand"
+)
+
+// Op names one request shape the generator can issue. The batch ops
+// issue one HTTP request carrying BatchSize queries.
+type Op string
+
+// Supported operations.
+const (
+	OpNeighbors       Op = "neighbors"
+	OpNeighborsBatch  Op = "neighbors-batch"
+	OpSimilarity      Op = "similarity"
+	OpSimilarityBatch Op = "similarity-batch"
+	OpAnalogy         Op = "analogy"
+	OpPredict         Op = "predict"
+	OpPredictBatch    Op = "predict-batch"
+)
+
+var allOps = []Op{
+	OpNeighbors, OpNeighborsBatch, OpSimilarity, OpSimilarityBatch,
+	OpAnalogy, OpPredict, OpPredictBatch,
+}
+
+// Config tunes a load run.
+type Config struct {
+	// BaseURL of the target server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+
+	// Workers is the number of concurrent client goroutines
+	// (0 = GOMAXPROCS).
+	Workers int
+
+	// QPS is the target aggregate request rate; 0 runs closed-loop at
+	// maximum speed.
+	QPS float64
+
+	// Requests bounds the run by request count; when 0, Duration
+	// bounds it by wall clock (default 10s).
+	Requests int
+	Duration time.Duration
+
+	// Mix weights the operations (need not sum to 1); nil means 100%
+	// neighbors queries.
+	Mix map[Op]float64
+
+	// K is the top-k per neighbors/analogy query (default 10).
+	K int
+
+	// BatchSize is the queries carried per batch request (default 16).
+	BatchSize int
+
+	// Seed drives query sampling; runs with equal seeds issue the
+	// same query sequence per worker.
+	Seed uint64
+
+	// VocabLimit caps how many tokens are fetched from /v1/vocab to
+	// sample queries from (0 = 100000).
+	VocabLimit int
+
+	// WarmupPasses issues that many unmeasured passes over the whole
+	// sampled vocabulary (one neighbors query per token at K) before
+	// the clock starts, pre-filling the server's response cache the
+	// way steady-state traffic would have. 0 measures from cold.
+	WarmupPasses int
+
+	// Timeout is the per-request client timeout (0 = 10s).
+	Timeout time.Duration
+}
+
+// OpResult is the measured outcome of one operation type.
+type OpResult struct {
+	Op       Op      `json:"op"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+// Result is a completed load run.
+type Result struct {
+	DurationSeconds float64    `json:"duration_seconds"`
+	Workers         int        `json:"workers"`
+	TargetQPS       float64    `json:"target_qps,omitempty"`
+	Overall         OpResult   `json:"overall"`
+	PerOp           []OpResult `json:"per_op"`
+}
+
+// sample is one completed request observation.
+type sample struct {
+	op  int8
+	ok  bool
+	dur time.Duration
+}
+
+// Run executes the configured load and aggregates the measurements.
+func Run(cfg Config) (*Result, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	base := strings.TrimRight(cfg.BaseURL, "/")
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = 10
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	duration := cfg.Duration
+	if cfg.Requests <= 0 && duration <= 0 {
+		duration = 10 * time.Second
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = map[Op]float64{OpNeighbors: 1}
+	}
+
+	// Build the operation CDF in the fixed allOps order so equal
+	// seeds draw identical op sequences regardless of map iteration.
+	opIdx := make(map[Op]int, len(allOps))
+	for i, op := range allOps {
+		opIdx[op] = i
+	}
+	var cdf []float64
+	var cdfOps []int8
+	total := 0.0
+	for _, op := range allOps {
+		w := mix[op]
+		if w < 0 {
+			return nil, fmt.Errorf("loadgen: negative weight for %q", op)
+		}
+		if w == 0 {
+			continue
+		}
+		total += w
+		cdf = append(cdf, total)
+		cdfOps = append(cdfOps, int8(opIdx[op]))
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("loadgen: empty operation mix")
+	}
+	for op := range mix {
+		if _, ok := opIdx[op]; !ok {
+			return nil, fmt.Errorf("loadgen: unknown operation %q (supported: %v)", op, allOps)
+		}
+	}
+
+	transport := &http.Transport{
+		MaxIdleConns:        workers * 2,
+		MaxIdleConnsPerHost: workers * 2,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: timeout}
+
+	tokens, err := fetchVocab(client, base, cfg.VocabLimit)
+	if err != nil {
+		return nil, err
+	}
+
+	for pass := 0; pass < cfg.WarmupPasses; pass++ {
+		if err := warmup(client, base, tokens, k, workers); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pacing: request i is due at start + i/QPS, claimed from a
+	// global counter — open-loop arrivals shared across workers, like
+	// the rate-limited FalkorDB benchmark client. next doubles as the
+	// request-count budget when cfg.Requests bounds the run.
+	var next atomic.Int64
+	deadline := time.Time{}
+	start := time.Now()
+	if duration > 0 {
+		deadline = start.Add(duration)
+	}
+
+	perWorker := make([][]sample, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.NewStream(cfg.Seed, uint64(w))
+			samples := make([]sample, 0, 4096)
+			g := generator{
+				client: client, base: base, tokens: tokens,
+				k: k, batch: batch, rng: rng,
+			}
+			for {
+				i := next.Add(1) - 1
+				if cfg.Requests > 0 && i >= int64(cfg.Requests) {
+					break
+				}
+				if cfg.QPS > 0 {
+					due := start.Add(time.Duration(float64(i) / cfg.QPS * float64(time.Second)))
+					// A claimed slot due after the deadline will never
+					// be issued — stop instead of sleeping past the
+					// run's nominal window (at low QPS the first
+					// claimed slots can already lie beyond it).
+					if !deadline.IsZero() && due.After(deadline) {
+						break
+					}
+					if d := time.Until(due); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					break
+				}
+				op := cdfOps[pick(rng, cdf, total)]
+				t0 := time.Now()
+				ok := g.issue(allOps[op])
+				samples = append(samples, sample{op: op, ok: ok, dur: time.Since(t0)})
+			}
+			perWorker[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []sample
+	for _, s := range perWorker {
+		all = append(all, s...)
+	}
+	res := &Result{
+		DurationSeconds: elapsed.Seconds(),
+		Workers:         workers,
+		TargetQPS:       cfg.QPS,
+	}
+	res.Overall = summarize("overall", all, elapsed)
+	for i, op := range allOps {
+		var sub []sample
+		for _, s := range all {
+			if int(s.op) == i {
+				sub = append(sub, s)
+			}
+		}
+		if len(sub) > 0 {
+			res.PerOp = append(res.PerOp, summarize(op, sub, elapsed))
+		}
+	}
+	return res, nil
+}
+
+// pick draws an op index from the CDF.
+func pick(rng *xrand.RNG, cdf []float64, total float64) int {
+	x := rng.Float64() * total
+	for i, c := range cdf {
+		if x < c {
+			return i
+		}
+	}
+	return len(cdf) - 1
+}
+
+// generator issues one request per call, reusing buffers across
+// requests within a worker.
+type generator struct {
+	client *http.Client
+	base   string
+	tokens []string
+	k      int
+	batch  int
+	rng    *xrand.RNG
+	buf    bytes.Buffer
+}
+
+// tok samples a vocabulary token, URL-escaped: models trained with
+// -named can hold tokens with query-reserved characters ('&', '+',
+// '=', spaces), which must not splice rawly into a query string.
+func (g *generator) tok() string {
+	return url.QueryEscape(g.tokens[int(g.rng.Uint64()%uint64(len(g.tokens)))])
+}
+
+// rawTok samples an unescaped token (for JSON bodies).
+func (g *generator) rawTok() string {
+	return g.tokens[int(g.rng.Uint64()%uint64(len(g.tokens)))]
+}
+
+// issue fires one request of the given shape; it reports success
+// (HTTP 200 and a fully-read body).
+func (g *generator) issue(op Op) bool {
+	switch op {
+	case OpNeighbors:
+		return g.get(fmt.Sprintf("%s/v1/neighbors?vertex=%s&k=%d", g.base, g.tok(), g.k))
+	case OpSimilarity:
+		return g.get(fmt.Sprintf("%s/v1/similarity?a=%s&b=%s", g.base, g.tok(), g.tok()))
+	case OpAnalogy:
+		return g.get(fmt.Sprintf("%s/v1/analogy?a=%s&b=%s&c=%s&k=%d", g.base, g.tok(), g.tok(), g.tok(), g.k))
+	case OpPredict:
+		return g.get(fmt.Sprintf("%s/v1/predict?u=%s&v=%s", g.base, g.tok(), g.tok()))
+	case OpNeighborsBatch:
+		vs := make([]string, g.batch)
+		for i := range vs {
+			vs[i] = g.rawTok()
+		}
+		return g.post(g.base+"/v1/neighbors/batch", map[string]any{"vertices": vs, "k": g.k})
+	case OpSimilarityBatch, OpPredictBatch:
+		pairs := make([][2]string, g.batch)
+		for i := range pairs {
+			pairs[i] = [2]string{g.rawTok(), g.rawTok()}
+		}
+		path := "/v1/similarity/batch"
+		if op == OpPredictBatch {
+			path = "/v1/predict/batch"
+		}
+		return g.post(g.base+path, map[string]any{"pairs": pairs})
+	default:
+		return false
+	}
+}
+
+func (g *generator) get(url string) bool {
+	resp, err := g.client.Get(url)
+	if err != nil {
+		return false
+	}
+	return drain(resp)
+}
+
+func (g *generator) post(url string, body any) bool {
+	g.buf.Reset()
+	if err := json.NewEncoder(&g.buf).Encode(body); err != nil {
+		return false
+	}
+	resp, err := g.client.Post(url, "application/json", &g.buf)
+	if err != nil {
+		return false
+	}
+	return drain(resp)
+}
+
+// drain consumes and closes the body (required to reuse the
+// connection) and reports success.
+func drain(resp *http.Response) bool {
+	_, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return err == nil && resp.StatusCode == http.StatusOK
+}
+
+// warmup issues one neighbors query per token, fanned across workers.
+func warmup(client *http.Client, base string, tokens []string, k, workers int) error {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(tokens)) {
+					return
+				}
+				resp, err := client.Get(fmt.Sprintf("%s/v1/neighbors?vertex=%s&k=%d", base, url.QueryEscape(tokens[i]), k))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				if !drain(resp) {
+					err := fmt.Errorf("loadgen: warmup query for %q failed", tokens[i])
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// fetchVocab samples the server's token set.
+func fetchVocab(client *http.Client, base string, limit int) ([]string, error) {
+	if limit <= 0 {
+		limit = 100000
+	}
+	resp, err := client.Get(fmt.Sprintf("%s/v1/vocab?limit=%d", base, limit))
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fetching vocabulary: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /v1/vocab returned %s", resp.Status)
+	}
+	var out struct {
+		Tokens []string `json:"tokens"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding vocabulary: %w", err)
+	}
+	if len(out.Tokens) == 0 {
+		return nil, fmt.Errorf("loadgen: server returned an empty vocabulary")
+	}
+	return out.Tokens, nil
+}
+
+// summarize aggregates samples into an OpResult. Latency percentiles
+// cover successful requests; error counts cover the rest.
+func summarize(op Op, samples []sample, elapsed time.Duration) OpResult {
+	r := OpResult{Op: op, Requests: len(samples)}
+	durs := make([]float64, 0, len(samples))
+	var sum float64
+	for _, s := range samples {
+		if !s.ok {
+			r.Errors++
+			continue
+		}
+		ms := float64(s.dur) / float64(time.Millisecond)
+		durs = append(durs, ms)
+		sum += ms
+	}
+	if elapsed > 0 {
+		r.QPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	if len(durs) == 0 {
+		return r
+	}
+	sort.Float64s(durs)
+	r.P50Ms = percentile(durs, 0.50)
+	r.P95Ms = percentile(durs, 0.95)
+	r.P99Ms = percentile(durs, 0.99)
+	r.MaxMs = durs[len(durs)-1]
+	r.MeanMs = sum / float64(len(durs))
+	return r
+}
+
+// percentile returns the q-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// ---- Benchmark-trajectory output -----------------------------------
+
+// BenchEntry mirrors cmd/benchjson's Benchmark shape so loadgen runs
+// land in the same BENCH_<date>.json trajectory as the offline
+// benchmarks.
+type BenchEntry struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// BenchSnapshot mirrors cmd/benchjson's Snapshot shape.
+type BenchSnapshot struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	Benchmarks []BenchEntry `json:"benchmarks"`
+}
+
+// Snapshot converts a run into the trajectory document format.
+func (r *Result) Snapshot(date string) BenchSnapshot {
+	snap := BenchSnapshot{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	entry := func(name string, o OpResult) BenchEntry {
+		return BenchEntry{
+			Name:       name,
+			Package:    "v2v/internal/loadgen",
+			Iterations: int64(o.Requests),
+			Metrics: map[string]float64{
+				"qps":    o.QPS,
+				"p50-ms": o.P50Ms,
+				"p95-ms": o.P95Ms,
+				"p99-ms": o.P99Ms,
+				"max-ms": o.MaxMs,
+				"errors": float64(o.Errors),
+			},
+		}
+	}
+	snap.Benchmarks = append(snap.Benchmarks, entry("LoadgenOverall", r.Overall))
+	for _, o := range r.PerOp {
+		snap.Benchmarks = append(snap.Benchmarks, entry("Loadgen/"+string(o.Op), o))
+	}
+	return snap
+}
+
+// ParseMix parses "neighbors=0.8,similarity=0.1,predict=0.1" into an
+// operation mix.
+func ParseMix(s string) (map[Op]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	mix := make(map[Op]float64)
+	for _, part := range strings.Split(s, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: mix entry %q is not op=weight", part)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(weight, "%g", &w); err != nil || w < 0 {
+			return nil, fmt.Errorf("loadgen: bad weight in %q", part)
+		}
+		mix[Op(name)] += w
+	}
+	return mix, nil
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the lock-striping factor of the response cache. Top-k
+// queries over a hot vocabulary are read-heavy with a skewed key
+// distribution; striping keeps the per-shard mutex off the serving
+// hot path's critical section under concurrent load.
+const cacheShards = 16
+
+// lruCache is a bounded sharded LRU of serialized responses. Keys
+// embed the model generation, so entries cached against a previous
+// snapshot can never be served after a hot reload even before the
+// explicit purge runs.
+type lruCache struct {
+	seed   maphash.Seed
+	shards [cacheShards]cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// newLRUCache builds a cache holding capacity entries in total.
+// capacity <= 0 returns nil; a nil *lruCache is a valid always-miss
+// cache, so disabling caching costs one nil check per lookup.
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	per := (capacity + cacheShards - 1) / cacheShards
+	c := &lruCache{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			cap: per,
+			ll:  list.New(),
+			m:   make(map[string]*list.Element, per),
+		}
+	}
+	return c
+}
+
+func (c *lruCache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)%cacheShards]
+}
+
+// get returns the cached response bytes for key, promoting the entry.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.m[key]
+	if ok {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores val under key, evicting the least-recently-used entry of
+// the shard when full. val must not be mutated after insertion (the
+// server caches freshly marshaled buffers, never reused ones).
+func (c *lruCache) put(key string, val []byte) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		s.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		oldest := s.ll.Back()
+		if oldest != nil {
+			s.ll.Remove(oldest)
+			delete(s.m, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// purge drops every entry (called after hot reload; generation-scoped
+// keys already guarantee correctness, purging just frees the memory).
+func (c *lruCache) purge() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		clear(s.m)
+		s.mu.Unlock()
+	}
+}
+
+// len returns the current number of cached entries.
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// hitCount and missCount are nil-safe counter reads for /stats.
+func (c *lruCache) hitCount() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+func (c *lruCache) missCount() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// capacity returns the total entry budget.
+func (c *lruCache) capacity() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].cap
+	}
+	return n
+}

@@ -1,0 +1,946 @@
+// Package server is the online face of the repository: a long-lived
+// HTTP/JSON query service over a trained embedding, turning the
+// paper's offline applications — nearest neighbors, similarity,
+// analogy, link prediction — into servable endpoints backed by the
+// vecstore indexes.
+//
+// Design notes:
+//
+//   - All model-dependent state (model, token table, index) lives in
+//     one immutable snapshot behind an atomic pointer. A request loads
+//     the pointer once and answers entirely from that snapshot, so a
+//     hot reload (Reload/SwapModel) swaps the whole world atomically:
+//     in-flight requests finish against the old model, new requests
+//     see the new one, and nothing is ever dropped or torn.
+//   - Repeated top-k queries are served from a bounded sharded LRU of
+//     serialized responses, keyed by model generation so a reload can
+//     never serve stale hits.
+//   - Batch endpoints go through Index.SearchBatch, which fans one
+//     request's queries out across the index's workers.
+//
+// See docs/SERVING.md for the API reference and cmd/loadgen for the
+// load-generating client.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"v2v/internal/linkpred"
+	"v2v/internal/snapshot"
+	"v2v/internal/vecstore"
+	"v2v/internal/word2vec"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default
+	// "127.0.0.1:8080").
+	Addr string
+
+	// ModelPath is the embedding to serve, in either format (binary
+	// snapshot or word2vec text; auto-detected). Optional when the
+	// server is built with NewFromModel, in which case it is only the
+	// default path for /v1/reload.
+	ModelPath string
+
+	// Index selects the top-k index built over each loaded model
+	// (vecstore.Config zero value = exact cosine). The metric applies
+	// to /v1/neighbors; /v1/similarity, /v1/analogy and /v1/predict
+	// always score by cosine (the paper's similarity).
+	Index vecstore.Config
+
+	// CacheSize bounds the response cache (entries across all shards);
+	// 0 means 4096, negative disables caching.
+	CacheSize int
+
+	// MaxK caps the k accepted by query endpoints (0 = 1024).
+	MaxK int
+
+	// MaxBatch caps the number of queries in one batch request
+	// (0 = 4096).
+	MaxBatch int
+
+	// Log receives serving events (startup, reloads). Nil discards.
+	Log *log.Logger
+}
+
+const (
+	defaultAddr     = "127.0.0.1:8080"
+	defaultCacheSz  = 4096
+	defaultMaxK     = 1024
+	defaultMaxBatch = 4096
+)
+
+// modelState is one immutable generation of servable state.
+type modelState struct {
+	model    *word2vec.Model
+	tokens   []string
+	byToken  map[string]int
+	index    vecstore.Index
+	gen      uint64
+	source   string
+	loadedAt time.Time
+}
+
+// endpointNames fixes the stats key set (and the order /stats reports
+// them in).
+var endpointNames = []string{
+	"neighbors", "neighbors_batch", "similarity", "similarity_batch",
+	"analogy", "predict", "predict_batch", "vocab", "reload", "healthz", "stats",
+}
+
+type endpointCounters struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// Server is the embedding query server. Build one with New or
+// NewFromModel; it is ready to serve as soon as the constructor
+// returns and safe for arbitrarily concurrent requests, including
+// concurrent hot reloads.
+type Server struct {
+	cfg      Config
+	logger   *log.Logger
+	cache    *lruCache
+	state    atomic.Pointer[modelState]
+	swapMu   sync.Mutex // serialises generation bump + publish
+	gen      atomic.Uint64
+	reloads  atomic.Uint64
+	started  time.Time
+	mux      *http.ServeMux
+	counters map[string]*endpointCounters
+}
+
+// New builds a server and loads cfg.ModelPath.
+func New(cfg Config) (*Server, error) {
+	if cfg.ModelPath == "" {
+		return nil, fmt.Errorf("server: Config.ModelPath is required (or use NewFromModel)")
+	}
+	m, tokens, err := snapshot.LoadFile(cfg.ModelPath)
+	if err != nil {
+		return nil, fmt.Errorf("server: loading model: %w", err)
+	}
+	return NewFromModel(cfg, m, tokens)
+}
+
+// NewFromModel builds a server around an in-memory model. tokens may
+// be nil (rows are named by decimal index, like Model.Save).
+func NewFromModel(cfg Config, m *word2vec.Model, tokens []string) (*Server, error) {
+	s := &Server{
+		cfg:      cfg,
+		logger:   cfg.Log,
+		started:  time.Now(),
+		counters: make(map[string]*endpointCounters, len(endpointNames)),
+	}
+	if s.logger == nil {
+		s.logger = log.New(io.Discard, "", 0)
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = defaultCacheSz
+	}
+	s.cache = newLRUCache(size) // nil (always-miss) when negative
+	for _, name := range endpointNames {
+		s.counters[name] = &endpointCounters{}
+	}
+	if _, err := s.SwapModel(m, tokens, cfg.ModelPath); err != nil {
+		return nil, err
+	}
+	s.initMux()
+	return s, nil
+}
+
+// maxK returns the configured k cap.
+func (s *Server) maxK() int {
+	if s.cfg.MaxK > 0 {
+		return s.cfg.MaxK
+	}
+	return defaultMaxK
+}
+
+// maxBatch returns the configured batch-size cap.
+func (s *Server) maxBatch() int {
+	if s.cfg.MaxBatch > 0 {
+		return s.cfg.MaxBatch
+	}
+	return defaultMaxBatch
+}
+
+// SwapModel atomically replaces the served model: it builds the new
+// generation's index and token lookup off to the side, publishes the
+// finished state with one pointer store, and purges the response
+// cache. Requests racing the swap are answered consistently by
+// whichever generation they loaded first. Returns the new generation.
+func (s *Server) SwapModel(m *word2vec.Model, tokens []string, source string) (uint64, error) {
+	if m == nil || m.Vocab == 0 {
+		return 0, fmt.Errorf("server: refusing to serve an empty model")
+	}
+	if tokens == nil {
+		tokens = make([]string, m.Vocab)
+		for i := range tokens {
+			tokens[i] = strconv.Itoa(i)
+		}
+	}
+	if len(tokens) != m.Vocab {
+		return 0, fmt.Errorf("server: %d tokens for %d vectors", len(tokens), m.Vocab)
+	}
+	idx, err := vecstore.Open(m.Store(), s.cfg.Index)
+	if err != nil {
+		return 0, fmt.Errorf("server: building index: %w", err)
+	}
+	byToken := make(map[string]int, len(tokens))
+	for i, tok := range tokens {
+		byToken[tok] = i
+	}
+	// The bump and the publish must be one critical section: two
+	// concurrent swaps interleaving them could publish generations out
+	// of order (serve gen N while reporting gen N+1). Index builds
+	// above happen outside the lock; only the publish serialises.
+	s.swapMu.Lock()
+	gen := s.gen.Add(1)
+	s.state.Store(&modelState{
+		model:    m,
+		tokens:   tokens,
+		byToken:  byToken,
+		index:    idx,
+		gen:      gen,
+		source:   source,
+		loadedAt: time.Now(),
+	})
+	if gen > 1 {
+		s.reloads.Add(1)
+	}
+	s.swapMu.Unlock()
+	s.cache.purge()
+	s.logger.Printf("server: generation %d live: %d vectors, dim %d, %s index (source %q)",
+		gen, m.Vocab, m.Dim, s.cfg.Index.Kind, source)
+	return gen, nil
+}
+
+// Reload loads path (empty = the path the current generation came
+// from, falling back to Config.ModelPath) and swaps it in under load.
+func (s *Server) Reload(path string) (uint64, error) {
+	if path == "" {
+		if st := s.state.Load(); st != nil && st.source != "" {
+			path = st.source
+		} else {
+			path = s.cfg.ModelPath
+		}
+	}
+	if path == "" {
+		return 0, fmt.Errorf("server: no model path to reload from")
+	}
+	m, tokens, err := snapshot.LoadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("server: reload: %w", err)
+	}
+	return s.SwapModel(m, tokens, path)
+}
+
+// Generation returns the current model generation (1 = initial load).
+func (s *Server) Generation() uint64 { return s.gen.Load() }
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts
+// down gracefully (in-flight requests get up to 5 seconds to finish).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.mux}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- hs.Shutdown(shCtx)
+	}()
+	err := hs.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
+}
+
+// ListenAndServe listens on Config.Addr and calls Serve. ready, when
+// non-nil, receives the bound address once listening (useful with
+// ":0").
+func (s *Server) ListenAndServe(ctx context.Context, ready chan<- net.Addr) error {
+	addr := s.cfg.Addr
+	if addr == "" {
+		addr = defaultAddr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.logger.Printf("server: listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	return s.Serve(ctx, ln)
+}
+
+// ---- HTTP plumbing -------------------------------------------------
+
+func (s *Server) initMux() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("/v1/neighbors", s.instrument("neighbors", s.handleNeighbors))
+	s.mux.HandleFunc("/v1/neighbors/batch", s.instrument("neighbors_batch", s.handleNeighborsBatch))
+	s.mux.HandleFunc("/v1/similarity", s.instrument("similarity", s.handleSimilarity))
+	s.mux.HandleFunc("/v1/similarity/batch", s.instrument("similarity_batch", s.handleSimilarityBatch))
+	s.mux.HandleFunc("/v1/analogy", s.instrument("analogy", s.handleAnalogy))
+	s.mux.HandleFunc("/v1/predict", s.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("/v1/predict/batch", s.instrument("predict_batch", s.handlePredictBatch))
+	s.mux.HandleFunc("/v1/vocab", s.instrument("vocab", s.handleVocab))
+	s.mux.HandleFunc("/v1/reload", s.instrument("reload", s.handleReload))
+}
+
+// httpError carries a status code through the handler return path.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument wraps a handler with request/error counting and JSON
+// error rendering.
+func (s *Server) instrument(name string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	c := s.counters[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.requests.Add(1)
+		if err := h(w, r); err != nil {
+			c.errors.Add(1)
+			code := http.StatusInternalServerError
+			var he *httpError
+			if errors.As(err, &he) {
+				code = he.code
+			}
+			writeJSON(w, code, map[string]string{"error": err.Error()})
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	writeJSONBytes(w, code, buf)
+}
+
+func writeJSONBytes(w http.ResponseWriter, code int, buf []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(code)
+	w.Write(buf)
+}
+
+// param reads a request parameter from the URL query (GET) or a
+// previously-decoded JSON body (see bodyParams).
+func param(r *http.Request, body map[string]any, key string) (string, bool) {
+	if v := r.URL.Query().Get(key); v != "" {
+		return v, true
+	}
+	if body != nil {
+		switch v := body[key].(type) {
+		case string:
+			return v, true
+		case float64:
+			return strconv.FormatFloat(v, 'g', -1, 64), true
+		case bool:
+			return strconv.FormatBool(v), true
+		}
+	}
+	return "", false
+}
+
+// bodyParams decodes a JSON object body on POST; GET returns nil.
+func bodyParams(r *http.Request) (map[string]any, error) {
+	switch r.Method {
+	case http.MethodGet:
+		return nil, nil
+	case http.MethodPost:
+		if r.ContentLength == 0 {
+			return nil, nil
+		}
+		var m map[string]any
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&m); err != nil {
+			return nil, errBadRequest("invalid JSON body: %v", err)
+		}
+		return m, nil
+	default:
+		return nil, &httpError{code: http.StatusMethodNotAllowed, msg: "use GET or POST"}
+	}
+}
+
+// decodePost decodes a JSON body into v, rejecting non-POST methods
+// (the batch and reload endpoints).
+func decodePost(r *http.Request, v any) error {
+	if r.Method != http.MethodPost {
+		return &httpError{code: http.StatusMethodNotAllowed, msg: "use POST"}
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return errBadRequest("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+// resolve maps a vertex token to its row in st, with a typed 404.
+func (st *modelState) resolve(tok string) (int, error) {
+	id, ok := st.byToken[tok]
+	if !ok {
+		return 0, errNotFound("unknown vertex %q", tok)
+	}
+	return id, nil
+}
+
+func (s *Server) parseK(r *http.Request, body map[string]any) (int, error) {
+	raw, ok := param(r, body, "k")
+	if !ok {
+		return 10, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 {
+		return 0, errBadRequest("invalid k %q", raw)
+	}
+	if max := s.maxK(); k > max {
+		return 0, errBadRequest("k %d exceeds limit %d", k, max)
+	}
+	return k, nil
+}
+
+// ---- Response shapes ----------------------------------------------
+
+// NeighborJSON is one similarity hit.
+type NeighborJSON struct {
+	Vertex string  `json:"vertex"`
+	Score  float64 `json:"score"`
+}
+
+// NeighborsResponse answers /v1/neighbors and /v1/analogy.
+type NeighborsResponse struct {
+	Vertex    string         `json:"vertex,omitempty"`
+	K         int            `json:"k"`
+	Neighbors []NeighborJSON `json:"neighbors"`
+}
+
+// SimilarityResponse answers /v1/similarity.
+type SimilarityResponse struct {
+	A          string  `json:"a"`
+	B          string  `json:"b"`
+	Similarity float64 `json:"similarity"`
+}
+
+// PredictResponse answers /v1/predict.
+type PredictResponse struct {
+	U      string  `json:"u"`
+	V      string  `json:"v"`
+	Score  float64 `json:"score"`
+	Scorer string  `json:"scorer"`
+}
+
+func toNeighborJSON(st *modelState, res []vecstore.Result) []NeighborJSON {
+	out := make([]NeighborJSON, len(res))
+	for i, r := range res {
+		out[i] = NeighborJSON{Vertex: st.tokens[r.ID], Score: r.Score}
+	}
+	return out
+}
+
+// ---- Handlers ------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	st := s.state.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"generation": st.gen,
+		"vectors":    st.model.Vocab,
+		"dim":        st.model.Dim,
+	})
+	return nil
+}
+
+// StatsResponse answers /stats.
+type StatsResponse struct {
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Generation    uint64                       `json:"generation"`
+	Reloads       uint64                       `json:"reloads"`
+	Model         ModelStats                   `json:"model"`
+	Cache         CacheStats                   `json:"cache"`
+	Endpoints     map[string]EndpointStatsJSON `json:"endpoints"`
+}
+
+// ModelStats describes the served model.
+type ModelStats struct {
+	Vectors  int    `json:"vectors"`
+	Dim      int    `json:"dim"`
+	Index    string `json:"index"`
+	Source   string `json:"source,omitempty"`
+	LoadedAt string `json:"loaded_at"`
+}
+
+// CacheStats reports response-cache effectiveness.
+type CacheStats struct {
+	Enabled  bool   `json:"enabled"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+}
+
+// EndpointStatsJSON reports per-endpoint traffic.
+type EndpointStatsJSON struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	st := s.state.Load()
+	eps := make(map[string]EndpointStatsJSON, len(s.counters))
+	for name, c := range s.counters {
+		eps[name] = EndpointStatsJSON{Requests: c.requests.Load(), Errors: c.errors.Load()}
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Generation:    st.gen,
+		Reloads:       s.reloads.Load(),
+		Model: ModelStats{
+			Vectors:  st.model.Vocab,
+			Dim:      st.model.Dim,
+			Index:    s.cfg.Index.Kind.String(),
+			Source:   st.source,
+			LoadedAt: st.loadedAt.UTC().Format(time.RFC3339),
+		},
+		Cache: CacheStats{
+			Enabled:  s.cache != nil,
+			Entries:  s.cache.len(),
+			Capacity: s.cache.capacity(),
+			Hits:     s.cache.hitCount(),
+			Misses:   s.cache.missCount(),
+		},
+		Endpoints: eps,
+	})
+	return nil
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
+	body, err := bodyParams(r)
+	if err != nil {
+		return err
+	}
+	tok, ok := param(r, body, "vertex")
+	if !ok {
+		return errBadRequest("missing parameter 'vertex'")
+	}
+	k, err := s.parseK(r, body)
+	if err != nil {
+		return err
+	}
+	st := s.state.Load()
+	id, err := st.resolve(tok)
+	if err != nil {
+		return err
+	}
+	key := cacheKey(st.gen, 'n', k, tok)
+	if buf, ok := s.cache.get(key); ok {
+		writeJSONBytes(w, http.StatusOK, buf)
+		return nil
+	}
+	res := st.index.SearchRow(id, k)
+	buf, err := json.Marshal(NeighborsResponse{Vertex: tok, K: k, Neighbors: toNeighborJSON(st, res)})
+	if err != nil {
+		return err
+	}
+	s.cache.put(key, buf)
+	writeJSONBytes(w, http.StatusOK, buf)
+	return nil
+}
+
+// NeighborsBatchRequest is the /v1/neighbors/batch body.
+type NeighborsBatchRequest struct {
+	Vertices []string `json:"vertices"`
+	K        int      `json:"k"`
+}
+
+// NeighborsBatchResponse answers /v1/neighbors/batch.
+type NeighborsBatchResponse struct {
+	Results []NeighborsResponse `json:"results"`
+}
+
+func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) error {
+	var req NeighborsBatchRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	if len(req.Vertices) == 0 {
+		return errBadRequest("empty 'vertices'")
+	}
+	if max := s.maxBatch(); len(req.Vertices) > max {
+		return errBadRequest("batch of %d exceeds limit %d", len(req.Vertices), max)
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k < 0 || k > s.maxK() {
+		return errBadRequest("invalid k %d", k)
+	}
+	st := s.state.Load()
+	// A batch answer is defined as the per-vertex single-query
+	// answers, so each item shares the single endpoint's cache entry:
+	// hits are spliced in as already-serialized JSON, and only the
+	// misses are searched — through one SearchBatch call that fans
+	// them across the index's workers.
+	parts := make([][]byte, len(req.Vertices))
+	keys := make([]string, len(req.Vertices))
+	var missIdx []int
+	var missIDs []int
+	var missQs [][]float32
+	for i, tok := range req.Vertices {
+		id, err := st.resolve(tok)
+		if err != nil {
+			return err
+		}
+		keys[i] = cacheKey(st.gen, 'n', k, tok)
+		if buf, ok := s.cache.get(keys[i]); ok {
+			parts[i] = buf
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missIDs = append(missIDs, id)
+		missQs = append(missQs, st.model.Store().Row(id))
+	}
+	if len(missQs) > 0 {
+		// The query vertex ranks first in its own results (score 1
+		// under cosine); ask for k+1 and strip it so batch items match
+		// the single endpoint's SearchRow exactly.
+		batch := st.index.SearchBatch(missQs, k+1)
+		for j, res := range batch {
+			i := missIdx[j]
+			filtered := make([]vecstore.Result, 0, k)
+			for _, h := range res {
+				if h.ID != missIDs[j] && len(filtered) < k {
+					filtered = append(filtered, h)
+				}
+			}
+			buf, err := json.Marshal(NeighborsResponse{
+				Vertex:    req.Vertices[i],
+				K:         k,
+				Neighbors: toNeighborJSON(st, filtered),
+			})
+			if err != nil {
+				return err
+			}
+			s.cache.put(keys[i], buf)
+			parts[i] = buf
+		}
+	}
+	var buf bytes.Buffer
+	buf.Grow(16 + len(parts)*256)
+	buf.WriteString(`{"results":[`)
+	for i, p := range parts {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(p)
+	}
+	buf.WriteString(`]}`)
+	writeJSONBytes(w, http.StatusOK, buf.Bytes())
+	return nil
+}
+
+func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) error {
+	body, err := bodyParams(r)
+	if err != nil {
+		return err
+	}
+	aTok, okA := param(r, body, "a")
+	bTok, okB := param(r, body, "b")
+	if !okA || !okB {
+		return errBadRequest("missing parameter 'a' or 'b'")
+	}
+	st := s.state.Load()
+	a, err := st.resolve(aTok)
+	if err != nil {
+		return err
+	}
+	b, err := st.resolve(bTok)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, SimilarityResponse{
+		A: aTok, B: bTok, Similarity: st.model.Store().Cosine(a, b),
+	})
+	return nil
+}
+
+// SimilarityBatchRequest is the /v1/similarity/batch body.
+type SimilarityBatchRequest struct {
+	Pairs [][2]string `json:"pairs"`
+}
+
+// SimilarityBatchResponse answers /v1/similarity/batch.
+type SimilarityBatchResponse struct {
+	Results []SimilarityResponse `json:"results"`
+}
+
+func (s *Server) handleSimilarityBatch(w http.ResponseWriter, r *http.Request) error {
+	var req SimilarityBatchRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	if len(req.Pairs) == 0 {
+		return errBadRequest("empty 'pairs'")
+	}
+	if max := s.maxBatch(); len(req.Pairs) > max {
+		return errBadRequest("batch of %d exceeds limit %d", len(req.Pairs), max)
+	}
+	st := s.state.Load()
+	out := SimilarityBatchResponse{Results: make([]SimilarityResponse, len(req.Pairs))}
+	for i, p := range req.Pairs {
+		a, err := st.resolve(p[0])
+		if err != nil {
+			return err
+		}
+		b, err := st.resolve(p[1])
+		if err != nil {
+			return err
+		}
+		out.Results[i] = SimilarityResponse{A: p[0], B: p[1], Similarity: st.model.Store().Cosine(a, b)}
+	}
+	writeJSON(w, http.StatusOK, out)
+	return nil
+}
+
+func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
+	body, err := bodyParams(r)
+	if err != nil {
+		return err
+	}
+	aTok, okA := param(r, body, "a")
+	bTok, okB := param(r, body, "b")
+	cTok, okC := param(r, body, "c")
+	if !okA || !okB || !okC {
+		return errBadRequest("missing parameter 'a', 'b' or 'c'")
+	}
+	k, err := s.parseK(r, body)
+	if err != nil {
+		return err
+	}
+	st := s.state.Load()
+	a, err := st.resolve(aTok)
+	if err != nil {
+		return err
+	}
+	b, err := st.resolve(bTok)
+	if err != nil {
+		return err
+	}
+	c, err := st.resolve(cTok)
+	if err != nil {
+		return err
+	}
+	key := cacheKey(st.gen, 'a', k, aTok+"\x00"+bTok+"\x00"+cTok)
+	if buf, ok := s.cache.get(key); ok {
+		writeJSONBytes(w, http.StatusOK, buf)
+		return nil
+	}
+	// Analogy targets are synthetic vectors (b - a + c); they are
+	// scored by the model's exact analogy path regardless of the
+	// configured neighbors index.
+	res := st.model.Analogy(a, b, c, k)
+	nbrs := make([]NeighborJSON, len(res))
+	for i, n := range res {
+		nbrs[i] = NeighborJSON{Vertex: st.tokens[n.Word], Score: n.Similarity}
+	}
+	buf, err := json.Marshal(NeighborsResponse{K: k, Neighbors: nbrs})
+	if err != nil {
+		return err
+	}
+	s.cache.put(key, buf)
+	writeJSONBytes(w, http.StatusOK, buf)
+	return nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
+	body, err := bodyParams(r)
+	if err != nil {
+		return err
+	}
+	uTok, okU := param(r, body, "u")
+	vTok, okV := param(r, body, "v")
+	if !okU || !okV {
+		return errBadRequest("missing parameter 'u' or 'v'")
+	}
+	hadamard := false
+	if raw, ok := param(r, body, "hadamard"); ok {
+		hadamard, err = strconv.ParseBool(raw)
+		if err != nil {
+			return errBadRequest("invalid hadamard %q", raw)
+		}
+	}
+	st := s.state.Load()
+	u, err := st.resolve(uTok)
+	if err != nil {
+		return err
+	}
+	v, err := st.resolve(vTok)
+	if err != nil {
+		return err
+	}
+	scorer := &linkpred.EmbeddingScorer{Store: st.model.Store(), Hadamard: hadamard}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		U: uTok, V: vTok, Score: scorer.Score(u, v), Scorer: scorer.Name(),
+	})
+	return nil
+}
+
+// PredictBatchRequest is the /v1/predict/batch body.
+type PredictBatchRequest struct {
+	Pairs    [][2]string `json:"pairs"`
+	Hadamard bool        `json:"hadamard"`
+}
+
+// PredictBatchResponse answers /v1/predict/batch.
+type PredictBatchResponse struct {
+	Scorer  string            `json:"scorer"`
+	Results []PredictResponse `json:"results"`
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) error {
+	var req PredictBatchRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	if len(req.Pairs) == 0 {
+		return errBadRequest("empty 'pairs'")
+	}
+	if max := s.maxBatch(); len(req.Pairs) > max {
+		return errBadRequest("batch of %d exceeds limit %d", len(req.Pairs), max)
+	}
+	st := s.state.Load()
+	scorer := &linkpred.EmbeddingScorer{Store: st.model.Store(), Hadamard: req.Hadamard}
+	out := PredictBatchResponse{
+		Scorer:  scorer.Name(),
+		Results: make([]PredictResponse, len(req.Pairs)),
+	}
+	for i, p := range req.Pairs {
+		u, err := st.resolve(p[0])
+		if err != nil {
+			return err
+		}
+		v, err := st.resolve(p[1])
+		if err != nil {
+			return err
+		}
+		out.Results[i] = PredictResponse{U: p[0], V: p[1], Score: scorer.Score(u, v), Scorer: scorer.Name()}
+	}
+	writeJSON(w, http.StatusOK, out)
+	return nil
+}
+
+// VocabResponse answers /v1/vocab.
+type VocabResponse struct {
+	Count  int      `json:"count"`
+	Offset int      `json:"offset"`
+	Tokens []string `json:"tokens"`
+}
+
+func (s *Server) handleVocab(w http.ResponseWriter, r *http.Request) error {
+	st := s.state.Load()
+	q := r.URL.Query()
+	offset, limit := 0, len(st.tokens)
+	if raw := q.Get("offset"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			return errBadRequest("invalid offset %q", raw)
+		}
+		offset = v
+	}
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			return errBadRequest("invalid limit %q", raw)
+		}
+		limit = v
+	}
+	if offset > len(st.tokens) {
+		offset = len(st.tokens)
+	}
+	end := offset + limit
+	if end > len(st.tokens) || end < offset {
+		end = len(st.tokens)
+	}
+	writeJSON(w, http.StatusOK, VocabResponse{
+		Count:  len(st.tokens),
+		Offset: offset,
+		Tokens: st.tokens[offset:end],
+	})
+	return nil
+}
+
+// ReloadRequest is the /v1/reload body.
+type ReloadRequest struct {
+	Path string `json:"path"`
+}
+
+// ReloadResponse answers /v1/reload.
+type ReloadResponse struct {
+	Generation uint64  `json:"generation"`
+	Vectors    int     `json:"vectors"`
+	Dim        int     `json:"dim"`
+	Source     string  `json:"source"`
+	LoadMillis float64 `json:"load_ms"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) error {
+	var req ReloadRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	start := time.Now()
+	gen, err := s.Reload(req.Path)
+	if err != nil {
+		return errBadRequest("%v", err)
+	}
+	st := s.state.Load()
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Generation: gen,
+		Vectors:    st.model.Vocab,
+		Dim:        st.model.Dim,
+		Source:     st.source,
+		LoadMillis: float64(time.Since(start).Microseconds()) / 1000,
+	})
+	return nil
+}
+
+// cacheKey builds a generation-scoped cache key. kind distinguishes
+// endpoint families ('n' neighbors, 'a' analogy).
+func cacheKey(gen uint64, kind byte, k int, payload string) string {
+	return strconv.FormatUint(gen, 36) + string(rune(kind)) + strconv.Itoa(k) + "\x00" + payload
+}

@@ -1,0 +1,454 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"v2v/internal/snapshot"
+	"v2v/internal/vecstore"
+	"v2v/internal/word2vec"
+	"v2v/internal/xrand"
+)
+
+// testModel builds a deterministic random model.
+func testModel(vocab, dim int, seed uint64) (*word2vec.Model, []string) {
+	m := word2vec.NewModel(vocab, dim)
+	rng := xrand.New(seed)
+	for i := range m.Vectors {
+		m.Vectors[i] = float32(rng.Float64()*2 - 1)
+	}
+	tokens := make([]string, vocab)
+	for i := range tokens {
+		tokens[i] = fmt.Sprintf("v%d", i)
+	}
+	return m, tokens
+}
+
+func newTestServer(t *testing.T, cfg Config, vocab, dim int) (*Server, *httptest.Server) {
+	t.Helper()
+	m, tokens := testModel(vocab, dim, 42)
+	s, err := NewFromModel(cfg, m, tokens)
+	if err != nil {
+		t.Fatalf("NewFromModel: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, 50, 8)
+	var out map[string]any
+	if code := getJSON(t, hs.URL+"/healthz", &out); code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	if out["status"] != "ok" || out["vectors"].(float64) != 50 || out["generation"].(float64) != 1 {
+		t.Fatalf("healthz body: %v", out)
+	}
+}
+
+func TestNeighborsMatchesModel(t *testing.T) {
+	s, hs := newTestServer(t, Config{}, 120, 12)
+	var out NeighborsResponse
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=v7&k=5", &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	st := s.state.Load()
+	want := st.model.Neighbors(7, 5)
+	if len(out.Neighbors) != 5 {
+		t.Fatalf("got %d neighbors", len(out.Neighbors))
+	}
+	for i, n := range out.Neighbors {
+		if n.Vertex != fmt.Sprintf("v%d", want[i].Word) || n.Score != want[i].Similarity {
+			t.Fatalf("neighbor %d: got %+v, want %+v", i, n, want[i])
+		}
+	}
+}
+
+func TestNeighborsErrors(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, 50, 8)
+	var out map[string]string
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=nosuch", &out); code != 404 {
+		t.Fatalf("unknown vertex: status %d, want 404", code)
+	}
+	if !strings.Contains(out["error"], "nosuch") {
+		t.Fatalf("error body: %v", out)
+	}
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=v1&k=-3", nil); code != 400 {
+		t.Fatalf("bad k: status %d, want 400", code)
+	}
+	if code := getJSON(t, hs.URL+"/v1/neighbors", nil); code != 400 {
+		t.Fatalf("missing vertex: status %d, want 400", code)
+	}
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=v1&k=100000", nil); code != 400 {
+		t.Fatalf("k over limit: status %d, want 400", code)
+	}
+}
+
+func TestNeighborsBatchMatchesSingle(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, 200, 10)
+	vertices := []string{"v0", "v33", "v199", "v33"}
+	var batch NeighborsBatchResponse
+	if code := postJSON(t, hs.URL+"/v1/neighbors/batch",
+		NeighborsBatchRequest{Vertices: vertices, K: 7}, &batch); code != 200 {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(batch.Results) != len(vertices) {
+		t.Fatalf("got %d results", len(batch.Results))
+	}
+	for i, v := range vertices {
+		var single NeighborsResponse
+		getJSON(t, hs.URL+"/v1/neighbors?vertex="+v+"&k=7", &single)
+		if !reflect.DeepEqual(batch.Results[i].Neighbors, single.Neighbors) {
+			t.Fatalf("batch[%d] (%s) differs from single query:\n  batch:  %v\n  single: %v",
+				i, v, batch.Results[i].Neighbors, single.Neighbors)
+		}
+	}
+}
+
+func TestSimilarityAndPredict(t *testing.T) {
+	s, hs := newTestServer(t, Config{}, 80, 6)
+	st := s.state.Load()
+
+	var sim SimilarityResponse
+	if code := getJSON(t, hs.URL+"/v1/similarity?a=v3&b=v9", &sim); code != 200 {
+		t.Fatalf("similarity status %d", code)
+	}
+	if want := st.model.Store().Cosine(3, 9); sim.Similarity != want {
+		t.Fatalf("similarity %v, want %v", sim.Similarity, want)
+	}
+
+	var pred PredictResponse
+	if code := getJSON(t, hs.URL+"/v1/predict?u=v3&v=v9", &pred); code != 200 {
+		t.Fatalf("predict status %d", code)
+	}
+	if pred.Score != sim.Similarity || pred.Scorer != "embedding-cosine" {
+		t.Fatalf("predict cosine: %+v", pred)
+	}
+	if code := getJSON(t, hs.URL+"/v1/predict?u=v3&v=v9&hadamard=true", &pred); code != 200 {
+		t.Fatalf("predict hadamard status %d", code)
+	}
+	if want := st.model.Store().Dot(3, 9); pred.Score != want || pred.Scorer != "embedding-dot" {
+		t.Fatalf("predict dot: got %+v, want score %v", pred, want)
+	}
+
+	var simBatch SimilarityBatchResponse
+	if code := postJSON(t, hs.URL+"/v1/similarity/batch",
+		SimilarityBatchRequest{Pairs: [][2]string{{"v3", "v9"}, {"v0", "v0"}}}, &simBatch); code != 200 {
+		t.Fatalf("similarity batch status %d", code)
+	}
+	if simBatch.Results[0].Similarity != sim.Similarity || simBatch.Results[1].Similarity != 1 {
+		t.Fatalf("similarity batch: %+v", simBatch.Results)
+	}
+
+	var predBatch PredictBatchResponse
+	if code := postJSON(t, hs.URL+"/v1/predict/batch",
+		PredictBatchRequest{Pairs: [][2]string{{"v3", "v9"}}}, &predBatch); code != 200 {
+		t.Fatalf("predict batch status %d", code)
+	}
+	if predBatch.Results[0].Score != sim.Similarity {
+		t.Fatalf("predict batch: %+v", predBatch.Results)
+	}
+}
+
+func TestAnalogyMatchesModel(t *testing.T) {
+	s, hs := newTestServer(t, Config{}, 90, 9)
+	var out NeighborsResponse
+	if code := getJSON(t, hs.URL+"/v1/analogy?a=v1&b=v2&c=v3&k=4", &out); code != 200 {
+		t.Fatalf("analogy status %d", code)
+	}
+	st := s.state.Load()
+	want := st.model.Analogy(1, 2, 3, 4)
+	if len(out.Neighbors) != len(want) {
+		t.Fatalf("got %d results, want %d", len(out.Neighbors), len(want))
+	}
+	for i, n := range out.Neighbors {
+		if n.Vertex != fmt.Sprintf("v%d", want[i].Word) || n.Score != want[i].Similarity {
+			t.Fatalf("analogy %d: got %+v want %+v", i, n, want[i])
+		}
+	}
+}
+
+func TestVocab(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, 40, 4)
+	var out VocabResponse
+	getJSON(t, hs.URL+"/v1/vocab?offset=38&limit=10", &out)
+	if out.Count != 40 || !reflect.DeepEqual(out.Tokens, []string{"v38", "v39"}) {
+		t.Fatalf("vocab page: %+v", out)
+	}
+	getJSON(t, hs.URL+"/v1/vocab", &out)
+	if len(out.Tokens) != 40 {
+		t.Fatalf("full vocab: %d tokens", len(out.Tokens))
+	}
+}
+
+func TestCacheHitsAndStats(t *testing.T) {
+	s, hs := newTestServer(t, Config{CacheSize: 64}, 60, 8)
+	var first, second NeighborsResponse
+	getJSON(t, hs.URL+"/v1/neighbors?vertex=v5&k=3", &first)
+	getJSON(t, hs.URL+"/v1/neighbors?vertex=v5&k=3", &second)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached response differs")
+	}
+	if hits := s.cache.hits.Load(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+	var stats StatsResponse
+	getJSON(t, hs.URL+"/stats", &stats)
+	if stats.Cache.Hits != 1 || stats.Cache.Entries != 1 {
+		t.Fatalf("stats cache: %+v", stats.Cache)
+	}
+	if stats.Endpoints["neighbors"].Requests != 2 {
+		t.Fatalf("stats endpoints: %+v", stats.Endpoints["neighbors"])
+	}
+	if stats.Generation != 1 || stats.Model.Vectors != 60 {
+		t.Fatalf("stats model: %+v", stats)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s, hs := newTestServer(t, Config{CacheSize: -1}, 30, 4)
+	getJSON(t, hs.URL+"/v1/neighbors?vertex=v1", nil)
+	getJSON(t, hs.URL+"/v1/neighbors?vertex=v1", nil)
+	if s.cache != nil {
+		t.Fatal("cache should be nil when disabled")
+	}
+	var stats StatsResponse
+	getJSON(t, hs.URL+"/stats", &stats)
+	if stats.Cache.Enabled {
+		t.Fatal("stats claim cache enabled")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(cacheShards) // one entry per shard
+	for i := 0; i < 10*cacheShards; i++ {
+		c.put(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+	}
+	if n := c.len(); n > cacheShards {
+		t.Fatalf("cache grew to %d entries, cap %d", n, cacheShards)
+	}
+	c.purge()
+	if c.len() != 0 {
+		t.Fatal("purge left entries behind")
+	}
+}
+
+func TestIVFIndexServing(t *testing.T) {
+	_, hs := newTestServer(t, Config{
+		Index: vecstore.Config{Kind: vecstore.KindIVF, Seed: 1},
+	}, 300, 16)
+	var out NeighborsResponse
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=v10&k=5", &out); code != 200 {
+		t.Fatalf("ivf neighbors status %d", code)
+	}
+	if len(out.Neighbors) != 5 {
+		t.Fatalf("ivf returned %d neighbors", len(out.Neighbors))
+	}
+}
+
+func TestReloadEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	m1, tokens1 := testModel(40, 8, 1)
+	m2, tokens2 := testModel(70, 8, 2)
+	path1 := filepath.Join(dir, "m1.snap")
+	path2 := filepath.Join(dir, "m2.snap")
+	if err := snapshot.SaveFile(path1, m1, tokens1); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.SaveFile(path2, m2, tokens2); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{ModelPath: path1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	var out ReloadResponse
+	if code := postJSON(t, hs.URL+"/v1/reload", ReloadRequest{Path: path2}, &out); code != 200 {
+		t.Fatalf("reload status %d", code)
+	}
+	if out.Generation != 2 || out.Vectors != 70 {
+		t.Fatalf("reload response: %+v", out)
+	}
+	// The new vocabulary must be live.
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=v69", nil); code != 200 {
+		t.Fatalf("post-reload neighbors status %d", code)
+	}
+	// Reload with no path re-reads the last source.
+	if code := postJSON(t, hs.URL+"/v1/reload", struct{}{}, &out); code != 200 || out.Generation != 3 {
+		t.Fatalf("empty-path reload: code %d, %+v", code, out)
+	}
+	// Reload from a missing file fails without changing the serving state.
+	if code := postJSON(t, hs.URL+"/v1/reload", ReloadRequest{Path: filepath.Join(dir, "gone")}, nil); code != 400 {
+		t.Fatalf("bad reload status %d", code)
+	}
+	if s.Generation() != 3 {
+		t.Fatalf("failed reload bumped generation to %d", s.Generation())
+	}
+	var stats StatsResponse
+	getJSON(t, hs.URL+"/stats", &stats)
+	if stats.Reloads != 2 {
+		t.Fatalf("stats reloads = %d, want 2", stats.Reloads)
+	}
+}
+
+// TestHotReloadUnderLoad is the acceptance check for atomic model
+// swaps: hammer the query endpoints from many goroutines while the
+// model is re-swapped repeatedly, and require zero failed requests
+// and zero torn responses (every answer must be internally consistent
+// with exactly one model generation's vocabulary).
+func TestHotReloadUnderLoad(t *testing.T) {
+	s, hs := newTestServer(t, Config{CacheSize: 256}, 100, 8)
+
+	const (
+		clients = 8
+		swaps   = 20
+	)
+	stop := make(chan struct{})
+	var failures atomic.Uint64
+	var requests atomic.Uint64
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 5 * time.Second}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(c) + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := int(rng.Uint64() % 100)
+				var url string
+				switch v % 3 {
+				case 0:
+					url = fmt.Sprintf("%s/v1/neighbors?vertex=v%d&k=5", hs.URL, v)
+				case 1:
+					url = fmt.Sprintf("%s/v1/similarity?a=v%d&b=v%d", hs.URL, v, (v+1)%100)
+				default:
+					url = fmt.Sprintf("%s/v1/predict?u=v%d&v=v%d", hs.URL, v, (v+7)%100)
+				}
+				resp, err := client.Get(url)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				requests.Add(1)
+				if resp.StatusCode != 200 {
+					failures.Add(1)
+					t.Errorf("status %d for %s: %s", resp.StatusCode, url, body)
+				}
+			}
+		}(c)
+	}
+
+	// Swap between two same-vocabulary models under load. Every query
+	// targets a vertex that exists in both, so any non-200 is a real
+	// dropped request.
+	for i := 0; i < swaps; i++ {
+		m, tokens := testModel(100, 8, uint64(i+100))
+		if _, err := s.SwapModel(m, tokens, fmt.Sprintf("swap-%d", i)); err != nil {
+			t.Fatalf("SwapModel %d: %v", i, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d failed requests during %d hot reloads (%d total requests)", f, swaps, requests.Load())
+	}
+	if s.Generation() != uint64(swaps)+1 {
+		t.Fatalf("generation = %d, want %d", s.Generation(), swaps+1)
+	}
+	t.Logf("served %d requests across %d hot swaps with zero failures", requests.Load(), swaps)
+}
+
+// TestServeGracefulShutdown exercises the Serve/context path the CLI
+// uses for SIGTERM handling.
+func TestServeGracefulShutdown(t *testing.T) {
+	m, tokens := testModel(20, 4, 3)
+	s, err := NewFromModel(Config{Addr: "127.0.0.1:0"}, m, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe(ctx, ready) }()
+	addr := <-ready
+
+	if code := getJSON(t, fmt.Sprintf("http://%s/healthz", addr), nil); code != 200 {
+		t.Fatalf("healthz over listener: %d", code)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestEmptyModelRejected(t *testing.T) {
+	if _, err := NewFromModel(Config{}, word2vec.NewModel(0, 4), nil); err == nil {
+		t.Fatal("accepted an empty model")
+	}
+}

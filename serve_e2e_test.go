@@ -1,0 +1,137 @@
+package v2v
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmokeE2E is the `make serve-smoke` target: it builds the
+// real v2v binary, serves a snapshot on a random port, issues one
+// query per endpoint (including a hot reload), sends SIGTERM and
+// asserts a clean, prompt shutdown. This is the only test that
+// exercises the process-level signal path; everything below the
+// signal handler is covered in-process by internal/server.
+func TestServeSmokeE2E(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "v2v")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/v2v")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building v2v: %v\n%s", err, out)
+	}
+
+	// A small deterministic model, written as a binary snapshot.
+	const vocab, dim = 60, 8
+	m := &Model{Dim: dim, Vocab: vocab, Vectors: make([]float32, vocab*dim)}
+	for i := range m.Vectors {
+		m.Vectors[i] = float32((i*2654435761)%997) / 997
+	}
+	model := filepath.Join(dir, "model.snap")
+	f, err := os.Create(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSnapshot(f, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "serve", "-model", model, "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	defer cmd.Process.Kill() // no-op after a clean Wait
+
+	// The server logs "listening on host:port" once bound; scan for it
+	// (and keep draining stderr so the child never blocks on the pipe).
+	addrc := make(chan string, 1)
+	var logTail bytes.Buffer
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logTail.WriteString(line + "\n")
+			if _, after, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrc <- strings.TrimSpace(after):
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a
+	case <-time.After(15 * time.Second):
+		t.Fatalf("server never reported its address; log:\n%s", logTail.String())
+	}
+
+	get := func(path string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+	post := func(path, body string) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// One query per endpoint.
+	get("/healthz")
+	get("/stats")
+	get("/v1/neighbors?vertex=3&k=5")
+	post("/v1/neighbors/batch", `{"vertices":["1","2"],"k":3}`)
+	get("/v1/similarity?a=1&b=2")
+	post("/v1/similarity/batch", `{"pairs":[["1","2"]]}`)
+	get("/v1/analogy?a=1&b=2&c=3&k=3")
+	get("/v1/predict?u=4&v=5")
+	post("/v1/predict/batch", `{"pairs":[["4","5"]]}`)
+	get("/v1/vocab?limit=3")
+	post("/v1/reload", fmt.Sprintf(`{"path":%q}`, model))
+
+	// Clean SIGTERM shutdown: exit code 0, within the grace period.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited uncleanly after SIGTERM: %v; log:\n%s", err, logTail.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not exit within 10s of SIGTERM; log:\n%s", logTail.String())
+	}
+}

@@ -18,6 +18,7 @@
 package v2v
 
 import (
+	"context"
 	"io"
 
 	"v2v/internal/cluster"
@@ -29,6 +30,8 @@ import (
 	"v2v/internal/linkpred"
 	"v2v/internal/metrics"
 	"v2v/internal/openflights"
+	"v2v/internal/server"
+	"v2v/internal/snapshot"
 	"v2v/internal/spectral"
 	"v2v/internal/tsne"
 	"v2v/internal/vecstore"
@@ -284,8 +287,24 @@ func EmbedWalks(g *Graph, corpus *WalkCorpus, opts Options) (*Embedding, error) 
 // LoadWalks reads a corpus written with WalkCorpus.Save.
 func LoadWalks(r io.Reader) (*WalkCorpus, error) { return walk.LoadCorpus(r) }
 
-// LoadModel reads embeddings saved with Model.Save.
-func LoadModel(r io.Reader) (*Model, []string, error) { return word2vec.Load(r) }
+// LoadModel reads embeddings in either persistence format — the
+// word2vec text format written by Model.Save, or the binary snapshot
+// written by SaveSnapshot — auto-detected from the stream's first
+// bytes. Snapshot loading is ~10x faster; see docs/SERVING.md.
+func LoadModel(r io.Reader) (*Model, []string, error) { return snapshot.LoadAuto(r) }
+
+// SaveSnapshot writes the model and its token table in the versioned
+// binary snapshot format: a magic/version header, the tokens, the raw
+// little-endian float32 matrix and a trailing CRC-32. tokens may be
+// nil (rows are named by decimal index, matching Model.Save). The
+// fast-startup format behind `v2v serve` and `v2v -format bin`.
+func SaveSnapshot(w io.Writer, m *Model, tokens []string) error {
+	return snapshot.Save(w, m, tokens)
+}
+
+// LoadSnapshot reads a binary snapshot written by SaveSnapshot,
+// verifying its checksum. Use LoadModel to accept either format.
+func LoadSnapshot(r io.Reader) (*Model, []string, error) { return snapshot.Load(r) }
 
 // ---- Vector store and top-k indexes --------------------------------
 
@@ -342,6 +361,40 @@ func NewVectorIndex(s *VectorStore, cfg IndexConfig) (Index, error) {
 // VectorStoreOf copies [][]float64 rows into an aligned store (the
 // bridge from the historical interchange format).
 func VectorStoreOf(rows [][]float64) *VectorStore { return vecstore.FromRows64(rows) }
+
+// ---- Serving -------------------------------------------------------
+
+// ServeConfig configures the embedding query server (listen address,
+// model path, index, response cache size). See docs/SERVING.md.
+type ServeConfig = server.Config
+
+// QueryServer is a long-lived HTTP/JSON query service over a trained
+// embedding: /v1/neighbors, /v1/similarity, /v1/analogy, /v1/predict
+// (plus batched variants), /healthz and /stats, with atomic hot model
+// reload via /v1/reload. Build one with NewQueryServer or
+// NewQueryServerFromModel.
+type QueryServer = server.Server
+
+// NewQueryServer builds a query server and loads cfg.ModelPath (in
+// either persistence format).
+func NewQueryServer(cfg ServeConfig) (*QueryServer, error) { return server.New(cfg) }
+
+// NewQueryServerFromModel builds a query server around an in-memory
+// model; tokens may be nil (decimal indices).
+func NewQueryServerFromModel(cfg ServeConfig, m *Model, tokens []string) (*QueryServer, error) {
+	return server.NewFromModel(cfg, m, tokens)
+}
+
+// Serve loads cfg.ModelPath and serves queries on cfg.Addr until ctx
+// is cancelled, then shuts down gracefully — the programmatic
+// equivalent of `v2v serve`.
+func Serve(ctx context.Context, cfg ServeConfig) error {
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	return s.ListenAndServe(ctx, nil)
+}
 
 // ---- Applications -------------------------------------------------
 
