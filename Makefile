@@ -8,13 +8,16 @@ GO      ?= go
 DATE    := $(shell date -u +%Y-%m-%d)
 BENCH_OUT ?= BENCH_$(DATE).json
 LOADGEN_OUT ?= LOADGEN_$(DATE).json
+LOADGEN_HNSW_OUT ?= LOADGEN_HNSW_$(DATE).json
+HNSW_OUT ?= hnsw-recall.json
 
 # One representative benchmark per pipeline stage plus the full query
 # matrix; keep this pattern in sync with docs/VECTORS.md.
 BENCH_PATTERN ?= BenchmarkGenerateUniform$$|BenchmarkTrainCBOWNegSampling$$|BenchmarkSearch|BenchmarkPredictScaling|BenchmarkPredictCosine$$
 BENCH_PKGS    ?= ./internal/walk ./internal/word2vec ./internal/vecstore ./internal/knn
 
-.PHONY: build test race vet bench bench-short serve-smoke loadgen-bench loadgen-short clean
+.PHONY: build test race vet bench bench-short serve-smoke loadgen-bench loadgen-short \
+	hnsw-recall hnsw-recall-full loadgen-hnsw clean
 
 build:
 	$(GO) build ./...
@@ -59,6 +62,30 @@ loadgen-bench:
 		-out $(LOADGEN_OUT)
 	@echo wrote $(LOADGEN_OUT)
 
+# HNSW quality gate: deterministic store, recall@10 vs the exact
+# index, single-core qps for both. The CI job runs the small store;
+# hnsw-recall-full is the acceptance configuration (100k x 128,
+# recall >= 0.95 at >= 5x exact single-core qps) whose numbers are
+# quoted in docs/INDEXES.md.
+hnsw-recall:
+	$(GO) run ./cmd/hnswrecall -n 20000 -dim 64 -queries 200 -min-recall 0.95 -out $(HNSW_OUT)
+	@echo wrote $(HNSW_OUT)
+
+hnsw-recall-full:
+	$(GO) run ./cmd/hnswrecall -n 100000 -dim 128 -queries 500 -min-recall 0.95 -min-speedup 5 -out $(HNSW_OUT)
+	@echo wrote $(HNSW_OUT)
+
+# Serving-latency snapshot through the HNSW index: identical harness
+# to loadgen-bench with the selfserve server behind `-index hnsw`.
+# Separate default output so the exact-baseline and HNSW trajectories
+# never overwrite each other.
+loadgen-hnsw:
+	$(GO) run ./cmd/loadgen -selfserve -vectors 10000 -dim 64 -cache 16384 \
+		-index hnsw -warmup 1 -duration 10s -workers 8 \
+		-mix 'neighbors=0.85,similarity=0.05,predict=0.05,neighbors-batch=0.05' \
+		-out $(LOADGEN_HNSW_OUT)
+	@echo wrote $(LOADGEN_HNSW_OUT)
+
 # Scaled-down serving snapshot for CI.
 loadgen-short:
 	$(GO) run ./cmd/loadgen -selfserve -vectors 2000 -dim 32 -cache 4096 \
@@ -68,4 +95,4 @@ loadgen-short:
 	@echo wrote $(LOADGEN_OUT)
 
 clean:
-	rm -f BENCH_*.json LOADGEN_*.json
+	rm -f BENCH_*.json LOADGEN_*.json LOADGEN_HNSW_*.json hnsw-recall*.json

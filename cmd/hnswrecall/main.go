@@ -1,0 +1,213 @@
+// Command hnswrecall measures HNSW quality against ground truth: it
+// builds a deterministic synthetic store, an exact index and an HNSW
+// index over it, then reports recall@k and single-core queries/sec
+// for both, as human-readable text on stderr and as JSON (compatible
+// with the BENCH_<date>.json trajectory format) on the output file.
+// It exits non-zero when recall (or, if -min-speedup is set, the
+// HNSW/exact speedup) falls below the acceptance floor — the CI
+// hnsw-recall job is exactly this tool on a small store.
+//
+// Usage:
+//
+//	hnswrecall [-n 100000] [-dim 128] [-k 10] [-queries 500]
+//	           [-dist clustered|gaussian] [-clusters 1000]
+//	           [-m 0] [-efc 0] [-efs 0] [-seed 1]
+//	           [-min-recall 0.95] [-min-speedup 0]
+//	           [-save bundle.snap] [-out recall.json]
+//
+// -dist selects the store distribution: "clustered" (the default)
+// places points around well-separated anchors, the shape of trained
+// graph embeddings — the workload this system serves; "gaussian" is
+// unstructured noise, the adversarial worst case for any proximity
+// graph (documented, not gated — see docs/INDEXES.md for both
+// numbers).
+//
+// -save additionally writes the synthetic model plus the built graph
+// as a snapshot bundle, ready for `v2v serve -index hnsw` (the
+// serving-path acceptance run; see docs/INDEXES.md).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"v2v/internal/snapshot"
+	"v2v/internal/vecstore"
+	"v2v/internal/word2vec"
+	"v2v/internal/xrand"
+)
+
+// benchmark mirrors cmd/benchjson's Benchmark so the output lands in
+// the shared trajectory schema.
+type benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// snapshotDoc mirrors cmd/benchjson's Snapshot.
+type snapshotDoc struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		n          = flag.Int("n", 100000, "store rows")
+		dim        = flag.Int("dim", 128, "store dimensionality")
+		k          = flag.Int("k", 10, "neighbors per query")
+		queries    = flag.Int("queries", 500, "measured queries")
+		dist       = flag.String("dist", "clustered", "store distribution: clustered (embedding-like) or gaussian (adversarial)")
+		clusters   = flag.Int("clusters", 1000, "clustered: number of anchors")
+		m          = flag.Int("m", 0, "hnsw links per node per level (0 = 16)")
+		efc        = flag.Int("efc", 0, "hnsw construction beam width (0 = 200)")
+		efs        = flag.Int("efs", 0, "hnsw query beam width (0 = 128)")
+		seed       = flag.Uint64("seed", 1, "store and level-sampling seed")
+		minRecall  = flag.Float64("min-recall", 0.95, "fail below this recall@k")
+		minSpeedup = flag.Float64("min-speedup", 0, "fail below this single-core qps ratio (0 = no floor)")
+		savePath   = flag.String("save", "", "also write the model + graph bundle here (servable with `v2v serve -index hnsw`)")
+		out        = flag.String("out", "", "write the JSON snapshot here (default stdout)")
+		date       = flag.String("date", time.Now().UTC().Format("2006-01-02"), "snapshot date stamp")
+	)
+	flag.Parse()
+
+	model := word2vec.NewModel(*n, *dim)
+	rng := xrand.New(*seed)
+	switch *dist {
+	case "clustered":
+		// Points around well-separated anchors: the shape of trained
+		// embeddings (vertices of one community land near each other).
+		anchors := make([]float64, *clusters**dim)
+		for i := range anchors {
+			anchors[i] = rng.NormFloat64() * 5
+		}
+		for i := 0; i < *n; i++ {
+			a := anchors[rng.Intn(*clusters)**dim:]
+			row := model.Vectors[i**dim : (i+1)**dim]
+			for j := range row {
+				row[j] = float32(a[j] + rng.NormFloat64()*0.5)
+			}
+		}
+	case "gaussian":
+		// Structureless noise — the worst case for a proximity graph.
+		for i := range model.Vectors {
+			model.Vectors[i] = float32(rng.NormFloat64())
+		}
+	default:
+		fatal(fmt.Errorf("unknown -dist %q (want clustered or gaussian)", *dist))
+	}
+	store := model.Store()
+
+	exact := vecstore.NewExact(store, vecstore.Cosine, 1)
+	buildStart := time.Now()
+	h, err := vecstore.NewHNSW(store, vecstore.Cosine, vecstore.HNSWConfig{
+		M: *m, EfConstruction: *efc, EfSearch: *efs, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	buildSecs := time.Since(buildStart).Seconds()
+	fmt.Fprintf(os.Stderr, "hnswrecall: %d x %d store; hnsw built in %.1fs (m=%d efc=%d efs=%d, max level %d)\n",
+		*n, *dim, buildSecs, h.M(), *efc, h.EfSearch(), h.MaxLevel())
+
+	if *savePath != "" {
+		if err := snapshot.SaveBundleFile(*savePath, model, nil, h.Graph()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hnswrecall: wrote model + graph bundle to %s\n", *savePath)
+	}
+
+	qs := make([][]float32, *queries)
+	qrng := xrand.New(*seed + 0x9E37)
+	for i := range qs {
+		qs[i] = store.Row(qrng.Intn(*n))
+	}
+
+	// Ground truth and exact timing in one sequential single-core pass.
+	truth := make([][]vecstore.Result, len(qs))
+	exactStart := time.Now()
+	for i, q := range qs {
+		truth[i] = exact.Search(q, *k)
+	}
+	exactSecs := time.Since(exactStart).Seconds()
+
+	approx := make([][]vecstore.Result, len(qs))
+	hnswStart := time.Now()
+	for i, q := range qs {
+		approx[i] = h.Search(q, *k)
+	}
+	hnswSecs := time.Since(hnswStart).Seconds()
+
+	hits, total := 0, 0
+	for i := range qs {
+		in := make(map[int]bool, len(approx[i]))
+		for _, r := range approx[i] {
+			in[r.ID] = true
+		}
+		for _, r := range truth[i] {
+			total++
+			if in[r.ID] {
+				hits++
+			}
+		}
+	}
+	recall := float64(hits) / float64(total)
+	qpsExact := float64(len(qs)) / exactSecs
+	qpsHNSW := float64(len(qs)) / hnswSecs
+	speedup := qpsHNSW / qpsExact
+	fmt.Fprintf(os.Stderr, "hnswrecall: recall@%d = %.4f over %d queries; single-core qps exact %.0f, hnsw %.0f (%.1fx)\n",
+		*k, recall, len(qs), qpsExact, qpsHNSW, speedup)
+
+	doc := snapshotDoc{
+		Date:      *date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchmarks: []benchmark{{
+			Name:       fmt.Sprintf("HNSWRecallVsExact/%s/n=%d/dim=%d", *dist, *n, *dim),
+			Package:    "v2v/internal/vecstore",
+			Iterations: int64(len(qs)),
+			Metrics: map[string]float64{
+				fmt.Sprintf("recall@%d", *k): recall,
+				"qps-exact-1core":            qpsExact,
+				"qps-hnsw-1core":             qpsHNSW,
+				"speedup":                    speedup,
+				"build-seconds":              buildSecs,
+			},
+		}},
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+
+	if recall < *minRecall {
+		fatal(fmt.Errorf("recall@%d = %.4f below the %.2f acceptance floor", *k, recall, *minRecall))
+	}
+	if *minSpeedup > 0 && speedup < *minSpeedup {
+		fatal(fmt.Errorf("single-core speedup %.2fx below the %.1fx acceptance floor", speedup, *minSpeedup))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hnswrecall:", err)
+	os.Exit(1)
+}

@@ -31,6 +31,7 @@ import (
 
 	"v2v/internal/loadgen"
 	"v2v/internal/server"
+	"v2v/internal/vecstore"
 	"v2v/internal/word2vec"
 	"v2v/internal/xrand"
 )
@@ -54,8 +55,36 @@ func main() {
 		vectors   = flag.Int("vectors", 10000, "selfserve: synthetic model size")
 		dim       = flag.Int("dim", 64, "selfserve: synthetic model dimensionality")
 		cacheSize = flag.Int("cache", 4096, "selfserve: server response-cache entries (negative disables)")
+		index     = flag.String("index", "exact", "selfserve: index kind (exact, ivf or hnsw)")
+		nlists    = flag.Int("nlists", 0, "selfserve ivf: coarse cells (0 = sqrt(n))")
+		nprobe    = flag.Int("nprobe", 0, "selfserve ivf: cells scanned per query (0 = nlists/4)")
+		hnswM     = flag.Int("m", 0, "selfserve hnsw: links per node per level (0 = 16)")
+		efc       = flag.Int("efc", 0, "selfserve hnsw: construction beam width (0 = 200)")
+		efs       = flag.Int("efs", 0, "selfserve hnsw: query beam width (0 = 128)")
 	)
 	flag.Parse()
+
+	idxCfg := vecstore.Config{
+		Seed:           *seed,
+		NLists:         *nlists,
+		NProbe:         *nprobe,
+		M:              *hnswM,
+		EfConstruction: *efc,
+		EfSearch:       *efs,
+	}
+	switch *index {
+	case "exact":
+		idxCfg.Kind = vecstore.KindExact
+	case "ivf":
+		idxCfg.Kind = vecstore.KindIVF
+	case "hnsw":
+		idxCfg.Kind = vecstore.KindHNSW
+	default:
+		fatal(fmt.Errorf("unknown index kind %q (want exact, ivf or hnsw)", *index))
+	}
+	if err := idxCfg.Validate(); err != nil {
+		fatal(err)
+	}
 
 	mix, err := loadgen.ParseMix(*mixFlag)
 	if err != nil {
@@ -65,12 +94,13 @@ func main() {
 	base := *addr
 	if *selfserve {
 		var stop func()
-		base, stop, err = startSelfServe(*vectors, *dim, *seed, *cacheSize)
+		base, stop, err = startSelfServe(*vectors, *dim, *seed, *cacheSize, idxCfg)
 		if err != nil {
 			fatal(err)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "loadgen: self-serving %d x %d synthetic model at %s\n", *vectors, *dim, base)
+		fmt.Fprintf(os.Stderr, "loadgen: self-serving %d x %d synthetic model at %s (%s index)\n",
+			*vectors, *dim, base, idxCfg.Kind)
 	}
 
 	res, err := loadgen.Run(loadgen.Config{
@@ -113,8 +143,9 @@ func main() {
 }
 
 // startSelfServe builds a deterministic random model, serves it on a
-// loopback port, and returns the base URL plus a shutdown function.
-func startSelfServe(vectors, dim int, seed uint64, cacheSize int) (string, func(), error) {
+// loopback port behind the requested index, and returns the base URL
+// plus a shutdown function.
+func startSelfServe(vectors, dim int, seed uint64, cacheSize int, idx vecstore.Config) (string, func(), error) {
 	m := word2vec.NewModel(vectors, dim)
 	rng := xrand.New(seed)
 	for i := range m.Vectors {
@@ -123,6 +154,7 @@ func startSelfServe(vectors, dim int, seed uint64, cacheSize int) (string, func(
 	srv, err := server.NewFromModel(server.Config{
 		Addr:      "127.0.0.1:0",
 		CacheSize: cacheSize,
+		Index:     idx,
 	}, m, nil)
 	if err != nil {
 		return "", nil, err

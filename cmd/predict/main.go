@@ -7,7 +7,8 @@
 //
 //	predict -in graph.txt -labels labels.txt [-k 3] [-folds 10]
 //	        [-dim 50] [-predict-missing] [-seed 1]
-//	        [-index exact|ivf] [-nlists 0] [-nprobe 0]
+//	        [-index exact|ivf|hnsw] [-nlists 0] [-nprobe 0]
+//	        [-m 0] [-efc 0] [-efs 0]
 //	        [-model-out model.snap]
 //
 // -model-out additionally saves the trained embedding as a binary
@@ -17,10 +18,11 @@
 // -predict-missing, lines equal to "?" are predicted from the rest
 // and the completed list is printed.
 //
-// -index ivf serves -predict-missing through an approximate IVF
-// index (sub-linear in the labelled set; see docs/VECTORS.md for the
-// nlists/nprobe recall trade-off). Cross-validation always uses the
-// exact index so reported accuracies stay comparable with the paper.
+// -index ivf and -index hnsw serve -predict-missing through an
+// approximate index (see docs/INDEXES.md for the selection guide and
+// the nlists/nprobe and m/efc/efs recall trade-offs).
+// Cross-validation always uses the exact index so reported accuracies
+// stay comparable with the paper.
 package main
 
 import (
@@ -45,9 +47,12 @@ func main() {
 		missing = flag.Bool("predict-missing", false, "predict '?' labels instead of cross-validating")
 		dirFlag = flag.Bool("directed", false, "treat edges as directed")
 		seed    = flag.Uint64("seed", 1, "random seed")
-		index   = flag.String("index", "exact", "similarity index for -predict-missing: exact or ivf")
+		index   = flag.String("index", "exact", "similarity index for -predict-missing: exact, ivf or hnsw")
 		nlists  = flag.Int("nlists", 0, "ivf: coarse cells (0 = sqrt(n))")
 		nprobe  = flag.Int("nprobe", 0, "ivf: cells scanned per query (0 = nlists/4)")
+		hm      = flag.Int("m", 0, "hnsw: links per node per level (0 = 16)")
+		efc     = flag.Int("efc", 0, "hnsw: construction beam width (0 = 200)")
+		efs     = flag.Int("efs", 0, "hnsw: query beam width (0 = 128)")
 		modelF  = flag.String("model-out", "", "also save the trained embedding here as a binary snapshot (servable with `v2v serve`)")
 	)
 	flag.Parse()
@@ -82,8 +87,13 @@ func main() {
 		opts.Index = v2v.IndexConfig{Kind: v2v.ExactIndex}
 	case "ivf":
 		opts.Index = v2v.IndexConfig{Kind: v2v.IVFIndex, NLists: *nlists, NProbe: *nprobe, Seed: *seed}
+	case "hnsw":
+		opts.Index = v2v.IndexConfig{Kind: v2v.HNSWIndex, M: *hm, EfConstruction: *efc, EfSearch: *efs, Seed: *seed}
 	default:
-		fatal(fmt.Errorf("unknown index kind %q", *index))
+		fatal(fmt.Errorf("unknown index kind %q (want exact, ivf or hnsw)", *index))
+	}
+	if err := opts.Index.Validate(); err != nil {
+		fatal(err)
 	}
 	emb, err := v2v.Embed(g, opts)
 	if err != nil {

@@ -17,18 +17,31 @@
 //
 // Query usage (one-shot, over a saved model):
 //
-//	v2v query -model vectors.txt [-k 10] [-index exact|ivf]
-//	          [-nlists 0] [-nprobe 0] [-v] [vertex ...]
+//	v2v query -model vectors.txt [-k 10] [-index exact|ivf|hnsw]
+//	          [-nlists 0] [-nprobe 0] [-m 0] [-efc 0] [-efs 0]
+//	          [-v] [vertex ...]
 //
 // Queries are vertex tokens, taken from the command line or — when
 // none are given — one per line from stdin; each answer line is
-// "query neighbor similarity". The IVF index trades exact results for
-// speed; see docs/VECTORS.md for the nlists/nprobe knobs.
+// "query neighbor similarity". The IVF and HNSW indexes trade exact
+// results for speed; see docs/INDEXES.md for the selection guide and
+// the nlists/nprobe and m/efc/efs knobs.
+//
+// Index usage (persist a prebuilt HNSW graph next to the model):
+//
+//	v2v index -model vectors.snap -out indexed.snap
+//	          [-m 0] [-efc 0] [-efs 0] [-seed 1]
+//
+// The output bundle is a model snapshot followed by the index graph
+// (own magic/version/CRC section). `v2v serve -index hnsw` and
+// `v2v query -index hnsw` bind the persisted graph instead of
+// rebuilding it at startup.
 //
 // Serve usage (the long-lived HTTP/JSON query server):
 //
 //	v2v serve -model vectors.snap [-addr 127.0.0.1:8080]
-//	          [-index exact|ivf] [-nlists 0] [-nprobe 0] [-cache 4096]
+//	          [-index exact|ivf|hnsw] [-nlists 0] [-nprobe 0]
+//	          [-m 0] [-efc 0] [-efs 0] [-cache 4096]
 //
 // The server exposes /v1/neighbors, /v1/similarity, /v1/analogy,
 // /v1/predict (plus /batch variants), /v1/vocab, /v1/reload (atomic
@@ -64,9 +77,49 @@ func main() {
 		case "serve":
 			serveMain(os.Args[2:])
 			return
+		case "index":
+			indexMain(os.Args[2:])
+			return
 		}
 	}
 	trainMain()
+}
+
+// indexSelection registers the shared index-selection flags on fs and
+// returns a closure assembling the IndexConfig after parsing. Invalid
+// kind/parameter combinations surface as descriptive errors from
+// IndexConfig validation.
+func indexSelection(fs *flag.FlagSet, defaultKind string) func() (v2v.IndexConfig, error) {
+	var (
+		kind   = fs.String("index", defaultKind, "index kind: exact, ivf or hnsw")
+		nlists = fs.Int("nlists", 0, "ivf: coarse cells (0 = sqrt(n))")
+		nprobe = fs.Int("nprobe", 0, "ivf: cells scanned per query (0 = nlists/4)")
+		m      = fs.Int("m", 0, "hnsw: links per node per level (0 = 16)")
+		efc    = fs.Int("efc", 0, "hnsw: construction beam width (0 = 200)")
+		efs    = fs.Int("efs", 0, "hnsw: query beam width (0 = 128)")
+		seed   = fs.Uint64("seed", 1, "index build seed")
+	)
+	return func() (v2v.IndexConfig, error) {
+		cfg := v2v.IndexConfig{
+			Seed:           *seed,
+			NLists:         *nlists,
+			NProbe:         *nprobe,
+			M:              *m,
+			EfConstruction: *efc,
+			EfSearch:       *efs,
+		}
+		switch *kind {
+		case "exact":
+			cfg.Kind = v2v.ExactIndex
+		case "ivf":
+			cfg.Kind = v2v.IVFIndex
+		case "hnsw":
+			cfg.Kind = v2v.HNSWIndex
+		default:
+			return cfg, fmt.Errorf("unknown index kind %q (want exact, ivf or hnsw)", *kind)
+		}
+		return cfg, cfg.Validate()
+	}
 }
 
 func trainMain() {
@@ -201,15 +254,12 @@ func trainMain() {
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("v2v serve", flag.ExitOnError)
 	var (
-		modelF = fs.String("model", "", "saved model (required; snapshot or text, auto-detected)")
+		modelF = fs.String("model", "", "saved model (required; snapshot, bundle or text, auto-detected)")
 		addr   = fs.String("addr", "127.0.0.1:8080", "listen address")
-		kind   = fs.String("index", "exact", "index kind: exact or ivf")
-		nlists = fs.Int("nlists", 0, "ivf: coarse cells (0 = sqrt(n))")
-		nprobe = fs.Int("nprobe", 0, "ivf: cells scanned per query (0 = nlists/4)")
-		seed   = fs.Uint64("seed", 1, "ivf quantizer seed")
 		cache  = fs.Int("cache", 4096, "response cache entries (negative disables)")
 		quiet  = fs.Bool("q", false, "suppress serving logs")
 	)
+	indexCfg := indexSelection(fs, "exact")
 	fs.Parse(args)
 	if *modelF == "" {
 		fs.Usage()
@@ -220,14 +270,9 @@ func serveMain(args []string) {
 		ModelPath: *modelF,
 		CacheSize: *cache,
 	}
-	cfg.Index = v2v.IndexConfig{NLists: *nlists, NProbe: *nprobe, Seed: *seed}
-	switch *kind {
-	case "exact":
-		cfg.Index.Kind = v2v.ExactIndex
-	case "ivf":
-		cfg.Index.Kind = v2v.IVFIndex
-	default:
-		fatal(fmt.Errorf("unknown index kind %q", *kind))
+	var err error
+	if cfg.Index, err = indexCfg(); err != nil {
+		fatal(err)
 	}
 	if !*quiet {
 		cfg.Log = log.New(os.Stderr, "", log.LstdFlags)
@@ -242,22 +287,27 @@ func serveMain(args []string) {
 	}
 }
 
-// queryMain serves top-k neighbor queries over a saved model.
-func queryMain(args []string) {
-	fs := flag.NewFlagSet("v2v query", flag.ExitOnError)
+// indexMain builds an HNSW graph over a saved model and writes the
+// model + graph bundle, so serve/query restarts skip the build.
+func indexMain(args []string) {
+	fs := flag.NewFlagSet("v2v index", flag.ExitOnError)
 	var (
-		modelF  = fs.String("model", "", "saved vector file (required; output of v2v -out)")
-		k       = fs.Int("k", 10, "neighbors per query")
-		kind    = fs.String("index", "exact", "index kind: exact or ivf")
-		nlists  = fs.Int("nlists", 0, "ivf: coarse cells (0 = sqrt(n))")
-		nprobe  = fs.Int("nprobe", 0, "ivf: cells scanned per query (0 = nlists/4)")
-		seed    = fs.Uint64("seed", 1, "ivf quantizer seed")
-		verbose = fs.Bool("v", false, "log index build and query timing to stderr")
+		modelF  = fs.String("model", "", "saved model (required; snapshot or text, auto-detected)")
+		outF    = fs.String("out", "", "output bundle path (required)")
+		verbose = fs.Bool("v", false, "log build timing to stderr")
 	)
+	indexCfg := indexSelection(fs, "hnsw")
 	fs.Parse(args)
-	if *modelF == "" {
+	if *modelF == "" || *outF == "" {
 		fs.Usage()
 		os.Exit(2)
+	}
+	cfg, err := indexCfg()
+	if err != nil {
+		fatal(err)
+	}
+	if cfg.Kind != v2v.HNSWIndex {
+		fatal(fmt.Errorf("only hnsw graphs are persisted (exact and ivf rebuild quickly); got -index %s", cfg.Kind))
 	}
 	f, err := os.Open(*modelF)
 	if err != nil {
@@ -268,28 +318,54 @@ func queryMain(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	byToken := make(map[string]int, len(tokens))
-	for i, tok := range tokens {
-		byToken[tok] = i
-	}
-
-	cfg := v2v.IndexConfig{NLists: *nlists, NProbe: *nprobe, Seed: *seed}
-	switch *kind {
-	case "exact":
-		cfg.Kind = v2v.ExactIndex
-	case "ivf":
-		cfg.Kind = v2v.IVFIndex
-	default:
-		fatal(fmt.Errorf("unknown index kind %q", *kind))
-	}
 	start := time.Now()
 	idx, err := v2v.NewIndex(model, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	if *verbose {
-		fmt.Fprintf(os.Stderr, "model: %d vectors, dim %d; %s index built in %v\n",
-			model.Vocab, model.Dim, *kind, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "index: %d vectors, dim %d: hnsw graph built in %v\n",
+			model.Vocab, model.Dim, time.Since(start).Round(time.Millisecond))
+	}
+	// Atomic write (temp + rename): `v2v index -out` may target the
+	// path a live server reloads from.
+	if err := v2v.SaveIndexedSnapshotFile(*outF, model, tokens, idx); err != nil {
+		fatal(err)
+	}
+}
+
+// queryMain serves top-k neighbor queries over a saved model.
+func queryMain(args []string) {
+	fs := flag.NewFlagSet("v2v query", flag.ExitOnError)
+	var (
+		modelF  = fs.String("model", "", "saved vector file (required; output of v2v -out or v2v index)")
+		k       = fs.Int("k", 10, "neighbors per query")
+		verbose = fs.Bool("v", false, "log index build and query timing to stderr")
+	)
+	indexCfg := indexSelection(fs, "exact")
+	fs.Parse(args)
+	if *modelF == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	cfg, err := indexCfg()
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	// A bundle file with a matching HNSW section binds the prebuilt
+	// graph here instead of rebuilding.
+	model, tokens, idx, err := v2v.LoadIndexedSnapshot(*modelF, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	byToken := make(map[string]int, len(tokens))
+	for i, tok := range tokens {
+		byToken[tok] = i
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "model: %d vectors, dim %d; %s index ready in %v\n",
+			model.Vocab, model.Dim, cfg.Kind, time.Since(start).Round(time.Millisecond))
 	}
 
 	out := bufio.NewWriter(os.Stdout)

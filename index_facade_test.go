@@ -1,6 +1,10 @@
 package v2v
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // TestVectorIndexThroughFacade exercises the public index surface:
 // train, build exact and IVF indexes, and check the approximate index
@@ -50,6 +54,84 @@ func TestVectorIndexThroughFacade(t *testing.T) {
 		if nn[i] != direct[i] {
 			t.Fatalf("embedding index diverged: %+v vs %+v", nn[i], direct[i])
 		}
+	}
+}
+
+// TestHNSWIndexThroughFacade exercises the HNSW surface end to end:
+// build through NewIndex, persist through SaveIndexedSnapshot, bind
+// through LoadIndexedSnapshot, and require identical answers.
+func TestHNSWIndexThroughFacade(t *testing.T) {
+	g, _ := CommunityBenchmark(DefaultBenchmarkConfig(0.8, 31))
+	opts := DefaultOptions(16)
+	opts.WalksPerVertex = 4
+	opts.WalkLength = 30
+	opts.Epochs = 1
+	opts.Seed = 37
+	emb, err := Embed(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hnsw, err := NewIndex(emb.Model, IndexConfig{Kind: HNSWIndex, M: 8, EfConstruction: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := make([]string, g.NumVertices())
+	for v := range tokens {
+		tokens[v] = g.Name(v)
+	}
+	path := filepath.Join(t.TempDir(), "bundle.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveIndexedSnapshot(f, emb.Model, tokens, hnsw); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, tokens2, idx2, err := LoadIndexedSnapshot(path, IndexConfig{Kind: HNSWIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Vocab != emb.Model.Vocab || len(tokens2) != len(tokens) {
+		t.Fatalf("bundle shape: %d vectors, %d tokens", m2.Vocab, len(tokens2))
+	}
+	for _, row := range []int{0, 100, 999} {
+		a, b := hnsw.SearchRow(row, 5), idx2.SearchRow(row, 5)
+		if len(a) != len(b) {
+			t.Fatalf("row %d: %d vs %d results", row, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("row %d rank %d: %+v vs %+v after persistence", row, i, a[i], b[i])
+			}
+		}
+	}
+
+	// A non-HNSW index cannot be persisted.
+	exact, err := NewIndex(emb.Model, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveIndexedSnapshot(os.NewFile(0, "discard"), emb.Model, tokens, exact); err == nil {
+		t.Fatal("SaveIndexedSnapshot accepted an exact index")
+	}
+
+	// Loading the bundle with an exact config ignores the graph and
+	// still answers queries.
+	_, _, idx3, err := LoadIndexedSnapshot(path, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx3.SearchRow(0, 3); len(got) != 3 {
+		t.Fatalf("exact-over-bundle SearchRow returned %d results", len(got))
+	}
+
+	// Validation errors are descriptive, not panics.
+	if _, err := NewIndex(emb.Model, IndexConfig{Kind: HNSWIndex, NProbe: 4}); err == nil {
+		t.Fatal("NewIndex accepted IVF parameters on an HNSW index")
 	}
 }
 

@@ -123,21 +123,61 @@ type Server struct {
 	counters map[string]*endpointCounters
 }
 
-// New builds a server and loads cfg.ModelPath.
+// New builds a server and loads cfg.ModelPath. When the file is a
+// bundle carrying a prebuilt HNSW index graph and the configured
+// index kind is HNSW with a matching metric, the graph is bound
+// directly instead of being rebuilt (see internal/snapshot and
+// docs/INDEXES.md).
 func New(cfg Config) (*Server, error) {
 	if cfg.ModelPath == "" {
 		return nil, fmt.Errorf("server: Config.ModelPath is required (or use NewFromModel)")
 	}
-	m, tokens, err := snapshot.LoadFile(cfg.ModelPath)
+	m, tokens, prebuilt, err := loadServable(cfg, cfg.ModelPath)
 	if err != nil {
 		return nil, fmt.Errorf("server: loading model: %w", err)
 	}
-	return NewFromModel(cfg, m, tokens)
+	return newFromModel(cfg, m, tokens, prebuilt)
+}
+
+// loadServable loads a model file in any persistence format plus, when
+// the file bundles an HNSW graph the configuration can serve (HNSW
+// kind, same metric, no explicitly conflicting build parameters), the
+// prebuilt index bound to the model's store. The index configuration
+// is validated up front so the bind fast path cannot accept a config
+// the build path would reject; non-HNSW configurations skip decoding
+// the graph section entirely.
+func loadServable(cfg Config, path string) (*word2vec.Model, []string, vecstore.Index, error) {
+	if err := cfg.Index.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if cfg.Index.Kind != vecstore.KindHNSW {
+		m, tokens, err := snapshot.LoadFile(path)
+		return m, tokens, nil, err
+	}
+	m, tokens, g, err := snapshot.LoadBundleFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if g == nil || g.Metric != cfg.Index.Metric ||
+		(cfg.Index.M != 0 && cfg.Index.M != g.M) || cfg.Index.EfConstruction != 0 {
+		return m, tokens, nil, nil
+	}
+	idx, err := vecstore.HNSWFromGraph(m.Store(), g, cfg.Index.EfSearch, cfg.Index.Workers)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("binding bundled index graph: %w", err)
+	}
+	return m, tokens, idx, nil
 }
 
 // NewFromModel builds a server around an in-memory model. tokens may
 // be nil (rows are named by decimal index, like Model.Save).
 func NewFromModel(cfg Config, m *word2vec.Model, tokens []string) (*Server, error) {
+	return newFromModel(cfg, m, tokens, nil)
+}
+
+// newFromModel implements NewFromModel, optionally seeding the first
+// generation with a prebuilt index.
+func newFromModel(cfg Config, m *word2vec.Model, tokens []string, prebuilt vecstore.Index) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		logger:   cfg.Log,
@@ -155,7 +195,7 @@ func NewFromModel(cfg Config, m *word2vec.Model, tokens []string) (*Server, erro
 	for _, name := range endpointNames {
 		s.counters[name] = &endpointCounters{}
 	}
-	if _, err := s.SwapModel(m, tokens, cfg.ModelPath); err != nil {
+	if _, err := s.swapModel(m, tokens, cfg.ModelPath, prebuilt); err != nil {
 		return nil, err
 	}
 	s.initMux()
@@ -184,6 +224,13 @@ func (s *Server) maxBatch() int {
 // cache. Requests racing the swap are answered consistently by
 // whichever generation they loaded first. Returns the new generation.
 func (s *Server) SwapModel(m *word2vec.Model, tokens []string, source string) (uint64, error) {
+	return s.swapModel(m, tokens, source, nil)
+}
+
+// swapModel implements SwapModel; prebuilt, when non-nil, is served
+// as the new generation's index instead of building one from
+// Config.Index (the bundled-graph fast path).
+func (s *Server) swapModel(m *word2vec.Model, tokens []string, source string, prebuilt vecstore.Index) (uint64, error) {
 	if m == nil || m.Vocab == 0 {
 		return 0, fmt.Errorf("server: refusing to serve an empty model")
 	}
@@ -196,9 +243,13 @@ func (s *Server) SwapModel(m *word2vec.Model, tokens []string, source string) (u
 	if len(tokens) != m.Vocab {
 		return 0, fmt.Errorf("server: %d tokens for %d vectors", len(tokens), m.Vocab)
 	}
-	idx, err := vecstore.Open(m.Store(), s.cfg.Index)
-	if err != nil {
-		return 0, fmt.Errorf("server: building index: %w", err)
+	idx := prebuilt
+	if idx == nil {
+		var err error
+		idx, err = vecstore.Open(m.Store(), s.cfg.Index)
+		if err != nil {
+			return 0, fmt.Errorf("server: building index: %w", err)
+		}
 	}
 	byToken := make(map[string]int, len(tokens))
 	for i, tok := range tokens {
@@ -224,8 +275,12 @@ func (s *Server) SwapModel(m *word2vec.Model, tokens []string, source string) (u
 	}
 	s.swapMu.Unlock()
 	s.cache.purge()
-	s.logger.Printf("server: generation %d live: %d vectors, dim %d, %s index (source %q)",
-		gen, m.Vocab, m.Dim, s.cfg.Index.Kind, source)
+	how := ""
+	if prebuilt != nil {
+		how = " (prebuilt graph)"
+	}
+	s.logger.Printf("server: generation %d live: %d vectors, dim %d, %s index%s (source %q)",
+		gen, m.Vocab, m.Dim, s.cfg.Index.Kind, how, source)
 	return gen, nil
 }
 
@@ -242,11 +297,11 @@ func (s *Server) Reload(path string) (uint64, error) {
 	if path == "" {
 		return 0, fmt.Errorf("server: no model path to reload from")
 	}
-	m, tokens, err := snapshot.LoadFile(path)
+	m, tokens, prebuilt, err := loadServable(s.cfg, path)
 	if err != nil {
 		return 0, fmt.Errorf("server: reload: %w", err)
 	}
-	return s.SwapModel(m, tokens, path)
+	return s.swapModel(m, tokens, path, prebuilt)
 }
 
 // Generation returns the current model generation (1 = initial load).

@@ -294,6 +294,68 @@ func TestIVFIndexServing(t *testing.T) {
 	}
 }
 
+// TestHNSWPrebuiltGraphServing covers the bundled-graph fast path:
+// a server configured for HNSW must bind the snapshot's index graph
+// (startup and reload) and answer neighbor queries identically to an
+// index built in process.
+func TestHNSWPrebuiltGraphServing(t *testing.T) {
+	dir := t.TempDir()
+	m, tokens := testModel(300, 16, 7)
+	h, err := vecstore.NewHNSW(m.Store(), vecstore.Cosine, vecstore.HNSWConfig{Seed: 3, M: 8, EfConstruction: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "bundle.snap")
+	if err := snapshot.SaveBundleFile(path, m, tokens, h.Graph()); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{ModelPath: path, Index: vecstore.Config{Kind: vecstore.KindHNSW}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, ok := s.state.Load().index.(*vecstore.HNSW); !ok {
+		t.Fatalf("served index is %T, want *vecstore.HNSW", s.state.Load().index)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	var out NeighborsResponse
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=v12&k=5", &out); code != 200 {
+		t.Fatalf("hnsw neighbors status %d", code)
+	}
+	want := h.SearchRow(12, 5)
+	if len(out.Neighbors) != len(want) {
+		t.Fatalf("%d neighbors, want %d", len(out.Neighbors), len(want))
+	}
+	for i, nb := range out.Neighbors {
+		if nb.Vertex != tokens[want[i].ID] || nb.Score != want[i].Score {
+			t.Fatalf("rank %d: got %+v, want row %d score %v (prebuilt graph mismatch)",
+				i, nb, want[i].ID, want[i].Score)
+		}
+	}
+
+	// Reload from the bundle keeps the prebuilt path.
+	var rl ReloadResponse
+	if code := postJSON(t, hs.URL+"/v1/reload", ReloadRequest{Path: path}, &rl); code != 200 {
+		t.Fatalf("reload status %d", code)
+	}
+	if _, ok := s.state.Load().index.(*vecstore.HNSW); !ok {
+		t.Fatalf("post-reload index is %T, want *vecstore.HNSW", s.state.Load().index)
+	}
+
+	// A non-HNSW configuration over the same bundle ignores the graph
+	// and serves its configured index.
+	s2, err := New(Config{ModelPath: path})
+	if err != nil {
+		t.Fatalf("New (exact over bundle): %v", err)
+	}
+	if _, ok := s2.state.Load().index.(*vecstore.Exact); !ok {
+		t.Fatalf("exact config served %T", s2.state.Load().index)
+	}
+}
+
 func TestReloadEndpoint(t *testing.T) {
 	dir := t.TempDir()
 	m1, tokens1 := testModel(40, 8, 1)

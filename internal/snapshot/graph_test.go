@@ -1,0 +1,226 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"v2v/internal/vecstore"
+	"v2v/internal/word2vec"
+)
+
+// buildTestGraph trains a small deterministic model and an HNSW index
+// over it.
+func buildTestGraph(t *testing.T, n, dim int) (*word2vec.Model, []string, *vecstore.HNSW) {
+	t.Helper()
+	m, tokens := testModel(n, dim, 17)
+	h, err := vecstore.NewHNSW(m.Store(), vecstore.Cosine, vecstore.HNSWConfig{Seed: 5, M: 6, EfConstruction: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, tokens, h
+}
+
+func TestIndexGraphRoundTrip(t *testing.T) {
+	m, _, h := buildTestGraph(t, 60, 8)
+	var buf bytes.Buffer
+	if err := SaveIndex(&buf, m.Dim, h.Graph()); err != nil {
+		t.Fatalf("SaveIndex: %v", err)
+	}
+	g, dim, err := LoadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadIndex: %v", err)
+	}
+	if dim != m.Dim {
+		t.Fatalf("dim %d, want %d", dim, m.Dim)
+	}
+	h2, err := vecstore.HNSWFromGraph(m.Store(), g, 0, 0)
+	if err != nil {
+		t.Fatalf("HNSWFromGraph: %v", err)
+	}
+	for row := 0; row < 60; row += 13 {
+		a, b := h.SearchRow(row, 5), h2.SearchRow(row, 5)
+		if len(a) != len(b) {
+			t.Fatalf("row %d: %d vs %d results", row, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("row %d rank %d: %+v vs %+v after round trip", row, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestBundleRoundTripAndSniffing(t *testing.T) {
+	m, tokens, h := buildTestGraph(t, 50, 6)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bundle.snap")
+	if err := SaveBundleFile(path, m, tokens, h.Graph()); err != nil {
+		t.Fatalf("SaveBundleFile: %v", err)
+	}
+
+	// Bundle loader sees model + graph.
+	m2, tokens2, g, err := LoadBundleFile(path)
+	if err != nil {
+		t.Fatalf("LoadBundleFile: %v", err)
+	}
+	if g == nil {
+		t.Fatal("bundle load returned no index graph")
+	}
+	if m2.Vocab != m.Vocab || m2.Dim != m.Dim || len(tokens2) != len(tokens) {
+		t.Fatalf("bundle model mismatch: %dx%d / %d tokens", m2.Vocab, m2.Dim, len(tokens2))
+	}
+	if _, err := vecstore.HNSWFromGraph(m2.Store(), g, 0, 0); err != nil {
+		t.Fatalf("binding bundled graph: %v", err)
+	}
+
+	// Model-only loaders must still read the bundle (they sniff and
+	// tolerate the trailing index section).
+	if m3, _, err := LoadFile(path); err != nil {
+		t.Fatalf("LoadFile on a bundle: %v", err)
+	} else if m3.Vocab != m.Vocab {
+		t.Fatalf("LoadFile vocab %d, want %d", m3.Vocab, m.Vocab)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("Load on a bundle: %v", err)
+	}
+	if _, _, err := LoadAuto(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("LoadAuto on a bundle: %v", err)
+	}
+
+	// A model-only snapshot reports a nil graph, not an error.
+	plain := filepath.Join(dir, "model.snap")
+	if err := SaveFile(plain, m, tokens); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, g, err := LoadBundleFile(plain); err != nil || g != nil {
+		t.Fatalf("model-only bundle load: g=%v err=%v", g, err)
+	}
+
+	// So does the text format.
+	text := filepath.Join(dir, "model.txt")
+	f, err := os.Create(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (simple names: the text format cannot represent empty tokens)
+	if err := m.Save(f, func(i int) string { return fmt.Sprintf("t%d", i) }); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, g, err := LoadBundleFile(text); err != nil || g != nil {
+		t.Fatalf("text bundle load: g=%v err=%v", g, err)
+	}
+}
+
+// TestIndexLoaderEdgeCases covers the sniffing failure modes: a
+// zero-length file, a model-only snapshot fed to the index-graph
+// loader, and an index section with a corrupted CRC. All must return
+// clean errors.
+func TestIndexLoaderEdgeCases(t *testing.T) {
+	m, tokens, h := buildTestGraph(t, 40, 6)
+
+	// Zero-length input.
+	if _, _, err := LoadIndex(bytes.NewReader(nil)); err == nil {
+		t.Fatal("LoadIndex accepted a zero-length stream")
+	}
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.snap")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadBundleFile(empty); err == nil {
+		t.Fatal("LoadBundleFile accepted a zero-length file")
+	}
+	if _, _, err := LoadFile(empty); err == nil {
+		t.Fatal("LoadFile accepted a zero-length file")
+	}
+
+	// A model-only snapshot fed to the index-graph loader fails on the
+	// magic check with a hint, not a parse explosion.
+	var model bytes.Buffer
+	if err := Save(&model, m, tokens); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := LoadIndex(bytes.NewReader(model.Bytes()))
+	if err == nil {
+		t.Fatal("LoadIndex accepted a model snapshot")
+	}
+	if !strings.Contains(err.Error(), "model snapshot") {
+		t.Fatalf("LoadIndex error should name the model magic, got: %v", err)
+	}
+
+	// Corrupted CRC (and corrupted interior bytes) in the index
+	// section must be caught.
+	var sect bytes.Buffer
+	if err := SaveIndex(&sect, m.Dim, h.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	full := sect.Bytes()
+	for _, off := range []int{len(full) - 1, len(full) - 3, len(full)/2 + 1} {
+		bad := append([]byte(nil), full...)
+		bad[off] ^= 0x20
+		if _, _, err := LoadIndex(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("LoadIndex accepted a corrupt byte at offset %d", off)
+		}
+	}
+	// Truncations at assorted depths fail cleanly too.
+	for _, cut := range []int{3, len(IndexMagic) + 2, len(full) / 3, len(full) - 2} {
+		if _, _, err := LoadIndex(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("LoadIndex accepted a stream truncated to %d bytes", cut)
+		}
+	}
+
+	// A bundle whose index section is corrupt must fail as a whole.
+	var bundle bytes.Buffer
+	if err := SaveBundle(&bundle, m, tokens, h.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), bundle.Bytes()...)
+	bad[len(bad)-2] ^= 0x11 // inside the index CRC
+	badPath := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadBundleFile(badPath); err == nil {
+		t.Fatal("LoadBundleFile accepted a bundle with a corrupt index CRC")
+	}
+
+	// A graph for a different model shape is corruption.
+	other, otherTokens := testModel(39, 6, 23)
+	var mixed bytes.Buffer
+	if err := Save(&mixed, other, otherTokens); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveIndex(&mixed, m.Dim, h.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	mixedPath := filepath.Join(dir, "mixed.snap")
+	if err := os.WriteFile(mixedPath, mixed.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadBundleFile(mixedPath); err == nil {
+		t.Fatal("LoadBundleFile accepted a graph/model shape mismatch")
+	}
+
+	// Non-graph trailing garbage after a model section is still an
+	// error on every loader.
+	garbled := append(append([]byte(nil), model.Bytes()...), "notanindex"...)
+	if _, _, err := Load(bytes.NewReader(garbled)); err == nil {
+		t.Fatal("Load accepted non-graph trailing data")
+	}
+	garbledPath := filepath.Join(dir, "garbled.snap")
+	if err := os.WriteFile(garbledPath, garbled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadBundleFile(garbledPath); err == nil {
+		t.Fatal("LoadBundleFile accepted non-graph trailing data")
+	}
+}

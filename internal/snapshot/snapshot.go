@@ -128,19 +128,19 @@ func Save(w io.Writer, m *word2vec.Model, tokens []string) error {
 // and trailing checksum. It returns the model and the token of every
 // row, mirroring word2vec.Load.
 func Load(r io.Reader) (*word2vec.Model, []string, error) {
-	return load(r, -1)
+	return load(bufio.NewReaderSize(r, 1<<16), -1)
 }
 
-// load implements Load. size, when >= 0, is the total stream length
-// (known on the file path): the header's claimed shape is checked
-// against it before any shape-sized allocation, so a corrupt or
-// crafted header on a small file fails instantly instead of
-// attempting a multi-gigabyte make.
-func load(r io.Reader, size int64) (*word2vec.Model, []string, error) {
+// load implements Load over an existing buffered reader (so bundle
+// loading can continue into a trailing index-graph section). size,
+// when >= 0, is the total stream length (known on the file path): the
+// header's claimed shape is checked against it before any shape-sized
+// allocation, so a corrupt or crafted header on a small file fails
+// instantly instead of attempting a multi-gigabyte make.
+func load(br *bufio.Reader, size int64) (*word2vec.Model, []string, error) {
 	// The CRC is updated on consumption (after each ReadFull), not via
 	// an io.TeeReader around the raw stream: bufio read-ahead would
 	// otherwise hash trailer bytes into the payload sum.
-	br := bufio.NewReaderSize(r, 1<<16)
 	crc := crc32.NewIEEE()
 	readFull := func(buf []byte, what string) error {
 		if _, err := io.ReadFull(br, buf); err != nil {
@@ -211,8 +211,14 @@ func load(r io.Reader, size int64) (*word2vec.Model, []string, error) {
 	if stored := binary.LittleEndian.Uint32(u32[:]); stored != want {
 		return nil, nil, fmt.Errorf("snapshot: checksum mismatch (stored %08x, computed %08x): file is corrupt", stored, want)
 	}
-	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, nil, fmt.Errorf("snapshot: trailing data after checksum")
+	// The only bytes allowed after the model section are an
+	// index-graph section (see graph.go); anything else is corruption.
+	if trail, err := br.Peek(len(IndexMagic)); len(trail) > 0 {
+		if !IsIndexGraph(trail) {
+			return nil, nil, fmt.Errorf("snapshot: trailing data after checksum")
+		}
+	} else if err != io.EOF {
+		return nil, nil, err
 	}
 	return m, tokens, nil
 }
@@ -229,7 +235,7 @@ func LoadAuto(r io.Reader) (*word2vec.Model, []string, error) {
 		return nil, nil, err
 	}
 	if IsSnapshot(head) {
-		return Load(br)
+		return load(br, -1)
 	}
 	return word2vec.Load(br)
 }

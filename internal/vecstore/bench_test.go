@@ -123,6 +123,85 @@ func BenchmarkSearchExactBatch(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(qs)), "ns/query")
 }
 
+// hnswBench caches a clustered (embedding-like) store of the same
+// shape as the gaussian query-bench store, plus the HNSW index over
+// it: the 100k x 128 build takes minutes and must not repeat per
+// benchmark. The distribution matters for a proximity graph — trained
+// embeddings are clustered, and that is the workload the serving
+// stack sees; `cmd/hnswrecall -dist gaussian` tracks the structureless
+// worst case (see docs/INDEXES.md for both numbers).
+var hnswBench struct {
+	once sync.Once
+	s    *Store
+	qs   [][]float32
+	idx  *HNSW
+}
+
+func hnswBenchSetup(b *testing.B) (*HNSW, [][]float32) {
+	b.Helper()
+	hnswBench.once.Do(func() {
+		n, dim, clusters := 100_000, 128, 1000
+		if testing.Short() {
+			n, dim, clusters = 10_000, 64, 100
+		}
+		hnswBench.s = clusteredStore(n, dim, clusters, 101)
+		rng := xrand.New(103)
+		qs := make([][]float32, 64)
+		for i := range qs {
+			qs[i] = hnswBench.s.Row(rng.Intn(n))
+		}
+		hnswBench.qs = qs
+		h, err := NewHNSW(hnswBench.s, Cosine, HNSWConfig{Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hnswBench.idx = h
+	})
+	return hnswBench.idx, hnswBench.qs
+}
+
+// BenchmarkSearchHNSW is the sublinear approximate path at M/efSearch
+// defaults: one cosine top-10 per op. The recall@10 metric compares
+// the bench queries' answers against the exact index, so the
+// trajectory snapshot records quality next to latency. Compare ns/op
+// against BenchmarkSearchExactSerial (same shape, same kernels; a
+// dense scan's cost does not depend on the distribution).
+func BenchmarkSearchHNSW(b *testing.B) {
+	h, qs := hnswBenchSetup(b)
+	exact := NewExact(h.Store(), Cosine, 1)
+	hits, total := 0, 0
+	for _, q := range qs {
+		in := map[int]bool{}
+		for _, r := range h.Search(q, 10) {
+			in[r.ID] = true
+		}
+		for _, r := range exact.Search(q, 10) {
+			total++
+			if in[r.ID] {
+				hits++
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Search(qs[i%len(qs)], 10)
+	}
+	b.ReportMetric(float64(hits)/float64(total), "recall@10")
+}
+
+// BenchmarkSearchHNSWBatch is the batched path: 64 queries per op
+// sharded across workers with per-worker scratch.
+func BenchmarkSearchHNSWBatch(b *testing.B) {
+	h, qs := hnswBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.SearchBatch(qs, 10)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(qs)), "ns/query")
+}
+
 // BenchmarkSearchIVF is the approximate path at nprobe defaults.
 func BenchmarkSearchIVF(b *testing.B) {
 	s, qs := queryBenchSetup(b)

@@ -48,6 +48,11 @@ const (
 	// only the NProbe closest cells. Approximate; recall is tuned by
 	// NProbe (see docs/VECTORS.md).
 	KindIVF
+	// KindHNSW routes through a hierarchical navigable small world
+	// graph: greedy descent through sparse upper layers, then a
+	// bounded EfSearch beam at layer 0. Approximate with sublinear
+	// query cost; recall is tuned by M/EfSearch (see docs/INDEXES.md).
+	KindHNSW
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +62,8 @@ func (k Kind) String() string {
 		return "exact"
 	case KindIVF:
 		return "ivf"
+	case KindHNSW:
+		return "hnsw"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -78,11 +85,66 @@ type Config struct {
 	// (0 = max(1, NLists/4), which lands >= 0.95 recall@10 on the
 	// paper-scale graphs; raise it toward NLists for higher recall).
 	NProbe int
-	// Seed drives the k-means coarse quantizer. Builds are
-	// deterministic for a fixed seed regardless of Workers.
+	// Seed drives index construction randomness (the IVF k-means
+	// quantizer, HNSW level sampling). Builds are deterministic for a
+	// fixed seed regardless of Workers.
 	Seed uint64
 	// KMeansIters bounds quantizer training (0 = 15).
 	KMeansIters int
+
+	// M is the HNSW per-level degree target (0 = 16).
+	M int
+	// EfConstruction is the HNSW insert-time beam width (0 = 200).
+	EfConstruction int
+	// EfSearch is the HNSW query-time beam width (0 = 128); queries
+	// use max(EfSearch, k).
+	EfSearch int
+}
+
+// Validate reports, with a descriptive error, why the configuration
+// cannot build an index: an unknown kind or metric, a negative
+// parameter, a parameter that belongs to a different index kind, or an
+// inconsistent IVF probe count. The zero value (serial exact cosine)
+// is always valid; Open validates before building.
+func (c Config) Validate() error {
+	switch c.Kind {
+	case KindExact, KindIVF, KindHNSW:
+	default:
+		return fmt.Errorf("vecstore: unknown index kind %v (valid: exact, ivf, hnsw)", c.Kind)
+	}
+	switch c.Metric {
+	case Cosine, Dot, Euclidean:
+	default:
+		return fmt.Errorf("vecstore: unknown metric %v (valid: cosine, dot, euclidean)", c.Metric)
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"Workers", c.Workers},
+		{"NLists", c.NLists},
+		{"NProbe", c.NProbe},
+		{"KMeansIters", c.KMeansIters},
+		{"M", c.M},
+		{"EfConstruction", c.EfConstruction},
+		{"EfSearch", c.EfSearch},
+	} {
+		if p.v < 0 {
+			return fmt.Errorf("vecstore: %s index: negative %s %d (0 selects the default)", c.Kind, p.name, p.v)
+		}
+	}
+	if c.Kind != KindIVF && (c.NLists != 0 || c.NProbe != 0 || c.KMeansIters != 0) {
+		return fmt.Errorf("vecstore: NLists/NProbe/KMeansIters are IVF parameters but Kind is %s (got NLists=%d NProbe=%d KMeansIters=%d)",
+			c.Kind, c.NLists, c.NProbe, c.KMeansIters)
+	}
+	if c.Kind != KindHNSW && (c.M != 0 || c.EfConstruction != 0 || c.EfSearch != 0) {
+		return fmt.Errorf("vecstore: M/EfConstruction/EfSearch are HNSW parameters but Kind is %s (got M=%d EfConstruction=%d EfSearch=%d)",
+			c.Kind, c.M, c.EfConstruction, c.EfSearch)
+	}
+	if c.Kind == KindIVF && c.NLists > 0 && c.NProbe > c.NLists {
+		return fmt.Errorf("vecstore: NProbe %d exceeds NLists %d (an IVF query cannot probe more cells than exist)", c.NProbe, c.NLists)
+	}
+	return nil
 }
 
 // Index is a top-k similarity search structure over a Store.
@@ -104,11 +166,13 @@ type Index interface {
 	Metric() Metric
 }
 
-// Open builds the index described by cfg over s.
+// Open builds the index described by cfg over s, validating cfg
+// first.
 func Open(s *Store, cfg Config) (Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	switch cfg.Kind {
-	case KindExact:
-		return NewExact(s, cfg.Metric, cfg.Workers), nil
 	case KindIVF:
 		return NewIVF(s, cfg.Metric, IVFConfig{
 			NLists:      cfg.NLists,
@@ -117,8 +181,16 @@ func Open(s *Store, cfg Config) (Index, error) {
 			Workers:     cfg.Workers,
 			KMeansIters: cfg.KMeansIters,
 		})
+	case KindHNSW:
+		return NewHNSW(s, cfg.Metric, HNSWConfig{
+			M:              cfg.M,
+			EfConstruction: cfg.EfConstruction,
+			EfSearch:       cfg.EfSearch,
+			Seed:           cfg.Seed,
+			Workers:        cfg.Workers,
+		})
 	default:
-		return nil, fmt.Errorf("vecstore: unknown index kind %v", cfg.Kind)
+		return NewExact(s, cfg.Metric, cfg.Workers), nil
 	}
 }
 

@@ -19,6 +19,7 @@ package v2v
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"v2v/internal/cluster"
@@ -165,8 +166,9 @@ type Options struct {
 	// Index selects the similarity index serving the embedding's
 	// query paths (Embedding.Neighbors, missing-label prediction):
 	// the zero value is the exact scan; {Kind: IVFIndex, NProbe: n}
-	// trades exactness for nprobe-pruned approximate search. See
-	// docs/VECTORS.md.
+	// trades exactness for nprobe-pruned approximate search and
+	// {Kind: HNSWIndex} for sublinear graph search. See
+	// docs/VECTORS.md and docs/INDEXES.md.
 	Index IndexConfig
 }
 
@@ -306,6 +308,85 @@ func SaveSnapshot(w io.Writer, m *Model, tokens []string) error {
 // verifying its checksum. Use LoadModel to accept either format.
 func LoadSnapshot(r io.Reader) (*Model, []string, error) { return snapshot.Load(r) }
 
+// SaveIndexedSnapshot writes a bundle: the model snapshot followed by
+// the topology of a prebuilt HNSW index (its own magic, version and
+// CRC-32 section). A server or query CLI loading the bundle with an
+// HNSW index configuration binds the persisted graph instead of
+// re-inserting every row — startup cost becomes a bounds-checked
+// read. idx must be an HNSW index over m's store (built with NewIndex
+// and Kind: HNSWIndex). See docs/INDEXES.md.
+func SaveIndexedSnapshot(w io.Writer, m *Model, tokens []string, idx Index) error {
+	h, ok := idx.(*vecstore.HNSW)
+	if !ok {
+		return fmt.Errorf("v2v: SaveIndexedSnapshot needs an HNSW index, got %T (exact and IVF indexes rebuild quickly and are not persisted)", idx)
+	}
+	return snapshot.SaveBundle(w, m, tokens, h.Graph())
+}
+
+// SaveIndexedSnapshotFile writes the bundle to path atomically
+// (same-directory temp file and rename, like SaveFile), so a crash
+// mid-write never leaves a half-bundle at the target — the invariant
+// the hot-reload deploy loop depends on. Prefer this over
+// SaveIndexedSnapshot for files the server reloads from.
+func SaveIndexedSnapshotFile(path string, m *Model, tokens []string, idx Index) error {
+	h, ok := idx.(*vecstore.HNSW)
+	if !ok {
+		return fmt.Errorf("v2v: SaveIndexedSnapshotFile needs an HNSW index, got %T (exact and IVF indexes rebuild quickly and are not persisted)", idx)
+	}
+	return snapshot.SaveBundleFile(path, m, tokens, h.Graph())
+}
+
+// LoadIndexedSnapshot loads a model file in any persistence format
+// (bundle, binary snapshot, word2vec text — auto-sniffed) and returns
+// an index over it per cfg, validating cfg first. When the file
+// bundles an HNSW graph and cfg asks for an HNSW index compatible
+// with it — same metric, no explicitly conflicting build parameters
+// (an M different from the graph's, or a nonzero EfConstruction) —
+// the prebuilt graph is bound (cfg.EfSearch and cfg.Workers still
+// apply); otherwise the index is built from scratch. Non-HNSW
+// configurations skip decoding the graph section entirely.
+func LoadIndexedSnapshot(path string, cfg IndexConfig) (*Model, []string, Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if cfg.Kind != HNSWIndex {
+		m, tokens, err := snapshot.LoadFile(path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		idx, err := vecstore.Open(m.Store(), cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return m, tokens, idx, nil
+	}
+	m, tokens, g, err := snapshot.LoadBundleFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if bindableGraph(g, cfg) {
+		idx, err := vecstore.HNSWFromGraph(m.Store(), g, cfg.EfSearch, cfg.Workers)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("v2v: binding bundled index graph: %w", err)
+		}
+		return m, tokens, idx, nil
+	}
+	idx, err := vecstore.Open(m.Store(), cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, tokens, idx, nil
+}
+
+// bindableGraph reports whether a persisted graph satisfies an HNSW
+// configuration: same metric, and no explicit build parameter the
+// graph contradicts (a caller that pins M or EfConstruction asked for
+// a specific build, so it gets one).
+func bindableGraph(g *vecstore.HNSWGraph, cfg IndexConfig) bool {
+	return g != nil && g.Metric == cfg.Metric &&
+		(cfg.M == 0 || cfg.M == g.M) && cfg.EfConstruction == 0
+}
+
 // ---- Vector store and top-k indexes --------------------------------
 
 // VectorStore is a contiguous, aligned float32 matrix with cached L2
@@ -328,10 +409,20 @@ const (
 	// IVFIndex prunes the scan with a k-means coarse quantizer,
 	// probing only the NProbe closest cells; approximate.
 	IVFIndex = vecstore.KindIVF
+	// HNSWIndex routes queries through a hierarchical navigable small
+	// world graph: sublinear approximate search whose recall is tuned
+	// by M and EfSearch. The graph can be persisted alongside the
+	// model with SaveIndexedSnapshot so servers skip the build. See
+	// docs/INDEXES.md.
+	HNSWIndex = vecstore.KindHNSW
 )
 
-// IndexConfig selects and tunes an index (kind, metric, NLists,
-// NProbe, workers, seed). The zero value is an exact cosine index.
+// IndexConfig selects and tunes an index (kind, metric, IVF
+// NLists/NProbe, HNSW M/EfConstruction/EfSearch, workers, seed). The
+// zero value is an exact cosine index; invalid combinations are
+// rejected with a descriptive error by every constructor (see
+// IndexConfig.Validate). docs/INDEXES.md is the selection and tuning
+// guide.
 type IndexConfig = vecstore.Config
 
 // SearchResult is one similarity hit (vertex ID and score, higher
