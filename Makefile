@@ -17,7 +17,8 @@ BENCH_PATTERN ?= BenchmarkGenerateUniform$$|BenchmarkTrainCBOWNegSampling$$|Benc
 BENCH_PKGS    ?= ./internal/walk ./internal/word2vec ./internal/vecstore ./internal/knn
 
 .PHONY: build test race vet bench bench-short serve-smoke loadgen-bench loadgen-short \
-	hnsw-recall hnsw-recall-full loadgen-hnsw clean
+	loadgen-write loadgen-write-short hnsw-recall hnsw-recall-full hnsw-recall-incr \
+	hnsw-recall-incr-full loadgen-hnsw clean
 
 build:
 	$(GO) build ./...
@@ -33,11 +34,14 @@ race:
 		./internal/knn/... ./internal/linkpred/... ./internal/vecstore/... \
 		./internal/server/... ./internal/snapshot/... ./internal/loadgen/...
 
-# End-to-end serving smoke test: builds the v2v binary, serves a
-# snapshot on a random port, issues one query per endpoint (including
-# a hot reload) and asserts a clean SIGTERM shutdown.
+# End-to-end serving smoke tests: builds the v2v binary, serves a
+# snapshot on a random port, issues one query per endpoint — including
+# a hot reload, /v1/upsert and /v1/delete (visibility without reload,
+# 404 after delete) — and asserts a clean SIGTERM shutdown; plus the
+# live-reload shape-mismatch test (clean 400, previous generation
+# keeps serving).
 serve-smoke:
-	$(GO) test -run TestServeSmokeE2E -count 1 -v .
+	$(GO) test -run 'TestServeSmokeE2E|TestReloadShapeMismatchKeepsServing' -count 1 -v .
 
 # Full trajectory snapshot (minutes; run before publishing perf claims).
 bench:
@@ -75,6 +79,18 @@ hnsw-recall-full:
 	$(GO) run ./cmd/hnswrecall -n 100000 -dim 128 -queries 500 -min-recall 0.95 -min-speedup 5 -out $(HNSW_OUT)
 	@echo wrote $(HNSW_OUT)
 
+# Incremental-insert quality gate: half the rows enter the graph
+# through MutableIndex.Insert (the online-upsert path) instead of the
+# batch build; recall@10 must hold the same floor. The -full variant
+# is the ISSUE 5 acceptance run quoted in docs/INDEXES.md.
+hnsw-recall-incr:
+	$(GO) run ./cmd/hnswrecall -n 20000 -dim 64 -queries 200 -incremental 0.5 -min-recall 0.95 -out $(HNSW_OUT)
+	@echo wrote $(HNSW_OUT)
+
+hnsw-recall-incr-full:
+	$(GO) run ./cmd/hnswrecall -n 100000 -dim 128 -queries 500 -incremental 0.5 -min-recall 0.95 -out $(HNSW_OUT)
+	@echo wrote $(HNSW_OUT)
+
 # Serving-latency snapshot through the HNSW index: identical harness
 # to loadgen-bench with the selfserve server behind `-index hnsw`.
 # Separate default output so the exact-baseline and HNSW trajectories
@@ -85,6 +101,24 @@ loadgen-hnsw:
 		-mix 'neighbors=0.85,similarity=0.05,predict=0.05,neighbors-batch=0.05' \
 		-out $(LOADGEN_HNSW_OUT)
 	@echo wrote $(LOADGEN_HNSW_OUT)
+
+# Mixed read/write serving snapshot: 15% of operations are
+# /v1/upsert//v1/delete writes against the live index (no reloads).
+# The acceptance bar is zero errors; the numbers land in
+# LOADGEN_<date>.json alongside the read-only trajectories.
+loadgen-write:
+	$(GO) run ./cmd/loadgen -selfserve -vectors 10000 -dim 64 -cache 16384 \
+		-warmup 1 -duration 10s -workers 8 -write-fraction 0.15 \
+		-mix 'neighbors=0.85,similarity=0.05,predict=0.05,neighbors-batch=0.05' \
+		-out $(LOADGEN_OUT)
+	@echo wrote $(LOADGEN_OUT)
+
+loadgen-write-short:
+	$(GO) run ./cmd/loadgen -selfserve -vectors 2000 -dim 32 -cache 4096 \
+		-warmup 1 -duration 2s -workers 4 -write-fraction 0.15 \
+		-mix 'neighbors=0.85,similarity=0.05,predict=0.05,neighbors-batch=0.05' \
+		-out $(LOADGEN_OUT)
+	@echo wrote $(LOADGEN_OUT)
 
 # Scaled-down serving snapshot for CI.
 loadgen-short:

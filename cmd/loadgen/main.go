@@ -15,6 +15,11 @@
 //
 //	loadgen -selfserve -vectors 10000 -dim 64 -duration 5s
 //
+// Mixed read/write (writes go to /v1/upsert and /v1/delete in a
+// generator-owned token namespace, so read queries never 404):
+//
+//	loadgen -selfserve -write-fraction 0.15 -duration 10s
+//
 // A qps of 0 runs closed-loop at maximum speed; otherwise arrival
 // times are paced open-loop at the target aggregate rate. See
 // docs/SERVING.md.
@@ -43,7 +48,8 @@ func main() {
 		qps      = flag.Float64("qps", 0, "target aggregate requests/sec (0 = unlimited)")
 		requests = flag.Int("requests", 0, "total requests (0 = run for -duration)")
 		duration = flag.Duration("duration", 10*time.Second, "run length when -requests is 0")
-		mixFlag  = flag.String("mix", "neighbors=1", "operation mix, e.g. 'neighbors=0.8,similarity=0.1,predict=0.1'")
+		mixFlag  = flag.String("mix", "neighbors=1", "operation mix, e.g. 'neighbors=0.8,similarity=0.1,upsert=0.07,delete=0.03'")
+		writeF   = flag.Float64("write-fraction", 0, "rescale the mix so this fraction of ops are writes (upsert 2:1 delete); the server must not be read-only")
 		k        = flag.Int("k", 10, "top-k per neighbors/analogy query")
 		batch    = flag.Int("batch", 16, "queries per batch request")
 		warmup   = flag.Int("warmup", 0, "unmeasured warm-up passes over the vocabulary before the clock starts")
@@ -88,6 +94,9 @@ func main() {
 
 	mix, err := loadgen.ParseMix(*mixFlag)
 	if err != nil {
+		fatal(err)
+	}
+	if mix, err = loadgen.WithWriteFraction(mix, *writeF); err != nil {
 		fatal(err)
 	}
 

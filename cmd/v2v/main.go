@@ -42,11 +42,16 @@
 //	v2v serve -model vectors.snap [-addr 127.0.0.1:8080]
 //	          [-index exact|ivf|hnsw] [-nlists 0] [-nprobe 0]
 //	          [-m 0] [-efc 0] [-efs 0] [-cache 4096]
+//	          [-readonly] [-compact-frac 0]
 //
 // The server exposes /v1/neighbors, /v1/similarity, /v1/analogy,
 // /v1/predict (plus /batch variants), /v1/vocab, /v1/reload (atomic
-// hot model swap), /healthz and /stats, and shuts down gracefully on
-// SIGTERM/SIGINT. See docs/SERVING.md for the API reference and
+// hot model swap), /v1/upsert and /v1/delete (plus /batch variants —
+// online writes, visible to queries immediately with no reload;
+// disable with -readonly), /healthz and /stats, and shuts down
+// gracefully on SIGTERM/SIGINT. Deletes tombstone rows; past the
+// -compact-frac tombstone fraction the server compacts into a fresh
+// generation. See docs/SERVING.md for the API reference and
 // cmd/loadgen for the load-generating client.
 //
 // The input format is one edge per line: "u v [weight [time]]"; lines
@@ -254,10 +259,12 @@ func trainMain() {
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("v2v serve", flag.ExitOnError)
 	var (
-		modelF = fs.String("model", "", "saved model (required; snapshot, bundle or text, auto-detected)")
-		addr   = fs.String("addr", "127.0.0.1:8080", "listen address")
-		cache  = fs.Int("cache", 4096, "response cache entries (negative disables)")
-		quiet  = fs.Bool("q", false, "suppress serving logs")
+		modelF   = fs.String("model", "", "saved model (required; snapshot, bundle or text, auto-detected)")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
+		cache    = fs.Int("cache", 4096, "response cache entries (negative disables)")
+		readonly = fs.Bool("readonly", false, "disable /v1/upsert and /v1/delete (they answer 403)")
+		compact  = fs.Float64("compact-frac", 0, "tombstone fraction that triggers compaction (0 = 0.25 default, negative disables)")
+		quiet    = fs.Bool("q", false, "suppress serving logs")
 	)
 	indexCfg := indexSelection(fs, "exact")
 	fs.Parse(args)
@@ -266,9 +273,11 @@ func serveMain(args []string) {
 		os.Exit(2)
 	}
 	cfg := v2v.ServeConfig{
-		Addr:      *addr,
-		ModelPath: *modelF,
-		CacheSize: *cache,
+		Addr:            *addr,
+		ModelPath:       *modelF,
+		CacheSize:       *cache,
+		ReadOnly:        *readonly,
+		CompactFraction: *compact,
 	}
 	var err error
 	if cfg.Index, err = indexCfg(); err != nil {

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"runtime"
@@ -28,7 +29,10 @@ import (
 // issue one HTTP request carrying BatchSize queries.
 type Op string
 
-// Supported operations.
+// Supported operations. The write ops (upsert, delete) target
+// generator-owned synthetic tokens in a per-worker namespace, so they
+// never invalidate the vocabulary the read ops sample from — a mixed
+// read/write run must be able to finish with zero errors.
 const (
 	OpNeighbors       Op = "neighbors"
 	OpNeighborsBatch  Op = "neighbors-batch"
@@ -37,11 +41,53 @@ const (
 	OpAnalogy         Op = "analogy"
 	OpPredict         Op = "predict"
 	OpPredictBatch    Op = "predict-batch"
+	OpUpsert          Op = "upsert"
+	OpDelete          Op = "delete"
 )
 
 var allOps = []Op{
 	OpNeighbors, OpNeighborsBatch, OpSimilarity, OpSimilarityBatch,
-	OpAnalogy, OpPredict, OpPredictBatch,
+	OpAnalogy, OpPredict, OpPredictBatch, OpUpsert, OpDelete,
+}
+
+// writeOps reports whether the mix issues any write operations.
+func writeOps(mix map[Op]float64) bool {
+	return mix[OpUpsert] > 0 || mix[OpDelete] > 0
+}
+
+// WithWriteFraction rescales mix so that writes make up fraction f of
+// all operations, split 2:1 between upserts and deletes (every
+// deleted row must first have been upserted, so a delete-heavy mix
+// would starve). The read portion keeps its relative weights. f = 0
+// returns the mix unchanged; mixes that already contain write ops
+// cannot be rescaled.
+func WithWriteFraction(mix map[Op]float64, f float64) (map[Op]float64, error) {
+	if f == 0 {
+		return mix, nil
+	}
+	if f < 0 || f >= 1 {
+		return nil, fmt.Errorf("loadgen: write fraction %g outside [0, 1)", f)
+	}
+	if writeOps(mix) {
+		return nil, fmt.Errorf("loadgen: mix already contains upsert/delete weights; set either the mix or the write fraction")
+	}
+	if len(mix) == 0 {
+		mix = map[Op]float64{OpNeighbors: 1}
+	}
+	var total float64
+	for _, w := range mix {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("loadgen: empty operation mix")
+	}
+	out := make(map[Op]float64, len(mix)+2)
+	for op, w := range mix {
+		out[op] = w / total * (1 - f)
+	}
+	out[OpUpsert] = f * 2 / 3
+	out[OpDelete] = f / 3
+	return out, nil
 }
 
 // Config tunes a load run.
@@ -192,6 +238,15 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Write ops synthesize vectors, which needs the served
+	// dimensionality (reported by /healthz).
+	dim := 0
+	if writeOps(mix) {
+		if dim, err = fetchDim(client, base); err != nil {
+			return nil, err
+		}
+	}
+
 	for pass := 0; pass < cfg.WarmupPasses; pass++ {
 		if err := warmup(client, base, tokens, k, workers); err != nil {
 			return nil, err
@@ -220,6 +275,7 @@ func Run(cfg Config) (*Result, error) {
 			g := generator{
 				client: client, base: base, tokens: tokens,
 				k: k, batch: batch, rng: rng,
+				dim: dim, worker: w,
 			}
 			for {
 				i := next.Add(1) - 1
@@ -244,8 +300,12 @@ func Run(cfg Config) (*Result, error) {
 				}
 				op := cdfOps[pick(rng, cdf, total)]
 				t0 := time.Now()
-				ok := g.issue(allOps[op])
-				samples = append(samples, sample{op: op, ok: ok, dur: time.Since(t0)})
+				executed, ok := g.issue(allOps[op])
+				// issue may substitute the drawn op (a delete with no
+				// outstanding target performs an upsert instead);
+				// attribute the sample to what actually ran so per-op
+				// latency is honest.
+				samples = append(samples, sample{op: int8(opIdx[executed]), ok: ok, dur: time.Since(t0)})
 			}
 			perWorker[w] = samples
 		}(w)
@@ -298,6 +358,14 @@ type generator struct {
 	batch  int
 	rng    *xrand.RNG
 	buf    bytes.Buffer
+
+	// Write-op state: worker namespaces the synthetic tokens, seq
+	// makes them unique, outstanding holds tokens upserted but not yet
+	// deleted (the only valid delete targets).
+	dim         int
+	worker      int
+	seq         int
+	outstanding []string
 }
 
 // tok samples a vocabulary token, URL-escaped: models trained with
@@ -312,24 +380,26 @@ func (g *generator) rawTok() string {
 	return g.tokens[int(g.rng.Uint64()%uint64(len(g.tokens)))]
 }
 
-// issue fires one request of the given shape; it reports success
-// (HTTP 200 and a fully-read body).
-func (g *generator) issue(op Op) bool {
+// issue fires one request of the drawn shape, returning the operation
+// actually executed (a delete drawn with no outstanding target runs
+// an upsert instead, so its sample is attributed honestly) and
+// whether it succeeded (HTTP 200 and a fully-read body).
+func (g *generator) issue(op Op) (Op, bool) {
 	switch op {
 	case OpNeighbors:
-		return g.get(fmt.Sprintf("%s/v1/neighbors?vertex=%s&k=%d", g.base, g.tok(), g.k))
+		return op, g.get(fmt.Sprintf("%s/v1/neighbors?vertex=%s&k=%d", g.base, g.tok(), g.k))
 	case OpSimilarity:
-		return g.get(fmt.Sprintf("%s/v1/similarity?a=%s&b=%s", g.base, g.tok(), g.tok()))
+		return op, g.get(fmt.Sprintf("%s/v1/similarity?a=%s&b=%s", g.base, g.tok(), g.tok()))
 	case OpAnalogy:
-		return g.get(fmt.Sprintf("%s/v1/analogy?a=%s&b=%s&c=%s&k=%d", g.base, g.tok(), g.tok(), g.tok(), g.k))
+		return op, g.get(fmt.Sprintf("%s/v1/analogy?a=%s&b=%s&c=%s&k=%d", g.base, g.tok(), g.tok(), g.tok(), g.k))
 	case OpPredict:
-		return g.get(fmt.Sprintf("%s/v1/predict?u=%s&v=%s", g.base, g.tok(), g.tok()))
+		return op, g.get(fmt.Sprintf("%s/v1/predict?u=%s&v=%s", g.base, g.tok(), g.tok()))
 	case OpNeighborsBatch:
 		vs := make([]string, g.batch)
 		for i := range vs {
 			vs[i] = g.rawTok()
 		}
-		return g.post(g.base+"/v1/neighbors/batch", map[string]any{"vertices": vs, "k": g.k})
+		return op, g.post(g.base+"/v1/neighbors/batch", map[string]any{"vertices": vs, "k": g.k})
 	case OpSimilarityBatch, OpPredictBatch:
 		pairs := make([][2]string, g.batch)
 		for i := range pairs {
@@ -339,10 +409,52 @@ func (g *generator) issue(op Op) bool {
 		if op == OpPredictBatch {
 			path = "/v1/predict/batch"
 		}
-		return g.post(g.base+path, map[string]any{"pairs": pairs})
+		return op, g.post(g.base+path, map[string]any{"pairs": pairs})
+	case OpUpsert:
+		return OpUpsert, g.upsert()
+	case OpDelete:
+		// Deletes target a token this worker upserted and has not yet
+		// deleted. With none outstanding, the slot runs (and is
+		// recorded as) an upsert — seeding the target for the next
+		// delete — so a delete-leading mix cannot 404 and no hidden
+		// second request pollutes the latency samples.
+		if len(g.outstanding) == 0 {
+			return OpUpsert, g.upsert()
+		}
+		last := len(g.outstanding) - 1
+		pick := int(g.rng.Uint64() % uint64(len(g.outstanding)))
+		tok := g.outstanding[pick]
+		g.outstanding[pick] = g.outstanding[last]
+		g.outstanding = g.outstanding[:last]
+		return op, g.post(g.base+"/v1/delete", map[string]any{"vertex": tok})
 	default:
-		return false
+		return op, false
 	}
+}
+
+// upsert issues one write: every 4th rewrites an outstanding token
+// (the replace/tombstone path); the rest insert fresh ones.
+func (g *generator) upsert() bool {
+	var tok string
+	if g.seq%4 == 3 && len(g.outstanding) > 0 {
+		tok = g.outstanding[int(g.rng.Uint64()%uint64(len(g.outstanding)))]
+	} else {
+		tok = fmt.Sprintf("lg-%d-%d", g.worker, g.seq)
+		if len(g.outstanding) < 1<<16 {
+			g.outstanding = append(g.outstanding, tok)
+		}
+	}
+	g.seq++
+	return g.post(g.base+"/v1/upsert", map[string]any{"vertex": tok, "vector": g.randVec()})
+}
+
+// randVec synthesizes a write payload in the served dimensionality.
+func (g *generator) randVec() []float64 {
+	v := make([]float64, g.dim)
+	for i := range v {
+		v[i] = g.rng.Float64()*2 - 1
+	}
+	return v
 }
 
 func (g *generator) get(url string) bool {
@@ -432,6 +544,28 @@ func fetchVocab(client *http.Client, base string, limit int) ([]string, error) {
 	return out.Tokens, nil
 }
 
+// fetchDim reads the served model dimensionality from /healthz.
+func fetchDim(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: fetching /healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("loadgen: /healthz returned %s", resp.Status)
+	}
+	var out struct {
+		Dim int `json:"dim"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("loadgen: decoding /healthz: %w", err)
+	}
+	if out.Dim <= 0 {
+		return 0, fmt.Errorf("loadgen: server reports dimension %d", out.Dim)
+	}
+	return out.Dim, nil
+}
+
 // summarize aggregates samples into an OpResult. Latency percentiles
 // cover successful requests; error counts cover the rest.
 func summarize(op Op, samples []sample, elapsed time.Duration) OpResult {
@@ -462,12 +596,17 @@ func summarize(op Op, samples []sample, elapsed time.Duration) OpResult {
 	return r
 }
 
-// percentile returns the q-quantile of sorted values (nearest-rank).
+// percentile returns the q-quantile of sorted values (nearest-rank:
+// the smallest value such that at least a q fraction of the samples
+// are <= it, i.e. rank ceil(q*n)). The historical implementation
+// rounded (int(q*n+0.5)) instead of taking the ceiling, which
+// under-reports whenever q*n has a fractional part below 0.5 — e.g.
+// n=11, q=0.75 gives rank 8 where nearest-rank defines 9.
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q*float64(len(sorted))+0.5) - 1
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if i < 0 {
 		i = 0
 	}

@@ -221,3 +221,110 @@ func TestThroughputAcceptance(t *testing.T) {
 		t.Error("p99 not reported")
 	}
 }
+
+// TestPercentileNearestRank is the table-driven regression test for
+// the nearest-rank fix: rank must be ceil(q*n), not round(q*n). The
+// historical rounding reported rank 8 for n=11, q=0.75 where
+// nearest-rank defines rank 9.
+func TestPercentileNearestRank(t *testing.T) {
+	seq := func(n int) []float64 { // sorted[i] = i+1, so value == rank
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(i + 1)
+		}
+		return v
+	}
+	cases := []struct {
+		n    int
+		q    float64
+		want float64 // value at nearest rank ceil(q*n)
+	}{
+		{0, 0.5, 0},
+		{1, 0.5, 1},
+		{1, 0.99, 1},
+		{2, 0.5, 1},
+		{2, 0.51, 2},
+		{4, 0.25, 1},
+		{4, 0.5, 2},
+		{4, 0.75, 3},
+		{5, 0.5, 3},
+		{10, 0.95, 10}, // ceil(9.5) = 10; rounding also said 10
+		{11, 0.75, 9},  // ceil(8.25) = 9; rounding said 8 (the bug)
+		{11, 0.99, 11},
+		{100, 0.5, 50},
+		{100, 0.99, 99},
+		{101, 0.99, 100},
+		{3, 1.0, 3},
+	}
+	for _, c := range cases {
+		if got := percentile(seq(c.n), c.q); got != c.want {
+			t.Errorf("percentile(n=%d, q=%g) = %g, want %g", c.n, c.q, got, c.want)
+		}
+	}
+}
+
+func TestWithWriteFraction(t *testing.T) {
+	mix, err := WithWriteFraction(map[Op]float64{OpNeighbors: 3, OpSimilarity: 1}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost := func(a, b float64) bool { d := a - b; return d < 1e-12 && d > -1e-12 }
+	if !almost(mix[OpNeighbors], 0.6) || !almost(mix[OpSimilarity], 0.2) ||
+		!almost(mix[OpUpsert], 0.2*2/3) || !almost(mix[OpDelete], 0.2/3) {
+		t.Fatalf("rescaled mix: %v", mix)
+	}
+	// Zero fraction: unchanged. Nil mix: neighbors default.
+	if m, _ := WithWriteFraction(nil, 0); m != nil {
+		t.Fatalf("f=0 mix: %v", m)
+	}
+	if m, _ := WithWriteFraction(nil, 0.3); !almost(m[OpNeighbors], 0.7) {
+		t.Fatalf("nil mix with writes: %v", m)
+	}
+	if _, err := WithWriteFraction(map[Op]float64{OpUpsert: 1}, 0.1); err == nil {
+		t.Fatal("double write spec accepted")
+	}
+	if _, err := WithWriteFraction(nil, 1); err == nil {
+		t.Fatal("f=1 accepted")
+	}
+}
+
+// TestRunMixedReadWrite drives a >=10% write mix against a live
+// server and requires zero errors — the ISSUE acceptance criterion in
+// miniature (the committed LOADGEN_<date>.json is the full-size run).
+func TestRunMixedReadWrite(t *testing.T) {
+	url := startServer(t, 300, 8, 64)
+	mix, err := WithWriteFraction(map[Op]float64{
+		OpNeighbors: 0.7, OpSimilarity: 0.15, OpNeighborsBatch: 0.15,
+	}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		BaseURL:   url,
+		Workers:   4,
+		Requests:  400,
+		Mix:       mix,
+		K:         5,
+		BatchSize: 4,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Overall.Errors != 0 {
+		t.Fatalf("%d errors in a mixed read/write run: %+v", res.Overall.Errors, res.PerOp)
+	}
+	writes := 0
+	for _, o := range res.PerOp {
+		if o.Op == OpUpsert || o.Op == OpDelete {
+			writes += o.Requests
+			if o.Errors != 0 {
+				t.Fatalf("%s errors: %d", o.Op, o.Errors)
+			}
+		}
+	}
+	if writes == 0 {
+		t.Fatal("mixed run issued no writes")
+	}
+	t.Logf("mixed run: %d requests, %d writes, 0 errors", res.Overall.Requests, writes)
+}

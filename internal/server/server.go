@@ -6,15 +6,26 @@
 //
 // Design notes:
 //
-//   - All model-dependent state (model, token table, index) lives in
-//     one immutable snapshot behind an atomic pointer. A request loads
-//     the pointer once and answers entirely from that snapshot, so a
-//     hot reload (Reload/SwapModel) swaps the whole world atomically:
-//     in-flight requests finish against the old model, new requests
-//     see the new one, and nothing is ever dropped or torn.
+//   - All model-dependent state (vector store, token table, index)
+//     lives in one generation behind an atomic pointer. A request
+//     loads the pointer once and answers entirely from that
+//     generation, so a hot reload (Reload/SwapModel) swaps the whole
+//     world atomically: in-flight requests finish against the old
+//     model, new requests see the new one, and nothing is ever
+//     dropped or torn.
+//   - Within a generation, /v1/upsert and /v1/delete mutate the store
+//     and index in place through vecstore.MutableIndex: writes take
+//     the generation's writer lock, reads its reader lock, and every
+//     write bumps a write epoch that is part of each cache key — so
+//     upserts and deletes are visible to the very next query, with no
+//     reload and no stale cache hit. Past a tombstone-fraction
+//     threshold a delete triggers compaction: the live rows are
+//     gathered into a fresh store, re-indexed off to the side, and
+//     published as a new generation (reads never block on it; writes
+//     do).
 //   - Repeated top-k queries are served from a bounded sharded LRU of
-//     serialized responses, keyed by model generation so a reload can
-//     never serve stale hits.
+//     serialized responses, keyed by (generation, write epoch) so
+//     neither a reload nor a write can ever serve stale hits.
 //   - Batch endpoints go through Index.SearchBatch, which fans one
 //     request's queries out across the index's workers.
 //
@@ -30,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -72,26 +84,48 @@ type Config struct {
 	// (0 = 4096).
 	MaxBatch int
 
+	// ReadOnly disables the write endpoints: /v1/upsert, /v1/delete
+	// and their /batch variants answer 403.
+	ReadOnly bool
+
+	// CompactFraction is the tombstone fraction above which a delete
+	// triggers compaction (gather live rows, rebuild the index,
+	// publish as a new generation). 0 means the 0.25 default; negative
+	// disables compaction entirely.
+	CompactFraction float64
+
 	// Log receives serving events (startup, reloads). Nil discards.
 	Log *log.Logger
 }
 
 const (
-	defaultAddr     = "127.0.0.1:8080"
-	defaultCacheSz  = 4096
-	defaultMaxK     = 1024
-	defaultMaxBatch = 4096
+	defaultAddr            = "127.0.0.1:8080"
+	defaultCacheSz         = 4096
+	defaultMaxK            = 1024
+	defaultMaxBatch        = 4096
+	defaultCompactFraction = 0.25
 )
 
-// modelState is one immutable generation of servable state.
+// modelState is one generation of servable state. The shape
+// (store/index/token identities) is fixed for the generation's
+// lifetime, but writes mutate the store and index in place under mu;
+// epoch counts those writes for cache scoping.
 type modelState struct {
-	model    *word2vec.Model
+	store    *vecstore.Store
 	tokens   []string
 	byToken  map[string]int
 	index    vecstore.Index
 	gen      uint64
 	source   string
 	loadedAt time.Time
+
+	// mu serialises writes against reads within the generation:
+	// queries hold the reader side while they resolve tokens and
+	// search; upserts/deletes/compaction hold the writer side.
+	mu sync.RWMutex
+	// epoch counts accepted writes; it scopes cache keys so a write
+	// invalidates every previously cached answer of this generation.
+	epoch atomic.Uint64
 }
 
 // endpointNames fixes the stats key set (and the order /stats reports
@@ -99,6 +133,7 @@ type modelState struct {
 var endpointNames = []string{
 	"neighbors", "neighbors_batch", "similarity", "similarity_batch",
 	"analogy", "predict", "predict_batch", "vocab", "reload", "healthz", "stats",
+	"upsert", "upsert_batch", "delete", "delete_batch",
 }
 
 type endpointCounters struct {
@@ -111,16 +146,21 @@ type endpointCounters struct {
 // returns and safe for arbitrarily concurrent requests, including
 // concurrent hot reloads.
 type Server struct {
-	cfg      Config
-	logger   *log.Logger
-	cache    *lruCache
-	state    atomic.Pointer[modelState]
-	swapMu   sync.Mutex // serialises generation bump + publish
-	gen      atomic.Uint64
-	reloads  atomic.Uint64
-	started  time.Time
-	mux      *http.ServeMux
-	counters map[string]*endpointCounters
+	cfg         Config
+	logger      *log.Logger
+	cache       *lruCache
+	state       atomic.Pointer[modelState]
+	swapMu      sync.Mutex // serialises generation bump + publish
+	gen         atomic.Uint64
+	reloads     atomic.Uint64
+	upserts     atomic.Uint64
+	deletes     atomic.Uint64
+	compactions atomic.Uint64
+	compacting  atomic.Bool  // single-flight guard: one rebuild at a time
+	compactWait atomic.Int64 // unixnano cooldown after an abandoned/failed rebuild
+	started     time.Time
+	mux         *http.ServeMux
+	counters    map[string]*endpointCounters
 }
 
 // New builds a server and loads cfg.ModelPath. When the file is a
@@ -243,10 +283,21 @@ func (s *Server) swapModel(m *word2vec.Model, tokens []string, source string, pr
 	if len(tokens) != m.Vocab {
 		return 0, fmt.Errorf("server: %d tokens for %d vectors", len(tokens), m.Vocab)
 	}
+	store := m.Store()
+	// A model whose cached store was grown or tombstoned by online
+	// writes can no longer be republished against its own token
+	// table: the Vocab-based length check below would pass while the
+	// store holds more rows than tokens, and the first query touching
+	// an appended row would index past the table. Republish from a
+	// fresh snapshot instead.
+	if store.Len() != m.Vocab || store.Dead() > 0 {
+		return 0, fmt.Errorf("server: model store holds %d rows (%d tombstoned) but the model reports %d vectors — it was mutated by online writes; reload from a snapshot instead of republishing it",
+			store.Len(), store.Dead(), m.Vocab)
+	}
 	idx := prebuilt
 	if idx == nil {
 		var err error
-		idx, err = vecstore.Open(m.Store(), s.cfg.Index)
+		idx, err = vecstore.Open(store, s.cfg.Index)
 		if err != nil {
 			return 0, fmt.Errorf("server: building index: %w", err)
 		}
@@ -255,14 +306,28 @@ func (s *Server) swapModel(m *word2vec.Model, tokens []string, source string, pr
 	for i, tok := range tokens {
 		byToken[tok] = i
 	}
+	// Copy the token table: writes grow it in place, and the caller's
+	// slice must not be mutated behind its back.
+	tokens = append([]string(nil), tokens...)
 	// The bump and the publish must be one critical section: two
 	// concurrent swaps interleaving them could publish generations out
 	// of order (serve gen N while reporting gen N+1). Index builds
 	// above happen outside the lock; only the publish serialises.
+	//
+	// Publishing also takes the *outgoing* generation's writer lock
+	// (lock order: swapMu, then st.mu — finishCompaction uses the
+	// same order): a write that already passed lockCurrent's recheck
+	// finishes and is acknowledged before the swap, instead of racing
+	// it and landing, already acknowledged, on a generation that is
+	// no longer served.
 	s.swapMu.Lock()
+	old := s.state.Load()
+	if old != nil {
+		old.mu.Lock()
+	}
 	gen := s.gen.Add(1)
 	s.state.Store(&modelState{
-		model:    m,
+		store:    store,
 		tokens:   tokens,
 		byToken:  byToken,
 		index:    idx,
@@ -270,6 +335,9 @@ func (s *Server) swapModel(m *word2vec.Model, tokens []string, source string, pr
 		source:   source,
 		loadedAt: time.Now(),
 	})
+	if old != nil {
+		old.mu.Unlock()
+	}
 	if gen > 1 {
 		s.reloads.Add(1)
 	}
@@ -282,6 +350,50 @@ func (s *Server) swapModel(m *word2vec.Model, tokens []string, source string, pr
 	s.logger.Printf("server: generation %d live: %d vectors, dim %d, %s index%s (source %q)",
 		gen, m.Vocab, m.Dim, s.cfg.Index.Kind, how, source)
 	return gen, nil
+}
+
+// readState loads the current generation and takes its reader lock;
+// the returned unlock must be deferred, and is idempotent so handlers
+// can also release it early — before writing the response to the
+// client — without the deferred call double-unlocking. Queries answer
+// entirely from this generation: concurrent writes are excluded and a
+// concurrent reload simply leaves this request on the old,
+// still-valid world.
+func (s *Server) readState() (*modelState, func()) {
+	st := s.state.Load()
+	st.mu.RLock()
+	return st, sync.OnceFunc(st.mu.RUnlock)
+}
+
+// writeJSONUnlocked marshals v while the caller still holds its
+// generation reader lock (the value may alias locked state such as
+// the token table), releases the lock, and only then writes to the
+// client: a slow client draining a large response must never hold
+// the generation lock and stall writers (and, transitively, every
+// other reader queued behind a pending writer).
+func writeJSONUnlocked(w http.ResponseWriter, unlock func(), v any) error {
+	buf, err := json.Marshal(v)
+	unlock()
+	if err != nil {
+		return err
+	}
+	writeJSONBytes(w, http.StatusOK, buf)
+	return nil
+}
+
+// lockCurrent takes the writer lock on the *current* generation,
+// retrying if a reload or compaction published a newer one between
+// the load and the lock — otherwise a write could land on a
+// generation that is no longer served and silently vanish.
+func (s *Server) lockCurrent() *modelState {
+	for {
+		st := s.state.Load()
+		st.mu.Lock()
+		if s.state.Load() == st {
+			return st
+		}
+		st.mu.Unlock()
+	}
 }
 
 // Reload loads path (empty = the path the current generation came
@@ -362,6 +474,10 @@ func (s *Server) initMux() {
 	s.mux.HandleFunc("/v1/predict/batch", s.instrument("predict_batch", s.handlePredictBatch))
 	s.mux.HandleFunc("/v1/vocab", s.instrument("vocab", s.handleVocab))
 	s.mux.HandleFunc("/v1/reload", s.instrument("reload", s.handleReload))
+	s.mux.HandleFunc("/v1/upsert", s.instrument("upsert", s.handleUpsert))
+	s.mux.HandleFunc("/v1/upsert/batch", s.instrument("upsert_batch", s.handleUpsertBatch))
+	s.mux.HandleFunc("/v1/delete", s.instrument("delete", s.handleDelete))
+	s.mux.HandleFunc("/v1/delete/batch", s.instrument("delete_batch", s.handleDeleteBatch))
 }
 
 // httpError carries a status code through the handler return path.
@@ -530,14 +646,15 @@ func toNeighborJSON(st *modelState, res []vecstore.Result) []NeighborJSON {
 // ---- Handlers ------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
-	st := s.state.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
+	st, unlock := s.readState()
+	defer unlock()
+	return writeJSONUnlocked(w, unlock, map[string]any{
 		"status":     "ok",
 		"generation": st.gen,
-		"vectors":    st.model.Vocab,
-		"dim":        st.model.Dim,
+		"epoch":      st.epoch.Load(),
+		"vectors":    st.store.Live(),
+		"dim":        st.store.Dim(),
 	})
-	return nil
 }
 
 // StatsResponse answers /stats.
@@ -546,8 +663,19 @@ type StatsResponse struct {
 	Generation    uint64                       `json:"generation"`
 	Reloads       uint64                       `json:"reloads"`
 	Model         ModelStats                   `json:"model"`
+	Writes        WriteStats                   `json:"writes"`
 	Cache         CacheStats                   `json:"cache"`
 	Endpoints     map[string]EndpointStatsJSON `json:"endpoints"`
+}
+
+// WriteStats reports the online-write state of the serving stack.
+type WriteStats struct {
+	ReadOnly    bool   `json:"read_only"`
+	Upserts     uint64 `json:"upserts"`
+	Deletes     uint64 `json:"deletes"`
+	Compactions uint64 `json:"compactions"`
+	Epoch       uint64 `json:"epoch"`
+	Tombstones  int    `json:"tombstones"`
 }
 
 // ModelStats describes the served model.
@@ -575,21 +703,30 @@ type EndpointStatsJSON struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
-	st := s.state.Load()
+	st, unlock := s.readState()
+	defer unlock()
 	eps := make(map[string]EndpointStatsJSON, len(s.counters))
 	for name, c := range s.counters {
 		eps[name] = EndpointStatsJSON{Requests: c.requests.Load(), Errors: c.errors.Load()}
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	return writeJSONUnlocked(w, unlock, StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Generation:    st.gen,
 		Reloads:       s.reloads.Load(),
 		Model: ModelStats{
-			Vectors:  st.model.Vocab,
-			Dim:      st.model.Dim,
+			Vectors:  st.store.Live(),
+			Dim:      st.store.Dim(),
 			Index:    s.cfg.Index.Kind.String(),
 			Source:   st.source,
 			LoadedAt: st.loadedAt.UTC().Format(time.RFC3339),
+		},
+		Writes: WriteStats{
+			ReadOnly:    s.cfg.ReadOnly,
+			Upserts:     s.upserts.Load(),
+			Deletes:     s.deletes.Load(),
+			Compactions: s.compactions.Load(),
+			Epoch:       st.epoch.Load(),
+			Tombstones:  st.store.Dead(),
 		},
 		Cache: CacheStats{
 			Enabled:  s.cache != nil,
@@ -600,7 +737,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 		},
 		Endpoints: eps,
 	})
-	return nil
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
@@ -616,13 +752,15 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	st := s.state.Load()
+	st, unlock := s.readState()
+	defer unlock()
 	id, err := st.resolve(tok)
 	if err != nil {
 		return err
 	}
-	key := cacheKey(st.gen, 'n', k, tok)
+	key := cacheKey(st.gen, st.epoch.Load(), 'n', k, tok)
 	if buf, ok := s.cache.get(key); ok {
+		unlock()
 		writeJSONBytes(w, http.StatusOK, buf)
 		return nil
 	}
@@ -632,6 +770,7 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	s.cache.put(key, buf)
+	unlock()
 	writeJSONBytes(w, http.StatusOK, buf)
 	return nil
 }
@@ -665,12 +804,14 @@ func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) er
 	if k < 0 || k > s.maxK() {
 		return errBadRequest("invalid k %d", k)
 	}
-	st := s.state.Load()
+	st, unlock := s.readState()
+	defer unlock()
 	// A batch answer is defined as the per-vertex single-query
 	// answers, so each item shares the single endpoint's cache entry:
 	// hits are spliced in as already-serialized JSON, and only the
 	// misses are searched — through one SearchBatch call that fans
 	// them across the index's workers.
+	epoch := st.epoch.Load()
 	parts := make([][]byte, len(req.Vertices))
 	keys := make([]string, len(req.Vertices))
 	var missIdx []int
@@ -681,14 +822,14 @@ func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) er
 		if err != nil {
 			return err
 		}
-		keys[i] = cacheKey(st.gen, 'n', k, tok)
+		keys[i] = cacheKey(st.gen, epoch, 'n', k, tok)
 		if buf, ok := s.cache.get(keys[i]); ok {
 			parts[i] = buf
 			continue
 		}
 		missIdx = append(missIdx, i)
 		missIDs = append(missIDs, id)
-		missQs = append(missQs, st.model.Store().Row(id))
+		missQs = append(missQs, st.store.Row(id))
 	}
 	if len(missQs) > 0 {
 		// The query vertex ranks first in its own results (score 1
@@ -725,6 +866,7 @@ func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) er
 		buf.Write(p)
 	}
 	buf.WriteString(`]}`)
+	unlock()
 	writeJSONBytes(w, http.StatusOK, buf.Bytes())
 	return nil
 }
@@ -739,7 +881,8 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) error 
 	if !okA || !okB {
 		return errBadRequest("missing parameter 'a' or 'b'")
 	}
-	st := s.state.Load()
+	st, unlock := s.readState()
+	defer unlock()
 	a, err := st.resolve(aTok)
 	if err != nil {
 		return err
@@ -748,10 +891,9 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) error 
 	if err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, SimilarityResponse{
-		A: aTok, B: bTok, Similarity: st.model.Store().Cosine(a, b),
+	return writeJSONUnlocked(w, unlock, SimilarityResponse{
+		A: aTok, B: bTok, Similarity: st.store.Cosine(a, b),
 	})
-	return nil
 }
 
 // SimilarityBatchRequest is the /v1/similarity/batch body.
@@ -775,7 +917,8 @@ func (s *Server) handleSimilarityBatch(w http.ResponseWriter, r *http.Request) e
 	if max := s.maxBatch(); len(req.Pairs) > max {
 		return errBadRequest("batch of %d exceeds limit %d", len(req.Pairs), max)
 	}
-	st := s.state.Load()
+	st, unlock := s.readState()
+	defer unlock()
 	out := SimilarityBatchResponse{Results: make([]SimilarityResponse, len(req.Pairs))}
 	for i, p := range req.Pairs {
 		a, err := st.resolve(p[0])
@@ -786,10 +929,9 @@ func (s *Server) handleSimilarityBatch(w http.ResponseWriter, r *http.Request) e
 		if err != nil {
 			return err
 		}
-		out.Results[i] = SimilarityResponse{A: p[0], B: p[1], Similarity: st.model.Store().Cosine(a, b)}
+		out.Results[i] = SimilarityResponse{A: p[0], B: p[1], Similarity: st.store.Cosine(a, b)}
 	}
-	writeJSON(w, http.StatusOK, out)
-	return nil
+	return writeJSONUnlocked(w, unlock, out)
 }
 
 func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
@@ -807,7 +949,8 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	st := s.state.Load()
+	st, unlock := s.readState()
+	defer unlock()
 	a, err := st.resolve(aTok)
 	if err != nil {
 		return err
@@ -820,15 +963,21 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	key := cacheKey(st.gen, 'a', k, aTok+"\x00"+bTok+"\x00"+cTok)
+	// Length-prefix the key components: upserted vertex names are
+	// arbitrary strings, so a plain separator join would let distinct
+	// (a, b, c) triples collide on one key and serve a wrong cached
+	// answer.
+	key := cacheKey(st.gen, st.epoch.Load(), 'a', k, fmt.Sprintf("%d:%s%d:%s%d:%s",
+		len(aTok), aTok, len(bTok), bTok, len(cTok), cTok))
 	if buf, ok := s.cache.get(key); ok {
+		unlock()
 		writeJSONBytes(w, http.StatusOK, buf)
 		return nil
 	}
 	// Analogy targets are synthetic vectors (b - a + c); they are
-	// scored by the model's exact analogy path regardless of the
-	// configured neighbors index.
-	res := st.model.Analogy(a, b, c, k)
+	// scored by the exact analogy path over the live store regardless
+	// of the configured neighbors index.
+	res := word2vec.AnalogyStore(st.store, a, b, c, k)
 	nbrs := make([]NeighborJSON, len(res))
 	for i, n := range res {
 		nbrs[i] = NeighborJSON{Vertex: st.tokens[n.Word], Score: n.Similarity}
@@ -838,6 +987,7 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	s.cache.put(key, buf)
+	unlock()
 	writeJSONBytes(w, http.StatusOK, buf)
 	return nil
 }
@@ -859,7 +1009,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 			return errBadRequest("invalid hadamard %q", raw)
 		}
 	}
-	st := s.state.Load()
+	st, unlock := s.readState()
+	defer unlock()
 	u, err := st.resolve(uTok)
 	if err != nil {
 		return err
@@ -868,11 +1019,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	scorer := &linkpred.EmbeddingScorer{Store: st.model.Store(), Hadamard: hadamard}
-	writeJSON(w, http.StatusOK, PredictResponse{
+	scorer := &linkpred.EmbeddingScorer{Store: st.store, Hadamard: hadamard}
+	return writeJSONUnlocked(w, unlock, PredictResponse{
 		U: uTok, V: vTok, Score: scorer.Score(u, v), Scorer: scorer.Name(),
 	})
-	return nil
 }
 
 // PredictBatchRequest is the /v1/predict/batch body.
@@ -898,8 +1048,9 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) erro
 	if max := s.maxBatch(); len(req.Pairs) > max {
 		return errBadRequest("batch of %d exceeds limit %d", len(req.Pairs), max)
 	}
-	st := s.state.Load()
-	scorer := &linkpred.EmbeddingScorer{Store: st.model.Store(), Hadamard: req.Hadamard}
+	st, unlock := s.readState()
+	defer unlock()
+	scorer := &linkpred.EmbeddingScorer{Store: st.store, Hadamard: req.Hadamard}
 	out := PredictBatchResponse{
 		Scorer:  scorer.Name(),
 		Results: make([]PredictResponse, len(req.Pairs)),
@@ -915,8 +1066,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) erro
 		}
 		out.Results[i] = PredictResponse{U: p[0], V: p[1], Score: scorer.Score(u, v), Scorer: scorer.Name()}
 	}
-	writeJSON(w, http.StatusOK, out)
-	return nil
+	return writeJSONUnlocked(w, unlock, out)
 }
 
 // VocabResponse answers /v1/vocab.
@@ -927,9 +1077,11 @@ type VocabResponse struct {
 }
 
 func (s *Server) handleVocab(w http.ResponseWriter, r *http.Request) error {
-	st := s.state.Load()
+	st, unlock := s.readState()
+	defer unlock()
 	q := r.URL.Query()
-	offset, limit := 0, len(st.tokens)
+	live := st.store.Live()
+	offset, limit := 0, live
 	if raw := q.Get("offset"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v < 0 {
@@ -944,19 +1096,41 @@ func (s *Server) handleVocab(w http.ResponseWriter, r *http.Request) error {
 		}
 		limit = v
 	}
-	if offset > len(st.tokens) {
-		offset = len(st.tokens)
+	if offset > live {
+		offset = live
 	}
-	end := offset + limit
-	if end > len(st.tokens) || end < offset {
-		end = len(st.tokens)
+	if rem := live - offset; limit > rem {
+		limit = rem
 	}
-	writeJSON(w, http.StatusOK, VocabResponse{
-		Count:  len(st.tokens),
+	// Tombstoned rows keep their token slot in the table but are no
+	// longer vocabulary: offset and limit page over the live tokens
+	// only, stopping as soon as the page is full (no O(vocab) work
+	// for a small page).
+	var tokens []string
+	if st.store.Dead() == 0 {
+		tokens = st.tokens[offset : offset+limit]
+	} else {
+		tokens = make([]string, 0, limit)
+		skipped := 0
+		for i, tok := range st.tokens {
+			if st.store.Deleted(i) {
+				continue
+			}
+			if skipped < offset {
+				skipped++
+				continue
+			}
+			if len(tokens) == limit {
+				break
+			}
+			tokens = append(tokens, tok)
+		}
+	}
+	return writeJSONUnlocked(w, unlock, VocabResponse{
+		Count:  live,
 		Offset: offset,
-		Tokens: st.tokens[offset:end],
+		Tokens: tokens,
 	})
-	return nil
 }
 
 // ReloadRequest is the /v1/reload body.
@@ -983,19 +1157,477 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return errBadRequest("%v", err)
 	}
-	st := s.state.Load()
-	writeJSON(w, http.StatusOK, ReloadResponse{
+	st, unlock := s.readState()
+	defer unlock()
+	return writeJSONUnlocked(w, unlock, ReloadResponse{
 		Generation: gen,
-		Vectors:    st.model.Vocab,
-		Dim:        st.model.Dim,
+		Vectors:    st.store.Live(),
+		Dim:        st.store.Dim(),
 		Source:     st.source,
 		LoadMillis: float64(time.Since(start).Microseconds()) / 1000,
 	})
+}
+
+// ---- Write endpoints -----------------------------------------------
+
+// UpsertRequest is the /v1/upsert body (and one /v1/upsert/batch
+// item): a vertex token and its vector, which must match the served
+// model's dimensionality.
+type UpsertRequest struct {
+	Vertex string    `json:"vertex"`
+	Vector []float32 `json:"vector"`
+}
+
+// UpsertResponse answers /v1/upsert.
+type UpsertResponse struct {
+	Vertex string `json:"vertex"`
+	ID     int    `json:"id"`
+	// Updated is true when the vertex existed and its vector was
+	// replaced (the old row is tombstoned, the new one indexed).
+	Updated    bool   `json:"updated"`
+	Generation uint64 `json:"generation"`
+	Epoch      uint64 `json:"epoch"`
+}
+
+// UpsertBatchRequest is the /v1/upsert/batch body.
+type UpsertBatchRequest struct {
+	Items []UpsertRequest `json:"items"`
+}
+
+// UpsertBatchResponse answers /v1/upsert/batch.
+type UpsertBatchResponse struct {
+	Results []UpsertResponse `json:"results"`
+}
+
+// DeleteRequest is the /v1/delete body (and one /v1/delete/batch
+// item's shape; the batch takes a bare token list).
+type DeleteRequest struct {
+	Vertex string `json:"vertex"`
+}
+
+// DeleteResponse answers /v1/delete.
+type DeleteResponse struct {
+	Vertex     string `json:"vertex"`
+	Deleted    bool   `json:"deleted"`
+	Generation uint64 `json:"generation"`
+	Epoch      uint64 `json:"epoch"`
+	// Compacted is true when this write pushed the tombstone fraction
+	// over the threshold and triggered a compaction: the live rows
+	// were snapshotted and a background rebuild will publish them as
+	// a fresh generation (unless later writes supersede it — /stats
+	// counts completed compactions).
+	Compacted bool `json:"compacted,omitempty"`
+}
+
+// DeleteBatchRequest is the /v1/delete/batch body.
+type DeleteBatchRequest struct {
+	Vertices []string `json:"vertices"`
+}
+
+// DeleteBatchResponse answers /v1/delete/batch.
+type DeleteBatchResponse struct {
+	Results []DeleteResponse `json:"results"`
+}
+
+// errReadOnly is the write-endpoint answer on a read-only server.
+var errReadOnly = &httpError{code: http.StatusForbidden, msg: "server is read-only (started without write support)"}
+
+// mutableIndex surfaces the write extension of the served index.
+func mutableIndex(st *modelState) (vecstore.MutableIndex, error) {
+	midx, ok := st.index.(vecstore.MutableIndex)
+	if !ok {
+		return nil, &httpError{code: http.StatusNotImplemented, msg: fmt.Sprintf("index %T does not support online writes", st.index)}
+	}
+	return midx, nil
+}
+
+// validateUpsert checks one upsert item against the current store
+// shape before any mutation is applied.
+func validateUpsert(st *modelState, item *UpsertRequest) error {
+	if item.Vertex == "" {
+		return errBadRequest("missing 'vertex'")
+	}
+	for _, r := range item.Vertex {
+		if r < 0x20 || r == 0x7f {
+			return errBadRequest("vertex name contains control characters")
+		}
+	}
+	if len(item.Vector) != st.store.Dim() {
+		return errBadRequest("vector for %q has dimension %d, model dimension is %d",
+			item.Vertex, len(item.Vector), st.store.Dim())
+	}
+	for _, x := range item.Vector {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return errBadRequest("vector for %q contains NaN/Inf", item.Vertex)
+		}
+	}
 	return nil
 }
 
-// cacheKey builds a generation-scoped cache key. kind distinguishes
-// endpoint families ('n' neighbors, 'a' analogy).
-func cacheKey(gen uint64, kind byte, k int, payload string) string {
-	return strconv.FormatUint(gen, 36) + string(rune(kind)) + strconv.Itoa(k) + "\x00" + payload
+// applyUpsert performs one validated upsert under st's writer lock:
+// an existing vertex's row is tombstoned and the new vector is
+// appended and indexed (in-place overwrites would silently corrupt
+// HNSW/IVF structure; tombstone-and-reinsert keeps every index
+// coherent). The token table grows in step with the store so row IDs
+// and token slots stay aligned.
+func (s *Server) applyUpsert(st *modelState, midx vecstore.MutableIndex, item *UpsertRequest) (UpsertResponse, error) {
+	updated := false
+	if old, ok := st.byToken[item.Vertex]; ok {
+		if err := midx.Delete(old); err != nil {
+			return UpsertResponse{}, fmt.Errorf("replacing %q: %w", item.Vertex, err)
+		}
+		updated = true
+	}
+	id, err := midx.Insert(item.Vector)
+	if err != nil {
+		return UpsertResponse{}, err
+	}
+	st.tokens = append(st.tokens, item.Vertex)
+	st.byToken[item.Vertex] = id
+	s.upserts.Add(1)
+	return UpsertResponse{
+		Vertex:     item.Vertex,
+		ID:         id,
+		Updated:    updated,
+		Generation: st.gen,
+		Epoch:      st.epoch.Add(1),
+	}, nil
+}
+
+func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) error {
+	if s.cfg.ReadOnly {
+		return errReadOnly
+	}
+	var req UpsertRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	st := s.lockCurrent()
+	resp, snap, err := func() (UpsertResponse, *compactSnapshot, error) {
+		defer st.mu.Unlock()
+		if err := validateUpsert(st, &req); err != nil {
+			return UpsertResponse{}, nil, err
+		}
+		midx, err := mutableIndex(st)
+		if err != nil {
+			return UpsertResponse{}, nil, err
+		}
+		resp, err := s.applyUpsert(st, midx, &req)
+		if err != nil {
+			return UpsertResponse{}, nil, err
+		}
+		// Replace-upserts tombstone the old row, so an update-heavy
+		// workload crosses the compaction threshold without a single
+		// delete — check here too.
+		return resp, s.planCompaction(st), nil
+	}()
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		go s.finishCompaction(st, snap)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) error {
+	if s.cfg.ReadOnly {
+		return errReadOnly
+	}
+	var req UpsertBatchRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	if len(req.Items) == 0 {
+		return errBadRequest("empty 'items'")
+	}
+	if max := s.maxBatch(); len(req.Items) > max {
+		return errBadRequest("batch of %d exceeds limit %d", len(req.Items), max)
+	}
+	st := s.lockCurrent()
+	out, snap, err := func() (UpsertBatchResponse, *compactSnapshot, error) {
+		defer st.mu.Unlock()
+		var out UpsertBatchResponse
+		// Validate everything first so the batch applies all-or-nothing.
+		for i := range req.Items {
+			if err := validateUpsert(st, &req.Items[i]); err != nil {
+				return out, nil, err
+			}
+		}
+		midx, err := mutableIndex(st)
+		if err != nil {
+			return out, nil, err
+		}
+		out.Results = make([]UpsertResponse, len(req.Items))
+		for i := range req.Items {
+			if out.Results[i], err = s.applyUpsert(st, midx, &req.Items[i]); err != nil {
+				return out, nil, err
+			}
+		}
+		return out, s.planCompaction(st), nil
+	}()
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		go s.finishCompaction(st, snap)
+	}
+	writeJSON(w, http.StatusOK, out)
+	return nil
+}
+
+// applyDelete performs one delete under st's writer lock.
+func (s *Server) applyDelete(st *modelState, midx vecstore.MutableIndex, tok string) (DeleteResponse, error) {
+	id, ok := st.byToken[tok]
+	if !ok {
+		return DeleteResponse{}, errNotFound("unknown vertex %q", tok)
+	}
+	if err := midx.Delete(id); err != nil {
+		return DeleteResponse{}, err
+	}
+	delete(st.byToken, tok)
+	s.deletes.Add(1)
+	return DeleteResponse{
+		Vertex:     tok,
+		Deleted:    true,
+		Generation: st.gen,
+		Epoch:      st.epoch.Add(1),
+	}, nil
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
+	if s.cfg.ReadOnly {
+		return errReadOnly
+	}
+	var req DeleteRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	if req.Vertex == "" {
+		return errBadRequest("missing 'vertex'")
+	}
+	st := s.lockCurrent()
+	resp, snap, err := func() (DeleteResponse, *compactSnapshot, error) {
+		defer st.mu.Unlock()
+		midx, err := mutableIndex(st)
+		if err != nil {
+			return DeleteResponse{}, nil, err
+		}
+		resp, err := s.applyDelete(st, midx, req.Vertex)
+		if err != nil {
+			return DeleteResponse{}, nil, err
+		}
+		return resp, s.planCompaction(st), nil
+	}()
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		resp.Compacted = true
+		go s.finishCompaction(st, snap)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) error {
+	if s.cfg.ReadOnly {
+		return errReadOnly
+	}
+	var req DeleteBatchRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	if len(req.Vertices) == 0 {
+		return errBadRequest("empty 'vertices'")
+	}
+	if max := s.maxBatch(); len(req.Vertices) > max {
+		return errBadRequest("batch of %d exceeds limit %d", len(req.Vertices), max)
+	}
+	st := s.lockCurrent()
+	out, snap, err := func() (DeleteBatchResponse, *compactSnapshot, error) {
+		defer st.mu.Unlock()
+		var out DeleteBatchResponse
+		midx, err := mutableIndex(st)
+		if err != nil {
+			return out, nil, err
+		}
+		// All-or-nothing: every vertex must exist — and appear only
+		// once (a duplicate would pass this pre-check, delete on its
+		// first occurrence and 404 on its second, leaving the batch
+		// half-applied).
+		seen := make(map[string]bool, len(req.Vertices))
+		for _, tok := range req.Vertices {
+			if _, ok := st.byToken[tok]; !ok {
+				return out, nil, errNotFound("unknown vertex %q", tok)
+			}
+			if seen[tok] {
+				return out, nil, errBadRequest("vertex %q appears twice in the batch", tok)
+			}
+			seen[tok] = true
+		}
+		out.Results = make([]DeleteResponse, len(req.Vertices))
+		for i, tok := range req.Vertices {
+			if out.Results[i], err = s.applyDelete(st, midx, tok); err != nil {
+				return out, nil, err
+			}
+		}
+		return out, s.planCompaction(st), nil
+	}()
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		if len(out.Results) > 0 {
+			out.Results[len(out.Results)-1].Compacted = true
+		}
+		go s.finishCompaction(st, snap)
+	}
+	writeJSON(w, http.StatusOK, out)
+	return nil
+}
+
+// compactSnapshot is what a compaction captures under the writer
+// lock: the live row IDs, their tokens, and the write epoch, plus the
+// source store to gather from. The row data itself is copied later
+// under a reader lock (rows are immutable once written; only appends
+// relocate them, and appends take the writer lock), so the exclusive
+// section stays O(live) pointer work instead of an O(live x dim)
+// memcpy that would stall every reader at million-row scale.
+type compactSnapshot struct {
+	src     *vecstore.Store
+	liveIDs []int
+	tokens  []string
+	epoch   uint64
+}
+
+// planCompaction decides, under st's writer lock, whether the
+// tombstone fraction has crossed the configured threshold, and if so
+// snapshots the live rows for the out-of-lock rebuild. The copy is a
+// row-gather (memcpy-bound, milliseconds at 100k rows) — the slow
+// index rebuild happens in finishCompaction on a background
+// goroutine, so neither the triggering request nor any reader is
+// parked behind it. A single-flight guard keeps concurrent writes
+// from each paying their own gather + rebuild while one is already
+// in flight.
+func (s *Server) planCompaction(st *modelState) *compactSnapshot {
+	frac := s.cfg.CompactFraction
+	if frac < 0 {
+		return nil
+	}
+	if frac == 0 {
+		frac = defaultCompactFraction
+	}
+	if st.store.Live() == 0 || st.store.DeadFraction() < frac {
+		return nil
+	}
+	if time.Now().UnixNano() < s.compactWait.Load() {
+		// Cooling down after an abandoned or failed rebuild: without
+		// this, a sustained write stream would re-pay the gather and a
+		// doomed rebuild on every threshold-crossing write.
+		return nil
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return nil // a rebuild is already in flight
+	}
+	liveIDs := st.store.LiveIDs()
+	snap := &compactSnapshot{
+		src:     st.store,
+		liveIDs: liveIDs,
+		tokens:  make([]string, len(liveIDs)),
+		epoch:   st.epoch.Load(),
+	}
+	for i, id := range liveIDs {
+		snap.tokens[i] = st.tokens[id]
+	}
+	return snap
+}
+
+// finishCompaction rebuilds the index over a planned snapshot with no
+// locks held (handlers run it on a background goroutine), then
+// publishes it as a new generation — unless the world moved meanwhile
+// (a write bumped st's epoch, or a reload or another compaction
+// replaced the generation), in which case the stale snapshot is
+// dropped: publishing it would silently discard those writes. The
+// tombstoned generation stays correct either way, and the
+// still-crossed threshold re-triggers on a later write — under a
+// sustained write stream compaction keeps being deferred and
+// completes in the next quiet moment, one attempt at a time (the
+// single-flight guard). Returns whether a compacted generation was
+// published.
+func (s *Server) finishCompaction(st *modelState, snap *compactSnapshot) bool {
+	defer s.compacting.Store(false)
+	buildStart := time.Now()
+	// The row copy runs under the reader lock: existing rows are
+	// immutable (the only thing that relocates them — an append —
+	// takes the writer lock), so readers keep flowing during the
+	// memcpy, and a row tombstoned after the plan still copies fine
+	// (the epoch check below discards the snapshot in that case).
+	st.mu.RLock()
+	newStore := snap.src.Gather(snap.liveIDs)
+	st.mu.RUnlock()
+	byToken := make(map[string]int, len(snap.tokens))
+	for i, tok := range snap.tokens {
+		byToken[tok] = i
+	}
+	idx, err := vecstore.Open(newStore, s.cfg.Index)
+	buildDur := time.Since(buildStart)
+	// Cooldown before any retry, scaled to the rebuild cost: a wasted
+	// 73s HNSW rebuild must not repeat every write-interval.
+	cooldown := 4 * buildDur
+	if cooldown < time.Second {
+		cooldown = time.Second
+	}
+	if err != nil {
+		// Keep serving the tombstoned generation; it is correct, just
+		// not compact.
+		s.compactWait.Store(time.Now().Add(cooldown).UnixNano())
+		s.logger.Printf("server: compaction failed to rebuild index: %v", err)
+		return false
+	}
+	// Staleness must be checked inside the swapMu critical section
+	// (lock order: swapMu, then st.mu, matching swapModel): checking
+	// outside it would let a reload publish between the check and the
+	// store, and the compacted pre-reload snapshot would clobber the
+	// freshly reloaded model.
+	s.swapMu.Lock()
+	st.mu.Lock()
+	if s.state.Load() != st || st.epoch.Load() != snap.epoch {
+		st.mu.Unlock()
+		s.swapMu.Unlock()
+		s.compactWait.Store(time.Now().Add(cooldown).UnixNano())
+		s.logger.Printf("server: compaction abandoned: writes or a reload landed during the rebuild (retrying after %v)", cooldown)
+		return false
+	}
+	gen := s.gen.Add(1)
+	// Capture the counts before releasing the locks: once published,
+	// newStore is the live store concurrent writers append to.
+	rows, dropped := newStore.Len(), st.store.Dead()
+	s.state.Store(&modelState{
+		store:    newStore,
+		tokens:   snap.tokens,
+		byToken:  byToken,
+		index:    idx,
+		gen:      gen,
+		source:   st.source,
+		loadedAt: st.loadedAt,
+	})
+	st.mu.Unlock()
+	s.swapMu.Unlock()
+	s.cache.purge()
+	s.compactions.Add(1)
+	s.logger.Printf("server: generation %d live after compaction: %d rows (%d tombstones dropped)",
+		gen, rows, dropped)
+	return true
+}
+
+// cacheKey builds a (generation, write-epoch)-scoped cache key: a hot
+// reload changes gen, an upsert/delete bumps epoch, and either makes
+// every older key unreachable — cached answers can never outlive the
+// data they were computed from. kind distinguishes endpoint families
+// ('n' neighbors, 'a' analogy).
+func cacheKey(gen, epoch uint64, kind byte, k int, payload string) string {
+	return strconv.FormatUint(gen, 36) + "." + strconv.FormatUint(epoch, 36) +
+		string(rune(kind)) + strconv.Itoa(k) + "\x00" + payload
 }

@@ -95,13 +95,15 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestNeighborsMatchesModel(t *testing.T) {
-	s, hs := newTestServer(t, Config{}, 120, 12)
+	_, hs := newTestServer(t, Config{}, 120, 12)
 	var out NeighborsResponse
 	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=v7&k=5", &out); code != 200 {
 		t.Fatalf("status %d", code)
 	}
-	st := s.state.Load()
-	want := st.model.Neighbors(7, 5)
+	// newTestServer builds the model deterministically (seed 42);
+	// recompute the expected answer from an identical copy.
+	m, _ := testModel(120, 12, 42)
+	want := m.Neighbors(7, 5)
 	if len(out.Neighbors) != 5 {
 		t.Fatalf("got %d neighbors", len(out.Neighbors))
 	}
@@ -154,14 +156,14 @@ func TestNeighborsBatchMatchesSingle(t *testing.T) {
 }
 
 func TestSimilarityAndPredict(t *testing.T) {
-	s, hs := newTestServer(t, Config{}, 80, 6)
-	st := s.state.Load()
+	_, hs := newTestServer(t, Config{}, 80, 6)
+	m, _ := testModel(80, 6, 42)
 
 	var sim SimilarityResponse
 	if code := getJSON(t, hs.URL+"/v1/similarity?a=v3&b=v9", &sim); code != 200 {
 		t.Fatalf("similarity status %d", code)
 	}
-	if want := st.model.Store().Cosine(3, 9); sim.Similarity != want {
+	if want := m.Store().Cosine(3, 9); sim.Similarity != want {
 		t.Fatalf("similarity %v, want %v", sim.Similarity, want)
 	}
 
@@ -175,7 +177,7 @@ func TestSimilarityAndPredict(t *testing.T) {
 	if code := getJSON(t, hs.URL+"/v1/predict?u=v3&v=v9&hadamard=true", &pred); code != 200 {
 		t.Fatalf("predict hadamard status %d", code)
 	}
-	if want := st.model.Store().Dot(3, 9); pred.Score != want || pred.Scorer != "embedding-dot" {
+	if want := m.Store().Dot(3, 9); pred.Score != want || pred.Scorer != "embedding-dot" {
 		t.Fatalf("predict dot: got %+v, want score %v", pred, want)
 	}
 
@@ -199,13 +201,13 @@ func TestSimilarityAndPredict(t *testing.T) {
 }
 
 func TestAnalogyMatchesModel(t *testing.T) {
-	s, hs := newTestServer(t, Config{}, 90, 9)
+	_, hs := newTestServer(t, Config{}, 90, 9)
 	var out NeighborsResponse
 	if code := getJSON(t, hs.URL+"/v1/analogy?a=v1&b=v2&c=v3&k=4", &out); code != 200 {
 		t.Fatalf("analogy status %d", code)
 	}
-	st := s.state.Load()
-	want := st.model.Analogy(1, 2, 3, 4)
+	m, _ := testModel(90, 9, 42)
+	want := m.Analogy(1, 2, 3, 4)
 	if len(out.Neighbors) != len(want) {
 		t.Fatalf("got %d results, want %d", len(out.Neighbors), len(want))
 	}
@@ -512,5 +514,438 @@ func TestServeGracefulShutdown(t *testing.T) {
 func TestEmptyModelRejected(t *testing.T) {
 	if _, err := NewFromModel(Config{}, word2vec.NewModel(0, 4), nil); err == nil {
 		t.Fatal("accepted an empty model")
+	}
+}
+
+// ---- Online write tests ---------------------------------------------
+
+// vec returns a dim-sized vector with the leading values set.
+func vec(dim int, lead ...float32) []float32 {
+	v := make([]float32, dim)
+	copy(v, lead)
+	return v
+}
+
+// TestUpsertVisibleWithoutReload is the tentpole acceptance test:
+// an upserted vertex must be searchable — and must appear in other
+// vertices' neighbor lists — on the very next query, with no
+// /v1/reload, including through the response cache.
+func TestUpsertVisibleWithoutReload(t *testing.T) {
+	for _, kind := range []vecstore.Kind{vecstore.KindExact, vecstore.KindIVF, vecstore.KindHNSW} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Config{CacheSize: 256, Index: vecstore.Config{Kind: kind, Seed: 1}}
+			if kind == vecstore.KindIVF {
+				cfg.Index.NLists = 8
+				cfg.Index.NProbe = 8
+			}
+			if kind == vecstore.KindHNSW {
+				cfg.Index.M = 8
+				cfg.Index.EfConstruction = 60
+			}
+			s, hs := newTestServer(t, cfg, 60, 8)
+
+			// Prime the cache with the answer the write must invalidate.
+			target := "v9"
+			var before NeighborsResponse
+			getJSON(t, hs.URL+"/v1/neighbors?vertex="+target+"&k=5", &before)
+			getJSON(t, hs.URL+"/v1/neighbors?vertex="+target+"&k=5", &before)
+
+			// Upsert a clone of v9's vector: cosine 1, so it must rank
+			// first among v9's neighbors.
+			m, _ := testModel(60, 8, 42)
+			clone := append([]float32(nil), m.Store().Row(9)...)
+			var up UpsertResponse
+			if code := postJSON(t, hs.URL+"/v1/upsert", UpsertRequest{Vertex: "clone", Vector: clone}, &up); code != 200 {
+				t.Fatalf("upsert status %d", code)
+			}
+			if up.ID != 60 || up.Updated || up.Epoch != 1 {
+				t.Fatalf("upsert response: %+v", up)
+			}
+
+			// The new vertex answers queries directly...
+			var out NeighborsResponse
+			if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=clone&k=3", &out); code != 200 {
+				t.Fatalf("neighbors of upserted vertex: status %d", code)
+			}
+			if len(out.Neighbors) == 0 || out.Neighbors[0].Vertex != target {
+				t.Fatalf("clone's top neighbor: %+v", out.Neighbors)
+			}
+			// ...and appears in the previously-cached answer's place.
+			if code := getJSON(t, hs.URL+"/v1/neighbors?vertex="+target+"&k=5", &out); code != 200 {
+				t.Fatalf("post-write neighbors status %d", code)
+			}
+			if out.Neighbors[0].Vertex != "clone" {
+				t.Fatalf("cached answer served stale after write: top neighbor %+v", out.Neighbors[0])
+			}
+			if s.Generation() != 1 {
+				t.Fatalf("write bumped generation to %d (writes must not reload)", s.Generation())
+			}
+			// /healthz counts the new vertex.
+			var hz map[string]any
+			getJSON(t, hs.URL+"/healthz", &hz)
+			if hz["vectors"].(float64) != 61 || hz["epoch"].(float64) != 1 {
+				t.Fatalf("healthz after write: %v", hz)
+			}
+		})
+	}
+}
+
+// TestUpsertReplacesVector covers the update path: re-upserting an
+// existing token tombstones the old row and serves the new vector.
+func TestUpsertReplacesVector(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, 30, 4)
+	var up UpsertResponse
+	if code := postJSON(t, hs.URL+"/v1/upsert", UpsertRequest{Vertex: "v5", Vector: vec(4, 1)}, &up); code != 200 {
+		t.Fatalf("upsert status %d", code)
+	}
+	if !up.Updated || up.ID != 30 {
+		t.Fatalf("replace response: %+v", up)
+	}
+	// Similarity against a unit vector along axis 0 is now exactly 1.
+	var sim SimilarityResponse
+	if code := postJSON(t, hs.URL+"/v1/upsert", UpsertRequest{Vertex: "probe", Vector: vec(4, 2)}, nil); code != 200 {
+		t.Fatal("probe upsert failed")
+	}
+	getJSON(t, hs.URL+"/v1/similarity?a=v5&b=probe", &sim)
+	if sim.Similarity != 1 {
+		t.Fatalf("replaced vector not served: similarity %v", sim.Similarity)
+	}
+	// The old row is tombstoned, not double-listed: vocab still has one v5.
+	var vr VocabResponse
+	getJSON(t, hs.URL+"/v1/vocab", &vr)
+	seen := 0
+	for _, tok := range vr.Tokens {
+		if tok == "v5" {
+			seen++
+		}
+	}
+	if seen != 1 || vr.Count != 31 {
+		t.Fatalf("vocab after replace: count %d, v5 x%d", vr.Count, seen)
+	}
+	var stats StatsResponse
+	getJSON(t, hs.URL+"/stats", &stats)
+	if stats.Writes.Upserts != 2 || stats.Writes.Tombstones != 1 || stats.Writes.Epoch != 2 {
+		t.Fatalf("write stats: %+v", stats.Writes)
+	}
+}
+
+// TestDeleteRemovesVertex covers the delete path end to end: 404 on
+// subsequent resolution, absence from every neighbor list and from
+// the vocabulary.
+func TestDeleteRemovesVertex(t *testing.T) {
+	_, hs := newTestServer(t, Config{CacheSize: 64}, 40, 6)
+	// v7's nearest neighbor before the delete.
+	var before NeighborsResponse
+	getJSON(t, hs.URL+"/v1/neighbors?vertex=v7&k=1", &before)
+	victim := before.Neighbors[0].Vertex
+
+	var del DeleteResponse
+	if code := postJSON(t, hs.URL+"/v1/delete", DeleteRequest{Vertex: victim}, &del); code != 200 {
+		t.Fatalf("delete status %d", code)
+	}
+	if !del.Deleted || del.Epoch != 1 {
+		t.Fatalf("delete response: %+v", del)
+	}
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex="+victim, nil); code != 404 {
+		t.Fatalf("deleted vertex still resolves: status %d", code)
+	}
+	if code := postJSON(t, hs.URL+"/v1/delete", DeleteRequest{Vertex: victim}, nil); code != 404 {
+		t.Fatalf("double delete status %d", code)
+	}
+	var after NeighborsResponse
+	getJSON(t, hs.URL+"/v1/neighbors?vertex=v7&k=10", &after)
+	for _, n := range after.Neighbors {
+		if n.Vertex == victim {
+			t.Fatalf("deleted vertex still a neighbor: %+v", after.Neighbors)
+		}
+	}
+	var vr VocabResponse
+	getJSON(t, hs.URL+"/v1/vocab", &vr)
+	if vr.Count != 39 {
+		t.Fatalf("vocab count after delete: %d", vr.Count)
+	}
+	for _, tok := range vr.Tokens {
+		if tok == victim {
+			t.Fatal("deleted vertex still in vocab")
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, 20, 4)
+	if code := postJSON(t, hs.URL+"/v1/upsert", UpsertRequest{Vertex: "x", Vector: vec(3)}, nil); code != 400 {
+		t.Fatalf("dim mismatch status %d", code)
+	}
+	if code := postJSON(t, hs.URL+"/v1/upsert", UpsertRequest{Vector: vec(4)}, nil); code != 400 {
+		t.Fatalf("missing vertex status %d", code)
+	}
+	if code := postJSON(t, hs.URL+"/v1/delete", DeleteRequest{Vertex: "nosuch"}, nil); code != 404 {
+		t.Fatalf("unknown delete status %d", code)
+	}
+	if code := postJSON(t, hs.URL+"/v1/upsert/batch", UpsertBatchRequest{}, nil); code != 400 {
+		t.Fatalf("empty batch status %d", code)
+	}
+	resp, err := http.Get(hs.URL + "/v1/upsert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET upsert status %d", resp.StatusCode)
+	}
+}
+
+func TestReadOnlyServer(t *testing.T) {
+	_, hs := newTestServer(t, Config{ReadOnly: true}, 20, 4)
+	if code := postJSON(t, hs.URL+"/v1/upsert", UpsertRequest{Vertex: "x", Vector: vec(4)}, nil); code != 403 {
+		t.Fatalf("read-only upsert status %d", code)
+	}
+	if code := postJSON(t, hs.URL+"/v1/delete", DeleteRequest{Vertex: "v1"}, nil); code != 403 {
+		t.Fatalf("read-only delete status %d", code)
+	}
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=v1", nil); code != 200 {
+		t.Fatalf("read-only read status %d", code)
+	}
+}
+
+func TestWriteBatchEndpoints(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, 30, 4)
+	items := []UpsertRequest{
+		{Vertex: "a", Vector: vec(4, 1)},
+		{Vertex: "b", Vector: vec(4, 0, 1)},
+		{Vertex: "c", Vector: vec(4, 0, 0, 1)},
+	}
+	var up UpsertBatchResponse
+	if code := postJSON(t, hs.URL+"/v1/upsert/batch", UpsertBatchRequest{Items: items}, &up); code != 200 {
+		t.Fatalf("upsert batch status %d", code)
+	}
+	if len(up.Results) != 3 || up.Results[2].ID != 32 || up.Results[2].Epoch != 3 {
+		t.Fatalf("upsert batch results: %+v", up.Results)
+	}
+	// A batch with one invalid item applies nothing.
+	bad := []UpsertRequest{{Vertex: "d", Vector: vec(4)}, {Vertex: "e", Vector: vec(3)}}
+	if code := postJSON(t, hs.URL+"/v1/upsert/batch", UpsertBatchRequest{Items: bad}, nil); code != 400 {
+		t.Fatal("invalid batch accepted")
+	}
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=d", nil); code != 404 {
+		t.Fatal("failed batch partially applied")
+	}
+
+	var del DeleteBatchResponse
+	if code := postJSON(t, hs.URL+"/v1/delete/batch", DeleteBatchRequest{Vertices: []string{"a", "b"}}, &del); code != 200 {
+		t.Fatalf("delete batch status %d", code)
+	}
+	if len(del.Results) != 2 || !del.Results[1].Deleted {
+		t.Fatalf("delete batch results: %+v", del.Results)
+	}
+	// All-or-nothing: a batch naming an unknown vertex deletes nothing.
+	if code := postJSON(t, hs.URL+"/v1/delete/batch", DeleteBatchRequest{Vertices: []string{"c", "nosuch"}}, nil); code != 404 {
+		t.Fatal("partial delete batch accepted")
+	}
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=c", nil); code != 200 {
+		t.Fatal("failed delete batch partially applied")
+	}
+}
+
+// TestSwapModelRejectsMutatedModel locks in the republish guard:
+// online writes grow the store cached inside the caller's Model, so
+// re-publishing that same model against its original token table
+// would build a generation whose token table is shorter than the
+// store (an index-out-of-range panic on the first query touching an
+// appended row). SwapModel must refuse instead.
+func TestSwapModelRejectsMutatedModel(t *testing.T) {
+	m, tokens := testModel(30, 4, 1)
+	s, err := NewFromModel(Config{}, m, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	if code := postJSON(t, hs.URL+"/v1/upsert", UpsertRequest{Vertex: "grown", Vector: vec(4, 1)}, nil); code != 200 {
+		t.Fatalf("upsert status %d", code)
+	}
+	if _, err := s.SwapModel(m, tokens, "republish"); err == nil {
+		t.Fatal("SwapModel republished a model whose store was grown by writes")
+	}
+	// A fresh model still swaps in fine.
+	m2, tokens2 := testModel(30, 4, 2)
+	if _, err := s.SwapModel(m2, tokens2, "fresh"); err != nil {
+		t.Fatalf("fresh SwapModel: %v", err)
+	}
+}
+
+// TestDeleteBatchRejectsDuplicates locks in all-or-nothing for the
+// duplicate-vertex case: without the pre-check a batch like ["a","a"]
+// would delete "a" on its first occurrence and 404 on the second,
+// leaving the batch half-applied.
+func TestDeleteBatchRejectsDuplicates(t *testing.T) {
+	_, hs := newTestServer(t, Config{}, 20, 4)
+	if code := postJSON(t, hs.URL+"/v1/delete/batch", DeleteBatchRequest{Vertices: []string{"v3", "v3"}}, nil); code != 400 {
+		t.Fatalf("duplicate batch status %d, want 400", code)
+	}
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=v3", nil); code != 200 {
+		t.Fatal("rejected duplicate batch still deleted the vertex")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes —
+// compaction publishes from a background goroutine, so tests
+// observing its effects must wait for the publish.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestUpsertTriggersCompaction covers the update-heavy workload:
+// replace-upserts tombstone old rows, so upserts alone must cross the
+// threshold and compact — no delete required.
+func TestUpsertTriggersCompaction(t *testing.T) {
+	s, hs := newTestServer(t, Config{CompactFraction: 0.2}, 20, 4)
+	// Each re-upsert of an existing token adds one tombstone.
+	for i := 0; i < 8; i++ {
+		tok := fmt.Sprintf("v%d", i)
+		if code := postJSON(t, hs.URL+"/v1/upsert", UpsertRequest{Vertex: tok, Vector: vec(4, float32(i+1))}, nil); code != 200 {
+			t.Fatalf("upsert %s status %d", tok, code)
+		}
+	}
+	waitFor(t, "upsert-triggered compaction", func() bool { return s.Generation() >= 2 })
+	var stats StatsResponse
+	getJSON(t, hs.URL+"/stats", &stats)
+	if stats.Writes.Compactions == 0 {
+		t.Fatalf("8 replace-upserts over 20 rows never compacted: %+v", stats.Writes)
+	}
+	if stats.Model.Vectors != 20 {
+		t.Fatalf("live count after replace-only workload: %d, want 20", stats.Model.Vectors)
+	}
+	// Replaced vectors survive the compaction.
+	var sim SimilarityResponse
+	getJSON(t, hs.URL+"/v1/similarity?a=v0&b=v1", &sim)
+	if sim.Similarity != 1 { // both replaced with positive axis-0 vectors
+		t.Fatalf("replaced vectors lost in compaction: similarity %v", sim.Similarity)
+	}
+}
+
+// TestCompactionPublishesNewGeneration drives deletes over the
+// threshold and checks the compacted world: new generation, zero
+// tombstones, every surviving vertex still resolvable, writes still
+// accepted.
+func TestCompactionPublishesNewGeneration(t *testing.T) {
+	s, hs := newTestServer(t, Config{CompactFraction: 0.2}, 50, 6)
+	// Deletes 1..9 stay under the 20% threshold; the 10th crosses it.
+	for i := 0; i < 10; i++ {
+		var del DeleteResponse
+		tok := fmt.Sprintf("v%d", i)
+		if code := postJSON(t, hs.URL+"/v1/delete", DeleteRequest{Vertex: tok}, &del); code != 200 {
+			t.Fatalf("delete %s status %d", tok, code)
+		}
+		if want := i == 9; del.Compacted != want {
+			t.Fatalf("delete %d compacted = %v, want %v", i, del.Compacted, want)
+		}
+	}
+	waitFor(t, "background compaction publish", func() bool { return s.Generation() == 2 })
+	var stats StatsResponse
+	getJSON(t, hs.URL+"/stats", &stats)
+	if stats.Writes.Compactions != 1 || stats.Writes.Tombstones != 0 || stats.Model.Vectors != 40 {
+		t.Fatalf("post-compaction stats: %+v / %+v", stats.Writes, stats.Model)
+	}
+	// Survivors still resolve; the compacted world accepts writes.
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=v30&k=3", nil); code != 200 {
+		t.Fatalf("survivor query status %d", code)
+	}
+	if code := postJSON(t, hs.URL+"/v1/upsert", UpsertRequest{Vertex: "post", Vector: vec(6, 1)}, nil); code != 200 {
+		t.Fatalf("post-compaction upsert failed")
+	}
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=post&k=1", nil); code != 200 {
+		t.Fatalf("post-compaction upsert not visible")
+	}
+}
+
+// TestConcurrentWritesAndReads is the -race acceptance test for the
+// server's locking: concurrent upserts, deletes and queries across
+// every endpoint family with zero failed requests.
+func TestConcurrentWritesAndReads(t *testing.T) {
+	_, hs := newTestServer(t, Config{CacheSize: 128, CompactFraction: 0.3}, 80, 6)
+	client := &http.Client{Timeout: 10 * time.Second}
+	var failures atomic.Uint64
+	var wg sync.WaitGroup
+
+	post := func(path string, body any) bool {
+		buf, _ := json.Marshal(body)
+		resp, err := client.Post(hs.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == 200
+	}
+
+	// Writers: each owns a disjoint token namespace, upserting and
+	// deleting so reads race growth, tombstoning and cache churn.
+	var writers sync.WaitGroup
+	for wr := 0; wr < 2; wr++ {
+		writers.Add(1)
+		go func(wr int) {
+			defer writers.Done()
+			for i := 0; i < 60; i++ {
+				tok := fmt.Sprintf("w%d-%d", wr, i%10)
+				if !post("/v1/upsert", UpsertRequest{Vertex: tok, Vector: vec(6, float32(wr+1), float32(i))}) {
+					failures.Add(1)
+				}
+				if i%4 == 3 {
+					if !post("/v1/delete", DeleteRequest{Vertex: tok}) {
+						failures.Add(1)
+					}
+				}
+			}
+		}(wr)
+	}
+	// Readers hit the stable prefix (v0..v79), which no writer touches.
+	stop := make(chan struct{})
+	for rd := 0; rd < 4; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(rd) + 99)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := int(rng.Uint64() % 80)
+				var url string
+				switch v % 3 {
+				case 0:
+					url = fmt.Sprintf("%s/v1/neighbors?vertex=v%d&k=5", hs.URL, v)
+				case 1:
+					url = fmt.Sprintf("%s/v1/similarity?a=v%d&b=v%d", hs.URL, v, (v+1)%80)
+				default:
+					url = fmt.Sprintf("%s/v1/vocab?limit=5", hs.URL)
+				}
+				resp, err := client.Get(url)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					failures.Add(1)
+				}
+			}
+		}(rd)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d failed requests under concurrent writes", f)
 	}
 }

@@ -1,15 +1,27 @@
 package vecstore
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Exact is the brute-force index: a partitioned parallel scan with
 // bounded top-k heaps per partition. Results are exact, and — because
 // the kernels preserve the seed's float64 accumulation order —
 // bit-for-bit identical to the historical sort-everything paths.
+//
+// Exact implements MutableIndex trivially: an appended row is covered
+// by the very next scan and a tombstoned row is skipped by it, so
+// Insert and Delete only need the store mutation plus the reader
+// exclusion the shared lock provides.
 type Exact struct {
 	s       *Store
 	metric  Metric
 	workers int
+
+	// mu lets Insert/Delete run concurrently with queries: mutations
+	// hold the writer side, queries the reader side.
+	mu sync.RWMutex
 }
 
 // serialScanFloor is the row count below which a single query is
@@ -29,13 +41,35 @@ func (e *Exact) Store() *Store { return e.s }
 // Metric implements Index.
 func (e *Exact) Metric() Metric { return e.metric }
 
+// Insert implements MutableIndex: it appends v to the store (scans
+// cover it immediately) and returns the new row ID.
+func (e *Exact) Insert(v []float32) (int, error) {
+	if len(v) != e.s.Dim() {
+		return 0, fmt.Errorf("vecstore: Insert dim %d does not match store dim %d", len(v), e.s.Dim())
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.s.AppendRow(v), nil
+}
+
+// Delete implements MutableIndex.
+func (e *Exact) Delete(id int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.s.Delete(id)
+}
+
 // Search implements Index.
 func (e *Exact) Search(q []float32, k int) []Result {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.search(q, k, -1, nil)
 }
 
 // SearchRow implements Index.
 func (e *Exact) SearchRow(i, k int) []Result {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.search(e.s.Row(i), k, i, nil)
 }
 
@@ -93,6 +127,8 @@ func (e *Exact) searchParallel(q []float32, qn float64, k, exclude int, dst []Re
 // each worker reuses one heap and all results share one backing
 // allocation, so per-query allocation is amortized to ~0.
 func (e *Exact) SearchBatch(qs [][]float32, k int) [][]Result {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	n := e.s.Len()
 	k = clampK(k, n)
 	out := make([][]Result, len(qs))

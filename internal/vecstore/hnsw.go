@@ -56,6 +56,14 @@ type hnswNode struct {
 //
 // Build is sequential and deterministic for a fixed seed; queries are
 // safe for arbitrary concurrency once NewHNSW returns.
+//
+// HNSW implements MutableIndex: Insert reuses the build-time level
+// sampling (continuing the build's deterministic RNG stream) and
+// diversity-pruned linking for one new row, and Delete tombstones a
+// row — it keeps routing searches through the graph but is filtered
+// out of results, the standard mark-deleted scheme (reclaimed by a
+// compaction rebuild). Mutations hold the writer lock; queries share
+// the reader lock.
 type HNSW struct {
 	s        *Store
 	metric   Metric
@@ -68,6 +76,14 @@ type HNSW struct {
 	entry    int32
 	maxLevel int
 	nodes    []hnswNode
+
+	// mu guards graph and store mutation against concurrent queries;
+	// rng/mL continue the build's level-sampling stream for
+	// incremental inserts; builtMuts detects out-of-band SetRow.
+	mu        sync.RWMutex
+	rng       *xrand.RNG
+	mL        float64
+	builtMuts uint64
 
 	scratch sync.Pool // *hnswScratch, sized to the store
 }
@@ -109,15 +125,62 @@ func NewHNSW(s *Store, metric Metric, cfg HNSWConfig) (*HNSW, error) {
 	}
 	s.SqNorms() // precompute so build and concurrent queries never race the cache
 
-	// mL = 1/ln(M), the level normalization from the paper.
-	mL := 1 / math.Log(float64(m))
-	rng := xrand.New(cfg.Seed ^ hnswLevelStream)
+	// mL = 1/ln(M), the level normalization from the paper. The RNG
+	// stays on the struct: incremental Insert continues the same
+	// stream, so batch-building n rows and batch-building n-j then
+	// inserting j produce identically-distributed levels.
+	h.mL = 1 / math.Log(float64(m))
+	h.rng = xrand.New(cfg.Seed ^ hnswLevelStream)
 	sc := h.newScratch()
 	for i := 0; i < s.Len(); i++ {
-		h.insert(int32(i), h.sampleLevel(rng, mL), sc)
+		h.insert(int32(i), h.sampleLevel(h.rng, h.mL), sc)
 	}
 	h.scratch.Put(sc)
+	h.builtMuts = s.Mutations()
 	return h, nil
+}
+
+// Insert implements MutableIndex: it appends v to the store and links
+// it into the graph with the same level sampling and diversity
+// pruning as the batch build, returning the new row ID. Safe to call
+// concurrently with queries (writer-locked).
+func (h *HNSW) Insert(v []float32) (int, error) {
+	if len(v) != h.s.Dim() {
+		return 0, fmt.Errorf("vecstore: Insert dim %d does not match store dim %d", len(v), h.s.Dim())
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checkCoherent()
+	id := h.s.AppendRow(v)
+	h.nodes = append(h.nodes, hnswNode{})
+	sc := h.getScratch()
+	h.insert(int32(id), h.sampleLevel(h.rng, h.mL), sc)
+	h.scratch.Put(sc)
+	return id, nil
+}
+
+// Delete implements MutableIndex: the row is tombstoned — still a
+// routing node for graph descent, never a result. Reclaimed (links
+// and storage) by a compaction rebuild.
+func (h *HNSW) Delete(id int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.s.Delete(id)
+}
+
+// checkCoherent panics with a descriptive message when the store was
+// mutated behind the graph's back — an in-place SetRow (adjacency
+// silently stale) or a direct append (rows unreachable by any
+// descent). This replaces the old failure mode of silently wrong
+// results; callers that mutate must rebuild, or route writes through
+// Insert/Delete.
+func (h *HNSW) checkCoherent() {
+	if h.s.Mutations() != h.builtMuts {
+		panic("vecstore: HNSW index is stale: Store.SetRow overwrote rows after the graph was built, leaving adjacency lists out of date; rebuild the index or apply writes through MutableIndex.Insert/Delete")
+	}
+	if len(h.nodes) != h.s.Len() {
+		panic(fmt.Sprintf("vecstore: HNSW graph covers %d of %d store rows: rows were appended to the store without MutableIndex.Insert", len(h.nodes), h.s.Len()))
+	}
 }
 
 // sampleLevel draws floor(-ln(U) * mL), the paper's exponentially
@@ -247,11 +310,20 @@ type hnswScratch struct {
 }
 
 func (h *HNSW) newScratch() *hnswScratch {
-	return &hnswScratch{visited: make([]uint32, h.s.Len())}
+	// Slack beyond the current row count so a stream of incremental
+	// inserts does not reallocate the visited set per row.
+	n := h.s.Len()
+	buf := make([]uint32, n+n/2+64)
+	return &hnswScratch{visited: buf[:n]}
 }
 
 func (h *HNSW) getScratch() *hnswScratch {
-	if sc, ok := h.scratch.Get().(*hnswScratch); ok && len(sc.visited) == h.s.Len() {
+	n := h.s.Len()
+	if sc, ok := h.scratch.Get().(*hnswScratch); ok && cap(sc.visited) >= n {
+		// Growing within capacity is safe: the extension holds zeros
+		// (never a live epoch) or epochs from earlier searches, which
+		// begin()'s epoch bump makes stale.
+		sc.visited = sc.visited[:n]
 		return sc
 	}
 	return h.newScratch()
@@ -414,6 +486,8 @@ func (h *HNSW) MaxLevel() int { return h.maxLevel }
 
 // Search implements Index.
 func (h *HNSW) Search(q []float32, k int) []Result {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	sc := h.getScratch()
 	res := h.search(q, k, -1, nil, sc)
 	h.scratch.Put(sc)
@@ -422,6 +496,8 @@ func (h *HNSW) Search(q []float32, k int) []Result {
 
 // SearchRow implements Index.
 func (h *HNSW) SearchRow(i, k int) []Result {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	sc := h.getScratch()
 	res := h.search(h.s.Row(i), k, i, nil, sc)
 	h.scratch.Put(sc)
@@ -430,6 +506,7 @@ func (h *HNSW) SearchRow(i, k int) []Result {
 
 func (h *HNSW) search(q []float32, k, exclude int, dst []Result, sc *hnswScratch) []Result {
 	checkDim(h.s, q)
+	h.checkCoherent()
 	n := h.s.Len()
 	k = clampK(k, n)
 	if k <= 0 || h.entry < 0 {
@@ -445,15 +522,27 @@ func (h *HNSW) search(q []float32, k, exclude int, dst []Result, sc *hnswScratch
 	if ef < k+1 { // +1 leaves room to drop an excluded self-hit
 		ef = k + 1
 	}
+	if dead := h.s.Dead(); dead > 0 {
+		// Tombstoned rows still occupy beam slots before being
+		// filtered below; widen the beam (at most 2x, so worst-case
+		// latency stays bounded — the compaction threshold bounds the
+		// dead fraction long-term) to keep ~k live results surviving.
+		extra := dead
+		if extra > ef {
+			extra = ef
+		}
+		ef += extra
+	}
 	if ef > n {
 		ef = n
 	}
 	sc.eps = append(sc.eps[:0], ep)
 	h.searchLayer(q, qn, sc.eps, 0, ef, sc)
 	cands := sc.extractAsc()
+	del := h.s.deleted
 	start := len(dst)
 	for _, c := range cands {
-		if int(c.id) == exclude || len(dst)-start == k {
+		if int(c.id) == exclude || (del != nil && del[c.id]) || len(dst)-start == k {
 			continue
 		}
 		dst = append(dst, Result{ID: int(c.id), Score: -c.dist})
@@ -466,6 +555,8 @@ func (h *HNSW) search(q []float32, k, exclude int, dst []Result, sc *hnswScratch
 // configured workers, each with its own scratch, so per-query
 // allocation is amortized.
 func (h *HNSW) SearchBatch(qs [][]float32, k int) [][]Result {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	out := make([][]Result, len(qs))
 	k = clampK(k, h.s.Len())
 	if k <= 0 || len(qs) == 0 {
@@ -502,11 +593,23 @@ type HNSWGraph struct {
 	Friends  [][][]int32 // per row, per level: out-neighbors
 }
 
-// Graph exports the index topology for persistence.
+// Graph exports the index topology for persistence. The adjacency is
+// deep-copied under the reader lock: a concurrent Insert rewires
+// neighbor lists in place (the shrink path rewrites their backing
+// arrays), so returning aliases would hand the caller a torn,
+// racing snapshot. Tombstones are not part of the topology: compact
+// (rebuild over the live rows) before persisting a graph that has
+// seen deletes, or the deletions are lost on reload.
 func (h *HNSW) Graph() *HNSWGraph {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	friends := make([][][]int32, len(h.nodes))
 	for i := range h.nodes {
-		friends[i] = h.nodes[i].friends
+		levels := make([][]int32, len(h.nodes[i].friends))
+		for l, links := range h.nodes[i].friends {
+			levels[l] = append([]int32(nil), links...)
+		}
+		friends[i] = levels
 	}
 	return &HNSWGraph{
 		Metric:   h.metric,
@@ -578,6 +681,13 @@ func HNSWFromGraph(s *Store, g *HNSWGraph, efSearch, workers int) (*HNSW, error)
 		entry:    entry,
 		maxLevel: maxLevel,
 		nodes:    nodes,
+		// Incremental inserts over a rebound graph sample levels from a
+		// fresh stream (the build-time stream position is not
+		// persisted); mL depends only on M, so the distribution is
+		// identical.
+		mL:        1 / math.Log(float64(g.M)),
+		rng:       xrand.New(hnswLevelStream ^ uint64(len(g.Friends))),
+		builtMuts: s.Mutations(),
 	}, nil
 }
 

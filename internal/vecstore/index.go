@@ -148,9 +148,10 @@ func (c Config) Validate() error {
 }
 
 // Index is a top-k similarity search structure over a Store.
-// Implementations are safe for concurrent queries once built.
+// Implementations are safe for concurrent queries once built, and
+// every tombstoned store row is filtered out of results.
 type Index interface {
-	// Search returns the k best rows for the query vector, score
+	// Search returns the k best live rows for the query vector, score
 	// descending with ties broken toward smaller IDs.
 	Search(q []float32, k int) []Result
 	// SearchBatch answers many queries, parallelized across the
@@ -166,8 +167,33 @@ type Index interface {
 	Metric() Metric
 }
 
+// MutableIndex is the online-write extension of Index: every index
+// this package builds (Exact, IVF, HNSW) implements it. Insert and
+// Delete are safe to call concurrently with queries and each other —
+// each index serialises its mutations behind a writer lock while
+// queries proceed under a shared reader lock — so a serving layer can
+// apply upserts and deletes without pausing reads.
+//
+// Once a store is indexed mutably, grow and shrink it only through
+// these methods: a direct Store.AppendRow leaves the appended row
+// invisible to approximate indexes, and a Store.SetRow silently
+// invalidates their adjacency/cell structure — both are detected and
+// reported at the next query instead of returning wrong results.
+type MutableIndex interface {
+	Index
+	// Insert appends v as a new row of the underlying store and
+	// indexes it incrementally, returning the new row's ID.
+	Insert(v []float32) (int, error)
+	// Delete tombstones row id: it stops appearing in results
+	// immediately. Storage and index links are reclaimed only by a
+	// rebuild over Store.Gather(Store.LiveIDs()), which the serving
+	// layer triggers past a tombstone-fraction threshold (see
+	// docs/INDEXES.md). Errors on out-of-range or double deletion.
+	Delete(id int) error
+}
+
 // Open builds the index described by cfg over s, validating cfg
-// first.
+// first. The result always implements MutableIndex.
 func Open(s *Store, cfg Config) (Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -194,6 +220,16 @@ func Open(s *Store, cfg Config) (Index, error) {
 	}
 }
 
+// OpenMutable is Open for callers that apply online writes; it
+// surfaces the MutableIndex extension every built index implements.
+func OpenMutable(s *Store, cfg Config) (MutableIndex, error) {
+	idx, err := Open(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return idx.(MutableIndex), nil
+}
+
 func normWorkers(w int) int {
 	if w <= 0 {
 		return runtime.GOMAXPROCS(0)
@@ -202,16 +238,20 @@ func normWorkers(w int) int {
 }
 
 // scanRange scores rows [lo, hi) of s against q and pushes them into
-// t, skipping row exclude (-1 for none). qn is the query's squared
-// norm (used by Cosine only). The blocked kernels keep per-row
-// accumulation order identical to the seed's scalar loops.
+// t, skipping row exclude (-1 for none) and every tombstoned row. qn
+// is the query's squared norm (used by Cosine only). The blocked
+// kernels keep per-row accumulation order identical to the seed's
+// scalar loops.
 func scanRange(s *Store, metric Metric, q []float32, qn float64, lo, hi, exclude int, t *TopK) {
 	norms := s.SqNorms()
 	dim := s.dim
+	del := s.deleted // nil on the (common) tombstone-free path
 	for i := lo; i < hi; {
-		if i+4 > hi || (exclude >= i && exclude < i+4) {
-			// Tail, or the block holding the excluded row: scalar.
-			if i != exclude {
+		if i+4 > hi || (exclude >= i && exclude < i+4) ||
+			(del != nil && (del[i] || del[i+1] || del[i+2] || del[i+3])) {
+			// Tail, the block holding the excluded row, or a block with
+			// a tombstone: scalar.
+			if i != exclude && (del == nil || !del[i]) {
 				t.Push(i, scoreRow(s, metric, q, qn, i))
 			}
 			i++

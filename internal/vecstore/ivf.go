@@ -38,6 +38,12 @@ const maxTrainPoints = 8192
 // the cells whose centroids score best. Recall is controlled by
 // NProbe; NProbe == NLists degenerates to an exact scan in cell
 // order.
+//
+// IVF implements MutableIndex: Insert appends the row and assigns it
+// to its nearest (already-trained) centroid's cell, Delete tombstones
+// it and queries filter it out. The quantizer itself is never
+// retrained online — cell quality degrades only if the data
+// distribution drifts, which a compaction rebuild resets.
 type IVF struct {
 	s         *Store
 	metric    Metric
@@ -45,6 +51,13 @@ type IVF struct {
 	workers   int
 	centroids *Store
 	lists     [][]int32
+
+	// mu lets Insert/Delete run concurrently with queries; builtMuts
+	// and indexed detect store mutations that bypassed the index (see
+	// checkCoherent).
+	mu        sync.RWMutex
+	builtMuts uint64
+	indexed   int
 }
 
 // NewIVF trains the coarse quantizer and builds the inverted lists.
@@ -114,7 +127,61 @@ func NewIVF(s *Store, metric Metric, cfg IVFConfig) (*IVF, error) {
 	return &IVF{
 		s: s, metric: metric, nprobe: nprobe, workers: workers,
 		centroids: centroids, lists: lists,
+		builtMuts: s.Mutations(), indexed: n,
 	}, nil
+}
+
+// Insert implements MutableIndex: the new row joins the cell of its
+// nearest centroid (in the same normalized space the quantizer was
+// trained in), so queries probing that cell see it immediately.
+func (v *IVF) Insert(vec []float32) (int, error) {
+	if len(vec) != v.s.Dim() {
+		return 0, fmt.Errorf("vecstore: Insert dim %d does not match store dim %d", len(vec), v.s.Dim())
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	id := v.s.AppendRow(vec)
+	av := vec
+	if v.metric == Cosine {
+		// The quantizer was trained on L2-normalized rows; assign in
+		// the same space (zero vectors stay zero, as in normalizedCopy).
+		if n := sqNorm(vec); n > 0 {
+			inv := float32(1 / math.Sqrt(n))
+			nv := make([]float32, len(vec))
+			for i, x := range vec {
+				nv[i] = x * inv
+			}
+			av = nv
+		}
+	}
+	c := nearestCentroid(v.centroids, av)
+	v.lists[c] = append(v.lists[c], int32(id))
+	v.indexed++
+	return id, nil
+}
+
+// Delete implements MutableIndex: the row is tombstoned in the store
+// and filtered at probe time; its inverted-list slot is reclaimed by
+// the next rebuild.
+func (v *IVF) Delete(id int) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.s.Delete(id)
+}
+
+// checkCoherent panics with a descriptive message when the store was
+// mutated behind the index's back — an in-place SetRow (cell
+// assignments silently stale) or a direct append (rows invisible to
+// every probe). Returning wrong results silently is the failure mode
+// this replaces; callers that mutate must rebuild, or route writes
+// through Insert/Delete.
+func (v *IVF) checkCoherent() {
+	if v.s.Mutations() != v.builtMuts {
+		panic("vecstore: IVF index is stale: Store.SetRow overwrote rows after the index was built, leaving cell assignments out of date; rebuild the index or apply writes through MutableIndex.Insert/Delete")
+	}
+	if v.indexed != v.s.Len() {
+		panic(fmt.Sprintf("vecstore: IVF index covers %d of %d store rows: rows were appended to the store without MutableIndex.Insert", v.indexed, v.s.Len()))
+	}
 }
 
 // normalizedCopy returns an L2-normalized copy of s (zero rows stay
@@ -295,16 +362,21 @@ type ivfScratch struct {
 
 // Search implements Index.
 func (v *IVF) Search(q []float32, k int) []Result {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	return v.search(q, k, -1, nil, new(ivfScratch))
 }
 
 // SearchRow implements Index.
 func (v *IVF) SearchRow(i, k int) []Result {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	return v.search(v.s.Row(i), k, i, nil, new(ivfScratch))
 }
 
 func (v *IVF) search(q []float32, k, exclude int, dst []Result, sc *ivfScratch) []Result {
 	checkDim(v.s, q)
+	v.checkCoherent()
 	k = clampK(k, v.s.Len())
 	if k <= 0 {
 		return dst
@@ -330,10 +402,11 @@ func (v *IVF) search(q []float32, k, exclude int, dst []Result, sc *ivfScratch) 
 	sc.probes = sc.top.Append(sc.probes[:0])
 
 	sc.top.Reset(k)
+	del := v.s.deleted
 	for _, p := range sc.probes {
 		for _, id := range v.lists[p.ID] {
 			i := int(id)
-			if i == exclude {
+			if i == exclude || (del != nil && del[i]) {
 				continue
 			}
 			sc.top.Push(i, scoreRow(v.s, v.metric, q, qn, i))
@@ -345,6 +418,8 @@ func (v *IVF) search(q []float32, k, exclude int, dst []Result, sc *ivfScratch) 
 // SearchBatch implements Index; queries are sharded across workers
 // with per-worker scratch, amortizing allocation.
 func (v *IVF) SearchBatch(qs [][]float32, k int) [][]Result {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	out := make([][]Result, len(qs))
 	k = clampK(k, v.s.Len())
 	if k <= 0 || len(qs) == 0 {

@@ -12,6 +12,13 @@
 // float64 row copies. Exact search is therefore bit-for-bit
 // compatible with the historical brute-force results; only the
 // storage and the selection algorithm changed. See docs/VECTORS.md.
+//
+// Mutability contract: stores grow through Append/AppendRow and
+// shrink through tombstoning Delete; both are mutation APIs that must
+// not run concurrently with direct store reads. Indexes opened over a
+// store expose the same operations race-safely through MutableIndex
+// (see index.go), which is how the serving stack applies online
+// writes. See docs/INDEXES.md.
 package vecstore
 
 import (
@@ -33,26 +40,54 @@ const cacheLine = 64
 // 64-byte-aligns large allocations; this makes it a guarantee rather
 // than an accident.
 func AlignedSlice(n int) []float32 {
-	if n == 0 {
+	return alignedSliceCap(n, n)
+}
+
+// alignedSliceCap allocates an aligned float32 slice of length n with
+// capacity >= c (the growable-store allocation primitive). The whole
+// capacity is zeroed.
+func alignedSliceCap(n, c int) []float32 {
+	if c < n {
+		c = n
+	}
+	if c == 0 {
 		return nil
 	}
 	pad := cacheLine / 4
-	buf := make([]float32, n+pad)
+	buf := make([]float32, c+pad)
 	addr := uintptr(unsafe.Pointer(unsafe.SliceData(buf)))
 	off := 0
 	if rem := addr % cacheLine; rem != 0 {
 		off = int((cacheLine - rem) / 4)
 	}
-	return buf[off : off+n : off+n]
+	return buf[off : off+n : off+c]
 }
 
-// Store is an immutable-shape (n x dim) float32 matrix with cached
-// squared L2 norms. The norm cache is computed lazily on first use
-// (safely under concurrent queries); callers that mutate rows through
-// Row must call InvalidateNorms before the next similarity query.
+// Store is a growable (n x dim) float32 matrix with cached squared L2
+// norms and tombstone deletion. The norm cache is computed lazily on
+// first use (safely under concurrent queries) and maintained
+// incrementally by SetRow and the append APIs.
+//
+// Mutation APIs (SetRow, AppendRow, Append, Delete, direct Row
+// writes) must not run concurrently with queries or each other;
+// MutableIndex layers that synchronisation for online serving.
 type Store struct {
 	n, dim int
-	data   []float32 // len n*dim, row-major
+	data   []float32 // len n*dim, row-major; spare capacity for appends
+
+	// deleted tombstones rows without reclaiming their storage; nil
+	// until the first Delete. dead counts set bits.
+	deleted []bool
+	dead    int
+
+	// muts counts in-place row overwrites (SetRow). Graph- and
+	// cell-structured indexes snapshot it at build time and refuse to
+	// answer queries once it moves: an overwritten vector silently
+	// invalidates HNSW adjacency and IVF cell assignments, which no
+	// norm-cache update can repair. Appends and deletes do not bump it
+	// — they are coherent index operations when routed through
+	// MutableIndex.
+	muts uint64
 
 	// Squared L2 norm per row. Published through an atomic pointer so
 	// concurrent readers can trigger the lazy computation without a
@@ -69,12 +104,28 @@ func New(n, dim int) *Store {
 	return &Store{n: n, dim: dim, data: AlignedSlice(n * dim)}
 }
 
-// Wrap builds a store sharing the given row-major backing slice
-// (typically a trained model's weight matrix) without copying. The
-// slice must have length n*dim.
+// Wrap builds a store over the given row-major backing slice
+// (typically a trained model's weight matrix). The slice must have
+// length n*dim.
+//
+// When the slice already starts on a 64-byte boundary — true for
+// every slice produced by AlignedSlice, i.e. all model storage — it
+// is shared without copying, so external writes remain visible
+// through the store. A misaligned slice (e.g. a sub-slice at an odd
+// offset) is copied into a fresh aligned allocation instead: the
+// blocked kernels assume the alignment AlignedSlice documents, and
+// silently wrapping a misaligned base used to drop that guarantee.
 func Wrap(data []float32, n, dim int) *Store {
 	if dim <= 0 || len(data) != n*dim {
 		panic(fmt.Sprintf("vecstore: Wrap(%d floats) does not match %dx%d", len(data), n, dim))
+	}
+	if len(data) > 0 {
+		addr := uintptr(unsafe.Pointer(unsafe.SliceData(data)))
+		if addr%cacheLine != 0 {
+			aligned := AlignedSlice(len(data))
+			copy(aligned, data)
+			data = aligned
+		}
 	}
 	return &Store{n: n, dim: dim, data: data}
 }
@@ -103,7 +154,7 @@ func FromRows64(rows [][]float64) *Store {
 	return s
 }
 
-// Len returns the number of rows.
+// Len returns the number of rows, including tombstoned ones.
 func (s *Store) Len() int { return s.n }
 
 // Dim returns the dimensionality.
@@ -119,15 +170,145 @@ func (s *Store) Row(i int) []float32 {
 
 // SetRow copies v into row i and updates its cached norm if the cache
 // exists. SetRow is a mutation API: like Row writes, it must not run
-// concurrently with queries.
+// concurrently with queries. It also marks approximate indexes built
+// over the store as stale (their adjacency/cell structure cannot
+// track an in-place overwrite); rebuild them, or apply online writes
+// through MutableIndex.Insert/Delete instead.
 func (s *Store) SetRow(i int, v []float32) {
 	if len(v) != s.dim {
 		panic(fmt.Sprintf("vecstore: SetRow dim %d vs %d", len(v), s.dim))
 	}
 	copy(s.Row(i), v)
+	s.muts++
 	if p := s.sqnorms.Load(); p != nil {
 		(*p)[i] = sqNorm(v)
 	}
+}
+
+// Mutations returns the in-place overwrite counter (see SetRow);
+// indexes use it to detect silent staleness.
+func (s *Store) Mutations() uint64 { return s.muts }
+
+// AppendRow appends v as a new row and returns its ID. Amortized
+// aligned reallocation: the backing array at least doubles when it
+// grows, so n appends cost O(n) copies total; the norm cache (when
+// already materialised) is extended incrementally rather than
+// recomputed. AppendRow is a mutation API: it must not run
+// concurrently with queries (MutableIndex.Insert layers the locking
+// and keeps the index coherent).
+func (s *Store) AppendRow(v []float32) int {
+	if len(v) != s.dim {
+		panic(fmt.Sprintf("vecstore: AppendRow dim %d vs %d", len(v), s.dim))
+	}
+	s.grow(1)
+	id := s.n
+	s.data = s.data[: (id+1)*s.dim : cap(s.data)]
+	copy(s.data[id*s.dim:], v)
+	s.n++
+	if s.deleted != nil {
+		s.deleted = append(s.deleted, false)
+	}
+	if p := s.sqnorms.Load(); p != nil {
+		norms := append(*p, sqNorm(v))
+		s.sqnorms.Store(&norms)
+	}
+	return id
+}
+
+// Append appends len(vs)/dim rows (vs row-major, a multiple of the
+// store dimension) and returns the ID of the first. Same contract as
+// AppendRow.
+func (s *Store) Append(vs []float32) int {
+	if len(vs) == 0 || len(vs)%s.dim != 0 {
+		panic(fmt.Sprintf("vecstore: Append(%d floats) is not a positive multiple of dim %d", len(vs), s.dim))
+	}
+	rows := len(vs) / s.dim
+	s.grow(rows)
+	first := s.n
+	s.data = s.data[: (first+rows)*s.dim : cap(s.data)]
+	copy(s.data[first*s.dim:], vs)
+	s.n += rows
+	if s.deleted != nil {
+		s.deleted = append(s.deleted, make([]bool, rows)...)
+	}
+	if p := s.sqnorms.Load(); p != nil {
+		norms := *p
+		for r := 0; r < rows; r++ {
+			norms = append(norms, sqNorm(vs[r*s.dim:(r+1)*s.dim]))
+		}
+		s.sqnorms.Store(&norms)
+	}
+	return first
+}
+
+// grow ensures capacity for rows more rows, reallocating aligned
+// storage with at-least-doubling growth.
+func (s *Store) grow(rows int) {
+	need := (s.n + rows) * s.dim
+	if need <= cap(s.data) {
+		return
+	}
+	newCap := 2 * cap(s.data)
+	if newCap < need {
+		newCap = need
+	}
+	if min := 8 * s.dim; newCap < min {
+		newCap = min
+	}
+	grown := alignedSliceCap(len(s.data), newCap)
+	copy(grown, s.data)
+	s.data = grown
+}
+
+// Delete tombstones row i: Deleted reports it, Live excludes it, and
+// every index query over the store filters it out. Storage is not
+// reclaimed — compaction is Gather(LiveIDs()) plus an index rebuild,
+// which the serving layer triggers past a tombstone-fraction
+// threshold. Delete is a mutation API (same concurrency contract as
+// SetRow); MutableIndex.Delete layers the locking.
+func (s *Store) Delete(i int) error {
+	if i < 0 || i >= s.n {
+		return fmt.Errorf("vecstore: Delete(%d) out of range [0, %d)", i, s.n)
+	}
+	if s.deleted == nil {
+		s.deleted = make([]bool, s.n)
+	}
+	if s.deleted[i] {
+		return fmt.Errorf("vecstore: row %d is already deleted", i)
+	}
+	s.deleted[i] = true
+	s.dead++
+	return nil
+}
+
+// Deleted reports whether row i is tombstoned.
+func (s *Store) Deleted(i int) bool { return s.deleted != nil && s.deleted[i] }
+
+// Live returns the number of non-tombstoned rows.
+func (s *Store) Live() int { return s.n - s.dead }
+
+// Dead returns the number of tombstoned rows.
+func (s *Store) Dead() int { return s.dead }
+
+// DeadFraction returns the tombstoned share of rows, the compaction
+// trigger metric (0 for an empty store).
+func (s *Store) DeadFraction() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.dead) / float64(s.n)
+}
+
+// LiveIDs returns the non-tombstoned row IDs in ascending order — the
+// Gather input for compaction.
+func (s *Store) LiveIDs() []int {
+	ids := make([]int, 0, s.Live())
+	for i := 0; i < s.n; i++ {
+		if s.deleted == nil || !s.deleted[i] {
+			ids = append(ids, i)
+		}
+	}
+	return ids
 }
 
 // SqNorms returns the cached squared L2 norms, computing them on
@@ -160,7 +341,9 @@ func (s *Store) InvalidateNorms() {
 }
 
 // Gather copies the given rows, in order, into a new aligned store.
-// Row norms are carried over when already computed.
+// Row norms are carried over when already computed; tombstones are
+// not (a gathered store starts with every row live, which is what
+// compaction wants).
 func (s *Store) Gather(ids []int) *Store {
 	out := New(len(ids), s.dim)
 	for i, id := range ids {

@@ -49,12 +49,14 @@ func TestStoreShapeAndRows(t *testing.T) {
 	}
 }
 
-func TestWrapSharesStorage(t *testing.T) {
-	data := []float32{1, 0, 0, 1}
+func TestWrapSharesAlignedStorage(t *testing.T) {
+	// Aligned input (every model weight matrix): zero-copy view.
+	data := AlignedSlice(4)
+	copy(data, []float32{1, 0, 0, 1})
 	s := Wrap(data, 2, 2)
 	data[0] = 5
 	if s.Row(0)[0] != 5 {
-		t.Fatal("Wrap copied instead of sharing")
+		t.Fatal("Wrap copied an aligned slice instead of sharing")
 	}
 	defer func() {
 		if recover() == nil {
@@ -62,6 +64,43 @@ func TestWrapSharesStorage(t *testing.T) {
 		}
 	}()
 	Wrap(data, 3, 2)
+}
+
+// rowAligned reports whether a store row starts on the cache-line
+// boundary the blocked kernels assume.
+func rowAligned(v []float32) bool {
+	return uintptr(unsafe.Pointer(unsafe.SliceData(v)))%cacheLine == 0
+}
+
+// TestWrapRealignsMisalignedSlice is the regression test for the
+// silent alignment drop: Wrap over a slice at an odd offset used to
+// produce a store whose base violated the AlignedSlice guarantee.
+func TestWrapRealignsMisalignedSlice(t *testing.T) {
+	if !rowAligned(New(3, 4).Row(0)) {
+		t.Fatal("New store base is not aligned")
+	}
+	// An offset sub-slice of an aligned buffer is misaligned by
+	// construction (one float32 = 4 bytes into a 64-byte line).
+	backing := AlignedSlice(13)
+	for i := range backing {
+		backing[i] = float32(i)
+	}
+	s := Wrap(backing[1:13], 3, 4)
+	if !rowAligned(s.Row(0)) {
+		t.Fatal("Wrap over an offset slice left Row(0) misaligned")
+	}
+	// The copy preserved the data...
+	for i := 0; i < 12; i++ {
+		if s.Data()[i] != float32(i+1) {
+			t.Fatalf("realigned copy corrupted value %d: %v", i, s.Data()[i])
+		}
+	}
+	// ...and detached from the original storage (documented trade-off:
+	// alignment for the kernels over aliasing for misaligned inputs).
+	backing[1] = -99
+	if s.Row(0)[0] == -99 {
+		t.Fatal("misaligned Wrap still aliases the input")
+	}
 }
 
 func TestFromRows64RoundTrip(t *testing.T) {

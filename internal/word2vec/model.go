@@ -148,11 +148,22 @@ func toNeighbors(res []vecstore.Result) []Neighbor {
 // the three query vertices. It returns the top k candidates, selected
 // with a bounded heap instead of a full sort.
 func (m *Model) Analogy(a, b, c, k int) []Neighbor {
+	return AnalogyStore(m.Store(), a, b, c, k)
+}
+
+// AnalogyStore is Analogy over an arbitrary vector store — the
+// serving path, which holds a (possibly grown or tombstoned) store
+// rather than a Model. The three query rows and every tombstoned row
+// are excluded; the arithmetic is identical to the historical
+// Model.Analogy (float64 target, scalar accumulation in row order),
+// so results are bit-for-bit compatible on an unmutated store.
+func AnalogyStore(s *vecstore.Store, a, b, c, k int) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
-	target := make([]float64, m.Dim)
-	va, vb, vc := m.Vector(a), m.Vector(b), m.Vector(c)
+	dim := s.Dim()
+	target := make([]float64, dim)
+	va, vb, vc := s.Row(a), s.Row(b), s.Row(c)
 	for i := range target {
 		target[i] = float64(vb[i]) - float64(va[i]) + float64(vc[i])
 	}
@@ -163,11 +174,11 @@ func (m *Model) Analogy(a, b, c, k int) []Neighbor {
 	tNorm = math.Sqrt(tNorm)
 	var top vecstore.TopK
 	top.Reset(k)
-	for u := 0; u < m.Vocab; u++ {
-		if u == a || u == b || u == c {
+	for u := 0; u < s.Len(); u++ {
+		if u == a || u == b || u == c || s.Deleted(u) {
 			continue
 		}
-		vu := m.Vector(u)
+		vu := s.Row(u)
 		var dot, un float64
 		for i := range vu {
 			dot += float64(vu[i]) * target[i]

@@ -397,6 +397,23 @@ type VectorStore = vecstore.Store
 // Index is a pluggable top-k similarity index over a VectorStore.
 type Index = vecstore.Index
 
+// MutableIndex is the online-write extension of Index: Insert appends
+// and indexes a new vector (incrementally, even for HNSW and IVF) and
+// Delete tombstones a row, both safe to call concurrently with
+// queries. Every index built by NewIndex, NewVectorIndex and
+// LoadIndexedSnapshot implements it — use AsMutableIndex to surface
+// the extension. See docs/INDEXES.md for the mutability semantics
+// (tombstone filtering, compaction, staleness detection).
+type MutableIndex = vecstore.MutableIndex
+
+// AsMutableIndex surfaces idx's online-write extension. The second
+// return is false only for third-party Index implementations; every
+// index this package builds supports writes.
+func AsMutableIndex(idx Index) (MutableIndex, bool) {
+	m, ok := idx.(MutableIndex)
+	return m, ok
+}
+
 // IndexKind selects the index implementation.
 type IndexKind = vecstore.Kind
 
@@ -462,8 +479,12 @@ type ServeConfig = server.Config
 // QueryServer is a long-lived HTTP/JSON query service over a trained
 // embedding: /v1/neighbors, /v1/similarity, /v1/analogy, /v1/predict
 // (plus batched variants), /healthz and /stats, with atomic hot model
-// reload via /v1/reload. Build one with NewQueryServer or
-// NewQueryServerFromModel.
+// reload via /v1/reload and online writes via /v1/upsert and
+// /v1/delete (plus batched variants) — upserts and deletes are
+// visible to the very next query, no reload required, and deletes
+// compact into a fresh generation past a tombstone threshold (see
+// ServeConfig.CompactFraction; ServeConfig.ReadOnly disables writes).
+// Build one with NewQueryServer or NewQueryServerFromModel.
 type QueryServer = server.Server
 
 // NewQueryServer builds a query server and loads cfg.ModelPath (in
