@@ -16,7 +16,8 @@ HNSW_OUT ?= hnsw-recall.json
 BENCH_PATTERN ?= BenchmarkGenerateUniform$$|BenchmarkTrainCBOWNegSampling$$|BenchmarkSearch|BenchmarkPredictScaling|BenchmarkPredictCosine$$
 BENCH_PKGS    ?= ./internal/walk ./internal/word2vec ./internal/vecstore ./internal/knn
 
-.PHONY: build test race vet bench bench-short serve-smoke loadgen-bench loadgen-short \
+.PHONY: build test race vet bench bench-short serve-smoke crash-smoke crash-smoke-short \
+	wal-fuzz loadgen-bench loadgen-short \
 	loadgen-write loadgen-write-short hnsw-recall hnsw-recall-full hnsw-recall-incr \
 	hnsw-recall-incr-full loadgen-hnsw clean
 
@@ -32,7 +33,8 @@ vet:
 race:
 	$(GO) test -race ./internal/walk/... ./internal/word2vec/... \
 		./internal/knn/... ./internal/linkpred/... ./internal/vecstore/... \
-		./internal/server/... ./internal/snapshot/... ./internal/loadgen/...
+		./internal/server/... ./internal/snapshot/... ./internal/loadgen/... \
+		./internal/wal/...
 
 # End-to-end serving smoke tests: builds the v2v binary, serves a
 # snapshot on a random port, issues one query per endpoint — including
@@ -42,6 +44,26 @@ race:
 # keeps serving).
 serve-smoke:
 	$(GO) test -run 'TestServeSmokeE2E|TestReloadShapeMismatchKeepsServing' -count 1 -v .
+
+# Crash-recovery fault-injection e2e: builds the real binary, serves a
+# snapshot with -wal, SIGKILLs the process in the middle of a mixed
+# 15%-write load run, restarts over the same directory and fails if
+# any acknowledged write was lost. Writes a machine-readable recovery
+# report to CRASH_REPORT_OUT when set (CI uploads it as an artifact).
+CRASH_REPORT_OUT ?=
+crash-smoke:
+	CRASH_REPORT_OUT=$(CRASH_REPORT_OUT) $(GO) test -run TestCrashRecoveryE2E -count 1 -v .
+
+crash-smoke-short:
+	CRASH_REPORT_OUT=$(CRASH_REPORT_OUT) $(GO) test -short -run TestCrashRecoveryE2E -count 1 -v .
+
+# WAL replay fuzz smoke: a short bounded -fuzz run over the frame
+# decoder (the corpus seeds cover the torn/corrupt taxonomy; the fuzz
+# engine mutates from there). CI runs this on every push — crashes
+# land in internal/wal/testdata/fuzz for reproduction.
+FUZZTIME ?= 15s
+wal-fuzz:
+	$(GO) test -run FuzzWALReplay -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/wal
 
 # Full trajectory snapshot (minutes; run before publishing perf claims).
 bench:

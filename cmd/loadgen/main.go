@@ -55,6 +55,7 @@ func main() {
 		warmup   = flag.Int("warmup", 0, "unmeasured warm-up passes over the vocabulary before the clock starts")
 		seed     = flag.Uint64("seed", 1, "query sampling seed")
 		out      = flag.String("out", "", "write the JSON snapshot here (default stdout)")
+		journal  = flag.String("write-journal", "", "journal every write op (one JSON event per line) here; crash harnesses verify acked writes against it")
 		date     = flag.String("date", time.Now().UTC().Format("2006-01-02"), "snapshot date stamp")
 
 		selfserve = flag.Bool("selfserve", false, "spin an in-process server over a synthetic model and benchmark it")
@@ -123,9 +124,17 @@ func main() {
 		BatchSize:    *batch,
 		WarmupPasses: *warmup,
 		Seed:         *seed,
+		RecordWrites: *journal != "",
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *journal != "" {
+		if err := writeJournal(*journal, res.Writes); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: journaled %d write events to %s\n", len(res.Writes), *journal)
 	}
 
 	fmt.Fprintf(os.Stderr, "loadgen: %d requests in %.2fs (%.0f req/s, %d errors, %d workers)\n",
@@ -183,6 +192,24 @@ func startSelfServe(vectors, dim int, seed uint64, cacheSize int, idx vecstore.C
 		cancel()
 		return "", nil, err
 	}
+}
+
+// writeJournal writes the run's write events as JSON Lines: one
+// self-contained event per line, so a harness reading a journal cut
+// short by a crash still parses every complete line.
+func writeJournal(path string, events []loadgen.WriteEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -43,6 +43,15 @@
 //	          [-index exact|ivf|hnsw] [-nlists 0] [-nprobe 0]
 //	          [-m 0] [-efc 0] [-efs 0] [-cache 4096]
 //	          [-readonly] [-compact-frac 0]
+//	          [-wal DIR] [-wal-sync always|interval|never]
+//	          [-wal-sync-interval 100ms] [-wal-segment-bytes N]
+//	          [-wal-checkpoint-bytes N]
+//
+// With -wal, every acknowledged write is appended to a write-ahead
+// log before it is applied, startup replays the log on top of the
+// last checkpoint (crash recovery: no acknowledged write is lost),
+// and checkpoints fold the log back into a snapshot. See
+// docs/SERVING.md ("Durability").
 //
 // The server exposes /v1/neighbors, /v1/similarity, /v1/analogy,
 // /v1/predict (plus /batch variants), /v1/vocab, /v1/reload (atomic
@@ -265,6 +274,12 @@ func serveMain(args []string) {
 		readonly = fs.Bool("readonly", false, "disable /v1/upsert and /v1/delete (they answer 403)")
 		compact  = fs.Float64("compact-frac", 0, "tombstone fraction that triggers compaction (0 = 0.25 default, negative disables)")
 		quiet    = fs.Bool("q", false, "suppress serving logs")
+
+		walDir      = fs.String("wal", "", "write-ahead log directory (enables durable writes + crash recovery)")
+		walSync     = fs.String("wal-sync", "", "wal fsync policy: always (default), interval or never")
+		walSyncIvl  = fs.Duration("wal-sync-interval", 0, "flush period under -wal-sync interval (0 = 100ms)")
+		walSegBytes = fs.Int64("wal-segment-bytes", 0, "rotate wal segments at this size (0 = 64 MiB)")
+		walCkBytes  = fs.Int64("wal-checkpoint-bytes", 0, "checkpoint after this much new log volume (0 = 16 MiB, negative disables volume checkpoints)")
 	)
 	indexCfg := indexSelection(fs, "exact")
 	fs.Parse(args)
@@ -278,6 +293,17 @@ func serveMain(args []string) {
 		CacheSize:       *cache,
 		ReadOnly:        *readonly,
 		CompactFraction: *compact,
+	}
+	if *walDir != "" {
+		cfg.WAL = v2v.ServeWALConfig{
+			Dir:             *walDir,
+			Sync:            *walSync,
+			SyncInterval:    *walSyncIvl,
+			SegmentBytes:    *walSegBytes,
+			CheckpointBytes: *walCkBytes,
+		}
+	} else if *walSync != "" || *walSyncIvl != 0 || *walSegBytes != 0 || *walCkBytes != 0 {
+		fatal(fmt.Errorf("-wal-sync/-wal-sync-interval/-wal-segment-bytes/-wal-checkpoint-bytes require -wal DIR"))
 	}
 	var err error
 	if cfg.Index, err = indexCfg(); err != nil {

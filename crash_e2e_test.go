@@ -1,0 +1,270 @@
+package v2v
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"v2v/internal/loadgen"
+)
+
+// crashReport is the machine-readable outcome of the crash e2e run
+// (written to $CRASH_REPORT_OUT when set; CI uploads it as an
+// artifact).
+type crashReport struct {
+	RunSeconds       float64 `json:"run_seconds"`
+	KillAfterSeconds float64 `json:"kill_after_seconds"`
+	JournaledEvents  int     `json:"journaled_events"`
+	AckedEvents      int     `json:"acked_events"`
+	VerifiedUpserts  int     `json:"verified_upserts"`
+	VerifiedDeletes  int     `json:"verified_deletes"`
+	AmbiguousTokens  int     `json:"ambiguous_tokens"`
+	LostWrites       int     `json:"lost_writes"`
+	ReplayedRecords  uint64  `json:"replayed_records"`
+	RecoveredTorn    bool    `json:"recovered_torn"`
+}
+
+// startServeProcess launches the built binary with args, scans stderr
+// for the bound address, and returns the command plus base URL.
+func startServeProcess(t *testing.T, bin string, args ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting server: %v", err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() }) // no-op after Wait
+	addrc := make(chan string, 1)
+	var logTail bytes.Buffer
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logTail.WriteString(line + "\n")
+			if _, after, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrc <- strings.TrimSpace(after):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case a := <-addrc:
+		return cmd, "http://" + a, &logTail
+	case <-time.After(15 * time.Second):
+		t.Fatalf("server never reported its address; log:\n%s", logTail.String())
+		return nil, "", nil
+	}
+}
+
+// TestCrashRecoveryE2E is the tentpole acceptance test (`make
+// crash-smoke`): SIGKILL a real `v2v serve -wal` process in the middle
+// of a mixed read/write load run, restart it over the same directory,
+// and prove that ZERO acknowledged writes were lost. The loadgen write
+// journal defines the contract: for every token whose outcome is
+// unambiguous (its last journaled event was acknowledged and nothing
+// with an unknown outcome followed), the restarted server must agree
+// with the journal — upserted tokens resolve, deleted tokens 404.
+// Tokens with in-flight writes at the kill are excluded: an unacked
+// write may legitimately land either way.
+func TestCrashRecoveryE2E(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "v2v")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/v2v")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building v2v: %v\n%s", err, out)
+	}
+
+	const vocab, dim = 200, 8
+	m := &Model{Dim: dim, Vocab: vocab, Vectors: make([]float32, vocab*dim)}
+	for i := range m.Vectors {
+		m.Vectors[i] = float32((i*2654435761)%997) / 997
+	}
+	model := filepath.Join(dir, "model.snap")
+	f, err := os.Create(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSnapshot(f, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walDir := filepath.Join(dir, "wal")
+	// Small segments and an aggressive checkpoint threshold so the run
+	// exercises rotation, checkpointing AND truncation before the kill,
+	// not just a single growing segment.
+	serveArgs := []string{
+		"serve", "-model", model, "-addr", "127.0.0.1:0",
+		"-wal", walDir, "-wal-sync", "always",
+		"-wal-segment-bytes", "4096", "-wal-checkpoint-bytes", "8192",
+	}
+	cmd, base, logTail := startServeProcess(t, bin, serveArgs...)
+
+	runFor := 4 * time.Second
+	if testing.Short() {
+		runFor = 2 * time.Second
+	}
+	killAfter := runFor * 6 / 10
+	mix, err := loadgen.WithWriteFraction(map[loadgen.Op]float64{
+		loadgen.OpNeighbors: 0.7, loadgen.OpSimilarity: 0.3,
+	}, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := make(chan struct{})
+	timer := time.AfterFunc(killAfter, func() {
+		cmd.Process.Kill() // SIGKILL: no shutdown path runs
+		close(killed)
+	})
+	defer timer.Stop()
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:      base,
+		Workers:      4,
+		QPS:          800,
+		Duration:     runFor,
+		Mix:          mix,
+		K:            5,
+		Seed:         23,
+		Timeout:      2 * time.Second,
+		RecordWrites: true,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	<-killed
+	cmd.Wait() // reap; a SIGKILL exit is expected to be unclean
+
+	acked := 0
+	for _, ev := range res.Writes {
+		if ev.Acked {
+			acked++
+		}
+	}
+	if acked == 0 {
+		t.Fatalf("no write was acknowledged before the kill (journal: %d events); log:\n%s",
+			len(res.Writes), logTail.String())
+	}
+	if res.Overall.Errors == 0 {
+		t.Fatalf("every request succeeded — the kill landed after the run; raise killAfter below runFor")
+	}
+
+	// Restart over the same WAL directory: checkpoint + replay must
+	// reconstruct every acknowledged write.
+	_, base2, logTail2 := startServeProcess(t, bin, serveArgs...)
+
+	// Fold the journal per token. Each token belongs to one worker and
+	// journals are worker-ordered, so the last event is the token's
+	// final acknowledged state — unless an unknown-outcome event
+	// follows it, which makes the token ambiguous.
+	type state struct {
+		lastAckedOp loadgen.Op
+		hasAcked    bool
+		unkAfterAck bool
+	}
+	tokens := make(map[string]*state)
+	for _, ev := range res.Writes {
+		st := tokens[ev.Vertex]
+		if st == nil {
+			st = &state{}
+			tokens[ev.Vertex] = st
+		}
+		if ev.Acked {
+			st.lastAckedOp = ev.Op
+			st.hasAcked = true
+			st.unkAfterAck = false
+		} else if st.hasAcked {
+			st.unkAfterAck = true
+		}
+	}
+
+	rep := crashReport{
+		RunSeconds:       res.DurationSeconds,
+		KillAfterSeconds: killAfter.Seconds(),
+		JournaledEvents:  len(res.Writes),
+		AckedEvents:      acked,
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for tok, st := range tokens {
+		if !st.hasAcked || st.unkAfterAck {
+			rep.AmbiguousTokens++
+			continue
+		}
+		resp, err := client.Get(base2 + "/v1/neighbors?vertex=" + tok + "&k=1")
+		if err != nil {
+			t.Fatalf("verifying %q: %v", tok, err)
+		}
+		resp.Body.Close()
+		switch st.lastAckedOp {
+		case loadgen.OpUpsert:
+			rep.VerifiedUpserts++
+			if resp.StatusCode != 200 {
+				rep.LostWrites++
+				t.Errorf("acked upsert of %q lost: status %d after restart", tok, resp.StatusCode)
+			}
+		case loadgen.OpDelete:
+			rep.VerifiedDeletes++
+			if resp.StatusCode != 404 {
+				rep.LostWrites++
+				t.Errorf("acked delete of %q lost: status %d after restart, want 404", tok, resp.StatusCode)
+			}
+		}
+	}
+	// The run must actually have proven something on both write paths.
+	if rep.VerifiedUpserts == 0 || rep.VerifiedDeletes == 0 {
+		t.Fatalf("verification covered %d upserts / %d deletes — need both > 0 (journal: %d events, %d acked)",
+			rep.VerifiedUpserts, rep.VerifiedDeletes, len(res.Writes), acked)
+	}
+
+	var stats struct {
+		WAL struct {
+			Enabled         bool   `json:"enabled"`
+			ReplayedRecords uint64 `json:"replayed_records"`
+			RecoveredTorn   bool   `json:"recovered_torn"`
+		} `json:"wal"`
+	}
+	resp, err := client.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !stats.WAL.Enabled {
+		t.Fatalf("restarted server does not report WAL enabled; log:\n%s", logTail2.String())
+	}
+	rep.ReplayedRecords = stats.WAL.ReplayedRecords
+	rep.RecoveredTorn = stats.WAL.RecoveredTorn
+
+	t.Logf("crash e2e: %d journaled writes (%d acked), verified %d upserts + %d deletes, %d ambiguous, %d lost, %d records replayed (torn tail: %v)",
+		rep.JournaledEvents, rep.AckedEvents, rep.VerifiedUpserts, rep.VerifiedDeletes,
+		rep.AmbiguousTokens, rep.LostWrites, rep.ReplayedRecords, rep.RecoveredTorn)
+
+	if out := os.Getenv("CRASH_REPORT_OUT"); out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			t.Fatalf("writing crash report: %v", err)
+		}
+		t.Logf("crash report written to %s", out)
+	}
+}

@@ -134,6 +134,26 @@ type Config struct {
 
 	// Timeout is the per-request client timeout (0 = 10s).
 	Timeout time.Duration
+
+	// RecordWrites journals every issued write operation into
+	// Result.Writes, in per-worker issue order, with whether the server
+	// acknowledged it. Crash-recovery harnesses replay the journal
+	// against a restarted server to prove no acknowledged write was
+	// lost (see the serve e2e tests and Makefile crash-smoke).
+	RecordWrites bool
+}
+
+// WriteEvent is one journaled write operation. Worker-scoped token
+// namespaces (lg-<worker>-<seq>) make per-token ordering equal to the
+// worker's event order, so a verifier only needs each token's last
+// event. Acked means the client read an HTTP 200: an unacked event's
+// outcome is unknown (the server may have applied it before the
+// connection died), acked ones are the durability contract.
+type WriteEvent struct {
+	Worker int    `json:"worker"`
+	Op     Op     `json:"op"`
+	Vertex string `json:"vertex"`
+	Acked  bool   `json:"acked"`
 }
 
 // OpResult is the measured outcome of one operation type.
@@ -156,6 +176,10 @@ type Result struct {
 	TargetQPS       float64    `json:"target_qps,omitempty"`
 	Overall         OpResult   `json:"overall"`
 	PerOp           []OpResult `json:"per_op"`
+
+	// Writes is the write journal (Config.RecordWrites), grouped by
+	// worker and ordered by issue time within each worker.
+	Writes []WriteEvent `json:"writes,omitempty"`
 }
 
 // sample is one completed request observation.
@@ -265,6 +289,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	perWorker := make([][]sample, workers)
+	journals := make([][]WriteEvent, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -275,7 +300,7 @@ func Run(cfg Config) (*Result, error) {
 			g := generator{
 				client: client, base: base, tokens: tokens,
 				k: k, batch: batch, rng: rng,
-				dim: dim, worker: w,
+				dim: dim, worker: w, record: cfg.RecordWrites,
 			}
 			for {
 				i := next.Add(1) - 1
@@ -308,6 +333,7 @@ func Run(cfg Config) (*Result, error) {
 				samples = append(samples, sample{op: int8(opIdx[executed]), ok: ok, dur: time.Since(t0)})
 			}
 			perWorker[w] = samples
+			journals[w] = g.writes
 		}(w)
 	}
 	wg.Wait()
@@ -321,6 +347,9 @@ func Run(cfg Config) (*Result, error) {
 		DurationSeconds: elapsed.Seconds(),
 		Workers:         workers,
 		TargetQPS:       cfg.QPS,
+	}
+	for _, j := range journals {
+		res.Writes = append(res.Writes, j...)
 	}
 	res.Overall = summarize("overall", all, elapsed)
 	for i, op := range allOps {
@@ -366,6 +395,17 @@ type generator struct {
 	worker      int
 	seq         int
 	outstanding []string
+
+	// Write journal (Config.RecordWrites).
+	record bool
+	writes []WriteEvent
+}
+
+// journal records one write's outcome when journaling is on.
+func (g *generator) journal(op Op, vertex string, acked bool) {
+	if g.record {
+		g.writes = append(g.writes, WriteEvent{Worker: g.worker, Op: op, Vertex: vertex, Acked: acked})
+	}
 }
 
 // tok samples a vocabulary token, URL-escaped: models trained with
@@ -426,7 +466,9 @@ func (g *generator) issue(op Op) (Op, bool) {
 		tok := g.outstanding[pick]
 		g.outstanding[pick] = g.outstanding[last]
 		g.outstanding = g.outstanding[:last]
-		return op, g.post(g.base+"/v1/delete", map[string]any{"vertex": tok})
+		ok := g.post(g.base+"/v1/delete", map[string]any{"vertex": tok})
+		g.journal(OpDelete, tok, ok)
+		return op, ok
 	default:
 		return op, false
 	}
@@ -445,7 +487,9 @@ func (g *generator) upsert() bool {
 		}
 	}
 	g.seq++
-	return g.post(g.base+"/v1/upsert", map[string]any{"vertex": tok, "vector": g.randVec()})
+	ok := g.post(g.base+"/v1/upsert", map[string]any{"vertex": tok, "vector": g.randVec()})
+	g.journal(OpUpsert, tok, ok)
+	return ok
 }
 
 // randVec synthesizes a write payload in the served dimensionality.

@@ -1,0 +1,7 @@
+//go:build race
+
+package loadgen
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation costs 5-10x CPU, which no throughput floor survives.
+const raceEnabled = true

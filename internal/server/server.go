@@ -52,6 +52,7 @@ import (
 	"v2v/internal/linkpred"
 	"v2v/internal/snapshot"
 	"v2v/internal/vecstore"
+	"v2v/internal/wal"
 	"v2v/internal/word2vec"
 )
 
@@ -93,6 +94,12 @@ type Config struct {
 	// publish as a new generation). 0 means the 0.25 default; negative
 	// disables compaction entirely.
 	CompactFraction float64
+
+	// WAL enables write-ahead logging of the online write path: every
+	// acknowledged upsert/delete is logged before it is applied, and
+	// startup replays the log so a crash loses nothing acknowledged.
+	// The zero value disables it. See wal.go and docs/SERVING.md.
+	WAL WALConfig
 
 	// Log receives serving events (startup, reloads). Nil discards.
 	Log *log.Logger
@@ -156,27 +163,45 @@ type Server struct {
 	upserts     atomic.Uint64
 	deletes     atomic.Uint64
 	compactions atomic.Uint64
-	compacting  atomic.Bool  // single-flight guard: one rebuild at a time
+	compacting  atomic.Bool  // single-flight guard: one rebuild/checkpoint at a time
 	compactWait atomic.Int64 // unixnano cooldown after an abandoned/failed rebuild
 	started     time.Time
 	mux         *http.ServeMux
 	counters    map[string]*endpointCounters
+
+	// Durability (nil/zero without Config.WAL; see wal.go).
+	wal           *wal.Log
+	walSync       wal.SyncPolicy
+	walReplayed   atomic.Uint64 // records replayed at startup
+	walRecovered  atomic.Bool   // startup repaired a torn tail
+	checkpoints   atomic.Uint64
+	ckptMu        sync.Mutex    // serialises checkpoint file writes
+	ckptLSN       atomic.Uint64 // LSN the newest checkpoint folds in
+	lastCkptBytes atomic.Int64  // wal.AppendedBytes at the last checkpoint
 }
 
 // New builds a server and loads cfg.ModelPath. When the file is a
 // bundle carrying a prebuilt HNSW index graph and the configured
 // index kind is HNSW with a matching metric, the graph is bound
 // directly instead of being rebuilt (see internal/snapshot and
-// docs/INDEXES.md).
+// docs/INDEXES.md). With Config.WAL set, an existing checkpoint in
+// the WAL directory supersedes ModelPath (it is the model plus every
+// checkpointed write) and the surviving log is replayed on top.
 func New(cfg Config) (*Server, error) {
 	if cfg.ModelPath == "" {
 		return nil, fmt.Errorf("server: Config.ModelPath is required (or use NewFromModel)")
 	}
-	m, tokens, prebuilt, err := loadServable(cfg, cfg.ModelPath)
+	load := func() (*word2vec.Model, []string, vecstore.Index, error) {
+		return loadServable(cfg, cfg.ModelPath)
+	}
+	if cfg.WAL.Dir != "" {
+		return newDurable(cfg, load)
+	}
+	m, tokens, prebuilt, err := load()
 	if err != nil {
 		return nil, fmt.Errorf("server: loading model: %w", err)
 	}
-	return newFromModel(cfg, m, tokens, prebuilt)
+	return newFromModel(cfg, m, tokens, prebuilt, cfg.ModelPath)
 }
 
 // loadServable loads a model file in any persistence format plus, when
@@ -210,14 +235,22 @@ func loadServable(cfg Config, path string) (*word2vec.Model, []string, vecstore.
 }
 
 // NewFromModel builds a server around an in-memory model. tokens may
-// be nil (rows are named by decimal index, like Model.Save).
+// be nil (rows are named by decimal index, like Model.Save). With
+// Config.WAL set, an existing checkpoint in the WAL directory
+// supersedes m, and the surviving log is replayed.
 func NewFromModel(cfg Config, m *word2vec.Model, tokens []string) (*Server, error) {
-	return newFromModel(cfg, m, tokens, nil)
+	if cfg.WAL.Dir != "" {
+		return newDurable(cfg, func() (*word2vec.Model, []string, vecstore.Index, error) {
+			return m, tokens, nil, nil
+		})
+	}
+	return newFromModel(cfg, m, tokens, nil, cfg.ModelPath)
 }
 
 // newFromModel implements NewFromModel, optionally seeding the first
-// generation with a prebuilt index.
-func newFromModel(cfg Config, m *word2vec.Model, tokens []string, prebuilt vecstore.Index) (*Server, error) {
+// generation with a prebuilt index; source names where the model came
+// from (/stats, the default /v1/reload path).
+func newFromModel(cfg Config, m *word2vec.Model, tokens []string, prebuilt vecstore.Index, source string) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		logger:   cfg.Log,
@@ -235,7 +268,7 @@ func newFromModel(cfg Config, m *word2vec.Model, tokens []string, prebuilt vecst
 	for _, name := range endpointNames {
 		s.counters[name] = &endpointCounters{}
 	}
-	if _, err := s.swapModel(m, tokens, cfg.ModelPath, prebuilt); err != nil {
+	if _, err := s.swapModel(m, tokens, source, prebuilt); err != nil {
 		return nil, err
 	}
 	s.initMux()
@@ -326,6 +359,20 @@ func (s *Server) swapModel(m *word2vec.Model, tokens []string, source string, pr
 		old.mu.Lock()
 	}
 	gen := s.gen.Add(1)
+	// With a WAL attached, a swap must checkpoint the *new* world: the
+	// old checkpoint + log now describe a state this server no longer
+	// serves, and a crash would restart into it. The outgoing writer
+	// lock is held, so no write can be acknowledged here — LastLSN is
+	// exactly the cut the new model supersedes. The vectors are copied
+	// inside the critical section (post-publish writes mutate the live
+	// store) and the file is written after the locks drop.
+	var ckptModel *word2vec.Model
+	var ckptLSN uint64
+	if s.wal != nil {
+		ckptModel = &word2vec.Model{Dim: m.Dim, Vocab: m.Vocab,
+			Vectors: append([]float32(nil), m.Vectors...)}
+		ckptLSN = s.wal.LastLSN()
+	}
 	s.state.Store(&modelState{
 		store:    store,
 		tokens:   tokens,
@@ -342,6 +389,12 @@ func (s *Server) swapModel(m *word2vec.Model, tokens []string, source string, pr
 		s.reloads.Add(1)
 	}
 	s.swapMu.Unlock()
+	if ckptModel != nil {
+		// tokens is the copy published above; post-publish writes only
+		// append past its length, never mutate the prefix this slice
+		// header sees.
+		s.writeCheckpoint(ckptModel, tokens, ckptLSN, true, "reload")
+	}
 	s.cache.purge()
 	how := ""
 	if prebuilt != nil {
@@ -423,7 +476,8 @@ func (s *Server) Generation() uint64 { return s.gen.Load() }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Serve accepts connections on ln until ctx is cancelled, then shuts
-// down gracefully (in-flight requests get up to 5 seconds to finish).
+// down gracefully (in-flight requests get up to 5 seconds to finish)
+// and closes the write-ahead log.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{Handler: s.mux}
 	done := make(chan error, 1)
@@ -435,9 +489,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}()
 	err := hs.Serve(ln)
 	if !errors.Is(err, http.ErrServerClosed) {
+		s.Close()
 		return err
 	}
-	return <-done
+	err = <-done
+	if cerr := s.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ListenAndServe listens on Config.Addr and calls Serve. ready, when
@@ -664,6 +723,7 @@ type StatsResponse struct {
 	Reloads       uint64                       `json:"reloads"`
 	Model         ModelStats                   `json:"model"`
 	Writes        WriteStats                   `json:"writes"`
+	WAL           WALStats                     `json:"wal"`
 	Cache         CacheStats                   `json:"cache"`
 	Endpoints     map[string]EndpointStatsJSON `json:"endpoints"`
 }
@@ -728,6 +788,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			Epoch:       st.epoch.Load(),
 			Tombstones:  st.store.Dead(),
 		},
+		WAL: s.walStats(),
 		Cache: CacheStats{
 			Enabled:  s.cache != nil,
 			Entries:  s.cache.len(),
@@ -1303,30 +1364,33 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	st := s.lockCurrent()
-	resp, snap, err := func() (UpsertResponse, *compactSnapshot, error) {
+	resp, pw, err := func() (UpsertResponse, postWrite, error) {
 		defer st.mu.Unlock()
 		if err := validateUpsert(st, &req); err != nil {
-			return UpsertResponse{}, nil, err
+			return UpsertResponse{}, postWrite{}, err
 		}
 		midx, err := mutableIndex(st)
 		if err != nil {
-			return UpsertResponse{}, nil, err
+			return UpsertResponse{}, postWrite{}, err
+		}
+		// Log before apply: if the append fails the store is untouched
+		// and the client gets a 500, never an un-replayable ack.
+		if err := s.walAppend(wal.Record{Op: wal.OpUpsert, Token: req.Vertex, Vector: req.Vector}); err != nil {
+			return UpsertResponse{}, postWrite{}, err
 		}
 		resp, err := s.applyUpsert(st, midx, &req)
 		if err != nil {
-			return UpsertResponse{}, nil, err
+			return UpsertResponse{}, postWrite{}, err
 		}
 		// Replace-upserts tombstone the old row, so an update-heavy
 		// workload crosses the compaction threshold without a single
 		// delete — check here too.
-		return resp, s.planCompaction(st), nil
+		return resp, s.planPostWrite(st), nil
 	}()
 	if err != nil {
 		return err
 	}
-	if snap != nil {
-		go s.finishCompaction(st, snap)
-	}
+	s.runPostWrite(st, pw)
 	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
@@ -1346,33 +1410,40 @@ func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) error
 		return errBadRequest("batch of %d exceeds limit %d", len(req.Items), max)
 	}
 	st := s.lockCurrent()
-	out, snap, err := func() (UpsertBatchResponse, *compactSnapshot, error) {
+	out, pw, err := func() (UpsertBatchResponse, postWrite, error) {
 		defer st.mu.Unlock()
 		var out UpsertBatchResponse
 		// Validate everything first so the batch applies all-or-nothing.
 		for i := range req.Items {
 			if err := validateUpsert(st, &req.Items[i]); err != nil {
-				return out, nil, err
+				return out, postWrite{}, err
 			}
 		}
 		midx, err := mutableIndex(st)
 		if err != nil {
-			return out, nil, err
+			return out, postWrite{}, err
+		}
+		// The whole batch is one log frame: replay applies it
+		// all-or-nothing, matching the in-memory semantics.
+		recs := make([]wal.Record, len(req.Items))
+		for i := range req.Items {
+			recs[i] = wal.Record{Op: wal.OpUpsert, Token: req.Items[i].Vertex, Vector: req.Items[i].Vector}
+		}
+		if err := s.walAppend(recs...); err != nil {
+			return out, postWrite{}, err
 		}
 		out.Results = make([]UpsertResponse, len(req.Items))
 		for i := range req.Items {
 			if out.Results[i], err = s.applyUpsert(st, midx, &req.Items[i]); err != nil {
-				return out, nil, err
+				return out, postWrite{}, err
 			}
 		}
-		return out, s.planCompaction(st), nil
+		return out, s.planPostWrite(st), nil
 	}()
 	if err != nil {
 		return err
 	}
-	if snap != nil {
-		go s.finishCompaction(st, snap)
-	}
+	s.runPostWrite(st, pw)
 	writeJSON(w, http.StatusOK, out)
 	return nil
 }
@@ -1408,25 +1479,30 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 		return errBadRequest("missing 'vertex'")
 	}
 	st := s.lockCurrent()
-	resp, snap, err := func() (DeleteResponse, *compactSnapshot, error) {
+	resp, pw, err := func() (DeleteResponse, postWrite, error) {
 		defer st.mu.Unlock()
 		midx, err := mutableIndex(st)
 		if err != nil {
-			return DeleteResponse{}, nil, err
+			return DeleteResponse{}, postWrite{}, err
+		}
+		// Resolve before logging: a 404 must not burn a log record.
+		if _, ok := st.byToken[req.Vertex]; !ok {
+			return DeleteResponse{}, postWrite{}, errNotFound("unknown vertex %q", req.Vertex)
+		}
+		if err := s.walAppend(wal.Record{Op: wal.OpDelete, Token: req.Vertex}); err != nil {
+			return DeleteResponse{}, postWrite{}, err
 		}
 		resp, err := s.applyDelete(st, midx, req.Vertex)
 		if err != nil {
-			return DeleteResponse{}, nil, err
+			return DeleteResponse{}, postWrite{}, err
 		}
-		return resp, s.planCompaction(st), nil
+		return resp, s.planPostWrite(st), nil
 	}()
 	if err != nil {
 		return err
 	}
-	if snap != nil {
-		resp.Compacted = true
-		go s.finishCompaction(st, snap)
-	}
+	resp.Compacted = pw.compact != nil
+	s.runPostWrite(st, pw)
 	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
@@ -1446,12 +1522,12 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) error
 		return errBadRequest("batch of %d exceeds limit %d", len(req.Vertices), max)
 	}
 	st := s.lockCurrent()
-	out, snap, err := func() (DeleteBatchResponse, *compactSnapshot, error) {
+	out, pw, err := func() (DeleteBatchResponse, postWrite, error) {
 		defer st.mu.Unlock()
 		var out DeleteBatchResponse
 		midx, err := mutableIndex(st)
 		if err != nil {
-			return out, nil, err
+			return out, postWrite{}, err
 		}
 		// All-or-nothing: every vertex must exist — and appear only
 		// once (a duplicate would pass this pre-check, delete on its
@@ -1460,30 +1536,37 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) error
 		seen := make(map[string]bool, len(req.Vertices))
 		for _, tok := range req.Vertices {
 			if _, ok := st.byToken[tok]; !ok {
-				return out, nil, errNotFound("unknown vertex %q", tok)
+				return out, postWrite{}, errNotFound("unknown vertex %q", tok)
 			}
 			if seen[tok] {
-				return out, nil, errBadRequest("vertex %q appears twice in the batch", tok)
+				return out, postWrite{}, errBadRequest("vertex %q appears twice in the batch", tok)
 			}
 			seen[tok] = true
+		}
+		// One frame for the whole batch, appended only after the
+		// pre-check above proved it will fully apply.
+		recs := make([]wal.Record, len(req.Vertices))
+		for i, tok := range req.Vertices {
+			recs[i] = wal.Record{Op: wal.OpDelete, Token: tok}
+		}
+		if err := s.walAppend(recs...); err != nil {
+			return out, postWrite{}, err
 		}
 		out.Results = make([]DeleteResponse, len(req.Vertices))
 		for i, tok := range req.Vertices {
 			if out.Results[i], err = s.applyDelete(st, midx, tok); err != nil {
-				return out, nil, err
+				return out, postWrite{}, err
 			}
 		}
-		return out, s.planCompaction(st), nil
+		return out, s.planPostWrite(st), nil
 	}()
 	if err != nil {
 		return err
 	}
-	if snap != nil {
-		if len(out.Results) > 0 {
-			out.Results[len(out.Results)-1].Compacted = true
-		}
-		go s.finishCompaction(st, snap)
+	if pw.compact != nil && len(out.Results) > 0 {
+		out.Results[len(out.Results)-1].Compacted = true
 	}
+	s.runPostWrite(st, pw)
 	writeJSON(w, http.StatusOK, out)
 	return nil
 }
@@ -1500,6 +1583,9 @@ type compactSnapshot struct {
 	liveIDs []int
 	tokens  []string
 	epoch   uint64
+	// lsn is the log position of the captured state (0 without a WAL):
+	// the gathered store doubles as a checkpoint through this LSN.
+	lsn uint64
 }
 
 // planCompaction decides, under st's writer lock, whether the
@@ -1537,6 +1623,10 @@ func (s *Server) planCompaction(st *modelState) *compactSnapshot {
 		liveIDs: liveIDs,
 		tokens:  make([]string, len(liveIDs)),
 		epoch:   st.epoch.Load(),
+	}
+	if s.wal != nil {
+		// The writer lock is held: LastLSN is exactly the captured state.
+		snap.lsn = s.wal.LastLSN()
 	}
 	for i, id := range liveIDs {
 		snap.tokens[i] = st.tokens[id]
@@ -1585,6 +1675,13 @@ func (s *Server) finishCompaction(st *modelState, snap *compactSnapshot) bool {
 		s.compactWait.Store(time.Now().Add(cooldown).UnixNano())
 		s.logger.Printf("server: compaction failed to rebuild index: %v", err)
 		return false
+	}
+	if s.wal != nil {
+		// The gathered store is a checkpoint of the state at snap.lsn
+		// for free — and it stays valid even if the publish below is
+		// abandoned: replay from snap.lsn reproduces everything newer.
+		s.writeCheckpoint(&word2vec.Model{Dim: newStore.Dim(), Vocab: newStore.Len(), Vectors: newStore.Data()},
+			snap.tokens, snap.lsn, false, "compaction")
 	}
 	// Staleness must be checked inside the swapMu critical section
 	// (lock order: swapMu, then st.mu, matching swapModel): checking

@@ -866,6 +866,91 @@ func TestCompactionPublishesNewGeneration(t *testing.T) {
 	}
 }
 
+// TestCompactionAbandonedWhenStale drives the abandon-if-stale path
+// directly: a snapshot planned before a write landed must NOT publish
+// (publishing would silently drop the write), the failed attempt must
+// arm the cooldown so the next threshold-crossing write doesn't
+// immediately re-pay a doomed rebuild, and once the cooldown clears a
+// fresh attempt must succeed and keep the late write.
+func TestCompactionAbandonedWhenStale(t *testing.T) {
+	// Background compaction is disabled so the test fully controls the
+	// plan/finish sequence; the threshold is set just before planning.
+	s, hs := newTestServer(t, Config{CompactFraction: -1}, 30, 4)
+	for i := 0; i < 8; i++ {
+		if code := postJSON(t, hs.URL+"/v1/delete", DeleteRequest{Vertex: fmt.Sprintf("v%d", i)}, nil); code != 200 {
+			t.Fatalf("delete v%d status %d", i, code)
+		}
+	}
+	s.cfg.CompactFraction = 0.2
+
+	st := s.state.Load()
+	st.mu.Lock()
+	snap := s.planCompaction(st)
+	st.mu.Unlock()
+	if snap == nil {
+		t.Fatalf("planCompaction returned nil at %.0f%% dead", st.store.DeadFraction()*100)
+	}
+	if !s.compacting.Load() {
+		t.Fatal("planCompaction did not take the single-flight guard")
+	}
+
+	// A write lands while the rebuild is notionally in flight. The
+	// handler's own planCompaction must yield to the in-flight guard,
+	// and the epoch bump must doom snap.
+	if code := postJSON(t, hs.URL+"/v1/upsert", UpsertRequest{Vertex: "late", Vector: vec(4, 9)}, nil); code != 200 {
+		t.Fatal("upsert during in-flight compaction failed")
+	}
+
+	if s.finishCompaction(st, snap) {
+		t.Fatal("stale snapshot was published over a write that landed mid-rebuild")
+	}
+	if s.compacting.Load() {
+		t.Fatal("abandoned compaction left the single-flight guard held")
+	}
+	if got := s.state.Load(); got != st {
+		t.Fatal("abandoned compaction replaced the generation anyway")
+	}
+	if n := s.compactions.Load(); n != 0 {
+		t.Fatalf("compactions counter %d after an abandoned attempt, want 0", n)
+	}
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=late&k=1", nil); code != 200 {
+		t.Fatal("mid-rebuild write lost after abandon")
+	}
+
+	// Cooldown honored: the threshold is still crossed, but planning
+	// again inside the cooldown window must decline.
+	st.mu.Lock()
+	again := s.planCompaction(st)
+	st.mu.Unlock()
+	if again != nil {
+		t.Fatal("planCompaction ignored the post-abandon cooldown")
+	}
+
+	// After the cooldown a fresh snapshot (which includes the late
+	// write) publishes cleanly.
+	s.compactWait.Store(0)
+	st.mu.Lock()
+	snap2 := s.planCompaction(st)
+	st.mu.Unlock()
+	if snap2 == nil {
+		t.Fatal("planCompaction declined after the cooldown cleared")
+	}
+	if !s.finishCompaction(st, snap2) {
+		t.Fatal("fresh snapshot failed to publish")
+	}
+	var stats StatsResponse
+	getJSON(t, hs.URL+"/stats", &stats)
+	if stats.Writes.Tombstones != 0 || stats.Model.Vectors != 23 {
+		t.Fatalf("post-compaction state: %+v / %+v, want 23 live rows and 0 tombstones", stats.Writes, stats.Model)
+	}
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=late&k=1", nil); code != 200 {
+		t.Fatal("late write lost in the successful compaction")
+	}
+	if code := getJSON(t, hs.URL+"/v1/neighbors?vertex=v0&k=1", nil); code != 404 {
+		t.Fatalf("deleted vertex resolvable after compaction: status %d", code)
+	}
+}
+
 // TestConcurrentWritesAndReads is the -race acceptance test for the
 // server's locking: concurrent upserts, deletes and queries across
 // every endpoint family with zero failed requests.

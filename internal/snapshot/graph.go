@@ -303,7 +303,17 @@ func LoadBundleFile(path string) (*word2vec.Model, []string, *vecstore.HNSWGraph
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if _, err := br.Peek(len(IndexMagic)); err == io.EOF {
+	trail, err := br.Peek(len(IndexMagic))
+	if err == io.EOF && len(trail) == 0 {
+		return m, tokens, nil, nil
+	}
+	if IsWALMeta(trail) {
+		// A checkpoint used as a plain model: the handoff LSN only
+		// matters to the WAL-aware startup path (LoadCheckpointFile);
+		// here the folded model is the whole payload.
+		if _, err := loadWALMeta(br); err != nil {
+			return nil, nil, nil, err
+		}
 		return m, tokens, nil, nil
 	}
 	g, dim, err := loadIndex(br)

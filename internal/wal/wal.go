@@ -1,0 +1,847 @@
+// Package wal is the durability layer of the online write path: an
+// append-only write-ahead log that records every acknowledged
+// /v1/upsert and /v1/delete before the server mutates its in-memory
+// state, so a crash loses nothing that was ever acknowledged. On
+// restart the log is replayed on top of the last snapshot (or
+// checkpoint bundle) through the same MutableIndex code path the live
+// writes took.
+//
+// The log is a directory of segment files, each a plain concatenation
+// of frames. One frame is one atomicity unit — a single write, or a
+// whole all-or-nothing batch — and reuses the internal/snapshot
+// framing idiom (magic, version, length-prefixed payloads, trailing
+// CRC-32):
+//
+//	[8]  magic "V2VWAL01"
+//	[4]  format version (currently 1)
+//	[8]  LSN (uint64; strictly sequential across the whole log)
+//	[4]  record count (uint32 >= 1)
+//	per record: [1] op (1 = upsert, 2 = delete), [4] payload length,
+//	            then the payload (see Record)
+//	[4]  CRC-32 (IEEE) of every preceding frame byte
+//
+// Segments are named "<firstLSN>.wal" (20 decimal digits) and rotate
+// at Options.SegmentBytes, so checkpoint truncation can drop whole
+// sealed files. Replay walks segments in LSN order, verifies every
+// frame's CRC and the LSN sequence, and stops cleanly at the first
+// torn or corrupt point, reporting how much was recovered and where
+// the cut is — a torn tail (the expected result of crashing mid-write)
+// never poisons the records before it.
+//
+// Durability is governed by Options.Sync: SyncAlways fsyncs before
+// Append returns (acknowledged implies durable — the crash-test
+// guarantee), SyncInterval fsyncs on a background tick (bounded loss
+// of the last interval), SyncNever leaves flushing to the OS. See
+// docs/SERVING.md ("Durability").
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Magic identifies a frame; Version is the current frame format.
+const (
+	Magic   = "V2VWAL01"
+	Version = 1
+)
+
+// frameHeaderLen is the fixed prefix of every frame: magic, version,
+// LSN, record count.
+const frameHeaderLen = len(Magic) + 4 + 8 + 4
+
+// Sanity bounds: a value above any of these means corruption, not a
+// large write (the server caps batches at thousands and vectors at
+// paper-scale dimensionalities).
+const (
+	maxFrameRecords = 1 << 20
+	maxPayloadLen   = 1 << 26
+	maxTokenLen     = 1 << 20
+	maxVectorDim    = 1 << 20
+)
+
+// Op is the kind of one logged write.
+type Op uint8
+
+// The logged operations. OpUpsert carries a token and its vector;
+// OpDelete carries just the token.
+const (
+	OpUpsert Op = 1
+	OpDelete Op = 2
+)
+
+// String names the operation for logs and reports.
+func (o Op) String() string {
+	switch o {
+	case OpUpsert:
+		return "upsert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Record is one logged write. Its payload encoding (all integers
+// little-endian):
+//
+//	upsert: [4] token length, token bytes, [4] dim, dim*[4] float32
+//	delete: [4] token length, token bytes
+type Record struct {
+	Op     Op
+	Token  string
+	Vector []float32 // upserts only
+}
+
+// SyncPolicy picks when appended frames reach stable storage.
+type SyncPolicy int
+
+// The supported fsync policies (see the package comment).
+const (
+	SyncAlways SyncPolicy = iota
+	SyncInterval
+	SyncNever
+)
+
+// String names the policy the way ParseSyncPolicy accepts it.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("sync(%d)", int(p))
+}
+
+// ParseSyncPolicy parses "always", "interval" or "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or never)", s)
+}
+
+// Options tunes a Log.
+type Options struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+
+	// SyncInterval is the background fsync period under SyncInterval
+	// (default 100ms).
+	SyncInterval time.Duration
+
+	// SegmentBytes rotates the active segment once it exceeds this
+	// size (default 64 MiB). Rotation happens on frame boundaries;
+	// a single frame larger than the limit still lands whole.
+	SegmentBytes int64
+
+	// Log receives recovery and rotation events. Nil discards.
+	Log *log.Logger
+}
+
+const (
+	defaultSyncInterval = 100 * time.Millisecond
+	defaultSegmentBytes = 64 << 20
+)
+
+// ReplayStats reports what a replay (or the validation scan Open runs)
+// found: how much was recovered, where the log was cut, and what was
+// dropped after the cut.
+type ReplayStats struct {
+	// Segments is the number of segment files walked (including the
+	// one the cut is in, when there is a cut).
+	Segments int
+	// Frames and Records count the valid frames and the records they
+	// carry, including any skipped by a replay's LSN filter.
+	Frames  uint64
+	Records uint64
+	// SkippedRecords counts records at or below the replay's from-LSN
+	// (already folded into the checkpoint the caller loaded).
+	SkippedRecords uint64
+	// LastLSN is the LSN of the last valid frame (0 when none).
+	LastLSN uint64
+	// Truncated reports that a torn or corrupt point cut the log
+	// short; TornSegment/TornOffset locate the first invalid byte and
+	// Reason says what was wrong with it.
+	Truncated   bool
+	TornSegment string
+	TornOffset  int64
+	Reason      string
+	// DroppedSegments counts segment files after the cut whose frames
+	// were not applied (they cannot be replayed across the gap);
+	// DroppedBytes counts the unapplied bytes including the torn tail.
+	DroppedSegments int
+	DroppedBytes    int64
+}
+
+// String renders the stats as one log-friendly line.
+func (st ReplayStats) String() string {
+	s := fmt.Sprintf("%d records in %d frames across %d segments (last lsn %d)",
+		st.Records, st.Frames, st.Segments, st.LastLSN)
+	if st.SkippedRecords > 0 {
+		s += fmt.Sprintf(", %d already checkpointed", st.SkippedRecords)
+	}
+	if st.Truncated {
+		s += fmt.Sprintf("; cut at %s:%d (%s), %d bytes in %d later segments dropped",
+			st.TornSegment, st.TornOffset, st.Reason, st.DroppedBytes, st.DroppedSegments)
+	}
+	return s
+}
+
+// Log is an open write-ahead log. Open repairs any torn tail left by
+// a crash before the first append; Append, Sync, TruncateThrough and
+// Close are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	segFirst uint64   // first LSN the active segment holds (== nextLSN while empty)
+	segBytes int64
+	nextLSN  uint64
+	closed   bool
+
+	appended atomic.Int64 // valid bytes ever observed: recovered + appended
+	lastLSN  atomic.Uint64
+
+	recovery ReplayStats
+	scratch  []byte
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open opens (creating if needed) the log in dir and repairs it: the
+// segments are scanned front to back, the first torn or corrupt frame
+// cuts the log — the tail of that segment is truncated away and any
+// later segments are deleted, since frames past a gap cannot be
+// replayed in order — and new appends continue the valid prefix.
+// Recovery() reports what the scan found.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = defaultSyncInterval
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.Log == nil {
+		opts.Log = log.New(io.Discard, "", 0)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	stats, valid, err := scanSegments(dir, segs, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.recovery = stats
+	if len(segs) > 0 {
+		if stats.LastLSN > 0 {
+			l.nextLSN = stats.LastLSN + 1
+		} else {
+			// No valid frame anywhere: restart numbering where the
+			// first segment claimed to.
+			l.nextLSN = segs[0].first
+		}
+	}
+	if stats.Truncated {
+		// Cut the torn segment back to its valid prefix and drop every
+		// segment after it; appends then extend the recovered prefix.
+		// A segment with no valid prefix at all (first frame torn, or a
+		// mis-numbered segment past a hole) is removed whole — a fresh
+		// segment named for the true next LSN replaces it — so the file
+		// names always agree with the frames inside them.
+		cutIdx := len(segs)
+		for i, seg := range segs {
+			if seg.name == stats.TornSegment {
+				cutIdx = i
+				break
+			}
+		}
+		if cutIdx < len(segs) && stats.TornOffset > 0 {
+			if err := os.Truncate(filepath.Join(dir, stats.TornSegment), stats.TornOffset); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", stats.TornSegment, err)
+			}
+			cutIdx++
+		}
+		for _, seg := range segs[cutIdx:] {
+			if err := os.Remove(filepath.Join(dir, seg.name)); err != nil {
+				return nil, fmt.Errorf("wal: dropping unreachable segment %s: %w", seg.name, err)
+			}
+		}
+		segs = segs[:cutIdx]
+		syncDir(dir)
+		opts.Log.Printf("wal: recovered %s", stats)
+	}
+	l.appended.Store(valid)
+	l.lastLSN.Store(l.nextLSN - 1)
+
+	// Open the last surviving segment for appends, or start the first.
+	if len(segs) == 0 {
+		if err := l.openSegmentLocked(l.nextLSN); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(filepath.Join(dir, last.name), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: opening segment %s: %w", last.name, err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.f, l.segFirst, l.segBytes = f, last.first, fi.Size()
+	}
+
+	if opts.Sync == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// Recovery reports what Open's repair scan found, including whether a
+// torn tail was truncated away.
+func (l *Log) Recovery() ReplayStats { return l.recovery }
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// LastLSN returns the LSN of the most recent appended (or recovered)
+// frame; 0 means the log is empty.
+func (l *Log) LastLSN() uint64 { return l.lastLSN.Load() }
+
+// AppendedBytes returns the total valid bytes the log has ever held
+// (recovered at Open plus appended since), a monotonic measure of
+// write volume that checkpoint triggering compares against.
+func (l *Log) AppendedBytes() int64 { return l.appended.Load() }
+
+// Append writes recs as one frame — one atomicity unit: replay yields
+// all of them or none — and, under SyncAlways, fsyncs before
+// returning, so a successful Append means the write survives a crash.
+// It returns the frame's LSN.
+func (l *Log) Append(recs ...Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("wal: empty append")
+	}
+	for i := range recs {
+		if err := validateRecord(&recs[i]); err != nil {
+			return 0, err
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	lsn := l.nextLSN
+	frame := appendFrame(l.scratch[:0], lsn, recs)
+	l.scratch = frame[:0]
+	// Rotate on frame boundaries once the active segment is over the
+	// limit (never leaving an empty sealed segment behind).
+	if l.segBytes > 0 && l.segBytes+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("wal: appending frame %d: %w", lsn, err)
+	}
+	l.segBytes += int64(len(frame))
+	l.appended.Add(int64(len(frame)))
+	l.nextLSN++
+	l.lastLSN.Store(lsn)
+	if l.opts.Sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: fsync after frame %d: %w", lsn, err)
+		}
+	}
+	return lsn, nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// syncLoop is the SyncInterval background flusher.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := l.Sync(); err != nil {
+				l.opts.Log.Printf("wal: background sync: %v", err)
+			}
+		case <-l.stopSync:
+			return
+		}
+	}
+}
+
+// rotateLocked seals the active segment (fsync + close) and starts a
+// new one at the next LSN. Callers hold l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync before rotation: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: sealing segment: %w", err)
+	}
+	l.f = nil
+	return l.openSegmentLocked(l.nextLSN)
+}
+
+// openSegmentLocked creates the segment whose first frame will be
+// lsn and syncs the directory so the file survives a crash.
+func (l *Log) openSegmentLocked(lsn uint64) error {
+	name := segmentName(lsn)
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment %s: %w", name, err)
+	}
+	l.f, l.segFirst, l.segBytes = f, lsn, 0
+	syncDir(l.dir)
+	return nil
+}
+
+// TruncateThrough removes every sealed segment whose frames all have
+// LSN <= lsn — the frames a checkpoint has folded into its bundle. If
+// the active segment holds such frames it is first rotated so it can
+// be sealed and judged too. Returns the number of segments removed.
+func (l *Log) TruncateThrough(lsn uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	// The active segment can never be deleted; rotate it away if any
+	// of its frames are candidates, so they land in a sealed file.
+	if l.segBytes > 0 && l.segFirst <= lsn {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	// A sealed segment's frames are all below its successor's first
+	// LSN: segment i is fully covered iff segment i+1 starts at or
+	// before lsn+1. The last (active) segment always stays.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].first > lsn+1 {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segs[i].name)); err != nil {
+			return removed, fmt.Errorf("wal: removing checkpointed segment %s: %w", segs[i].name, err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		syncDir(l.dir)
+		l.opts.Log.Printf("wal: truncated %d segments through lsn %d", removed, lsn)
+	}
+	return removed, nil
+}
+
+// Replay walks the log in LSN order and calls fn once per frame whose
+// LSN is greater than from (frames at or below it were already folded
+// into the checkpoint the caller started from). An error from fn
+// aborts the replay; a torn or corrupt frame ends it cleanly with the
+// cut reported in the stats. Replay is meant to run before the first
+// Append — Open has already cut the log back to its valid prefix, so
+// a post-Open replay normally sees no truncation.
+func (l *Log) Replay(from uint64, fn func(lsn uint64, recs []Record) error) (ReplayStats, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	stats, _, err := scanSegments(l.dir, segs, from, fn)
+	return stats, err
+}
+
+// ReplayDir is a read-only replay over a log directory nothing has
+// opened: it never repairs, so the stats report any torn tail or gap
+// exactly as found. The fault-injection tests drive this directly.
+func ReplayDir(dir string, from uint64, fn func(lsn uint64, recs []Record) error) (ReplayStats, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	stats, _, err := scanSegments(dir, segs, from, fn)
+	return stats, err
+}
+
+// Close stops the background syncer, flushes, and closes the active
+// segment. The log cannot be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stop, done := l.stopSync, l.syncDone
+	f := l.f
+	l.f = nil
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	if f == nil {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ---- Framing -------------------------------------------------------
+
+// validateRecord rejects records that could not be decoded back.
+func validateRecord(r *Record) error {
+	if len(r.Token) == 0 || len(r.Token) > maxTokenLen {
+		return fmt.Errorf("wal: record token length %d outside (0, %d]", len(r.Token), maxTokenLen)
+	}
+	switch r.Op {
+	case OpUpsert:
+		if len(r.Vector) == 0 || len(r.Vector) > maxVectorDim {
+			return fmt.Errorf("wal: upsert vector length %d outside (0, %d]", len(r.Vector), maxVectorDim)
+		}
+	case OpDelete:
+	default:
+		return fmt.Errorf("wal: unknown op %d", r.Op)
+	}
+	return nil
+}
+
+// appendFrame serialises one frame into buf and returns it.
+func appendFrame(buf []byte, lsn uint64, recs []Record) []byte {
+	buf = append(buf, Magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+	for i := range recs {
+		r := &recs[i]
+		buf = append(buf, byte(r.Op))
+		switch r.Op {
+		case OpUpsert:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(4+len(r.Token)+4+4*len(r.Vector)))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Token)))
+			buf = append(buf, r.Token...)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Vector)))
+			for _, x := range r.Vector {
+				buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+			}
+		case OpDelete:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(4+len(r.Token)))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Token)))
+			buf = append(buf, r.Token...)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[len(buf)-frameLen(recs)+4:]))
+}
+
+// frameLen is the serialised size of a frame carrying recs, including
+// the trailing CRC (4 bytes, accounted by the +4 in appendFrame's CRC
+// slice arithmetic).
+func frameLen(recs []Record) int {
+	n := frameHeaderLen + 4 // header + crc
+	for i := range recs {
+		n += 1 + 4 + 4 + len(recs[i].Token)
+		if recs[i].Op == OpUpsert {
+			n += 4 + 4*len(recs[i].Vector)
+		}
+	}
+	return n
+}
+
+// decodeRecord parses one record payload.
+func decodeRecord(op byte, payload []byte) (Record, error) {
+	if len(payload) < 4 {
+		return Record{}, fmt.Errorf("payload shorter than its token length field")
+	}
+	tn := binary.LittleEndian.Uint32(payload)
+	if tn > maxTokenLen || int(tn) > len(payload)-4 {
+		return Record{}, fmt.Errorf("token length %d exceeds payload", tn)
+	}
+	tok := string(payload[4 : 4+tn])
+	rest := payload[4+tn:]
+	switch Op(op) {
+	case OpDelete:
+		if len(rest) != 0 {
+			return Record{}, fmt.Errorf("%d trailing bytes after delete token", len(rest))
+		}
+		return Record{Op: OpDelete, Token: tok}, nil
+	case OpUpsert:
+		if len(rest) < 4 {
+			return Record{}, fmt.Errorf("upsert payload missing its dimension field")
+		}
+		dim := binary.LittleEndian.Uint32(rest)
+		if dim == 0 || dim > maxVectorDim || len(rest) != 4+4*int(dim) {
+			return Record{}, fmt.Errorf("upsert payload length %d does not match dimension %d", len(rest), dim)
+		}
+		vec := make([]float32, dim)
+		for i := range vec {
+			vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(rest[4+4*i:]))
+		}
+		return Record{Op: OpUpsert, Token: tok, Vector: vec}, nil
+	}
+	return Record{}, fmt.Errorf("unknown op %d", op)
+}
+
+// ---- Segment scanning ----------------------------------------------
+
+// segment is one discovered segment file.
+type segment struct {
+	name  string
+	first uint64
+}
+
+// segmentName formats the canonical file name for a segment whose
+// first frame is lsn.
+func segmentName(lsn uint64) string {
+	return fmt.Sprintf("%020d.wal", lsn)
+}
+
+// listSegments returns the segment files in dir sorted by first LSN;
+// anything not matching the 20-digit ".wal" pattern (the checkpoint
+// bundle lives in the same directory) is ignored.
+func listSegments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var segs []segment
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || len(name) != 24 || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		first, err := strconv.ParseUint(name[:20], 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segment{name: name, first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// scanSegments walks segs in order, validating every frame and the
+// LSN sequence, delivering frames above from to fn (when non-nil).
+// It returns the stats and the number of valid bytes found. A torn or
+// corrupt frame — or a segment that does not continue the LSN
+// sequence, such as an unexpectedly empty file between full ones —
+// sets the cut in the stats and stops the walk; only an error from fn
+// or the filesystem is returned as error.
+func scanSegments(dir string, segs []segment, from uint64, fn func(lsn uint64, recs []Record) error) (ReplayStats, int64, error) {
+	var stats ReplayStats
+	var valid int64
+	expect := uint64(0) // 0 = not yet pinned (first segment defines it)
+	cut := func(seg string, off int64, reason string) {
+		stats.Truncated = true
+		stats.TornSegment = seg
+		stats.TornOffset = off
+		stats.Reason = reason
+	}
+	for i, seg := range segs {
+		if expect != 0 && seg.first != expect {
+			// A hole in the sequence: an empty or missing segment
+			// between full ones. Frames past it cannot be applied in
+			// order, so the walk ends here.
+			cut(seg.name, 0, fmt.Sprintf("segment starts at lsn %d, want %d", seg.first, expect))
+		}
+		if stats.Truncated {
+			for _, rest := range segs[i:] {
+				if fi, err := os.Stat(filepath.Join(dir, rest.name)); err == nil {
+					stats.DroppedBytes += fi.Size()
+				}
+				stats.DroppedSegments++
+			}
+			break
+		}
+		stats.Segments++
+		if expect == 0 {
+			expect = seg.first
+		}
+		segValid, err := scanSegment(dir, seg, &expect, from, fn, &stats)
+		valid += segValid
+		if err != nil {
+			return stats, valid, err
+		}
+		if stats.Truncated {
+			// The torn tail itself plus everything after it is dropped.
+			if fi, statErr := os.Stat(filepath.Join(dir, seg.name)); statErr == nil {
+				stats.DroppedBytes += fi.Size() - segValid
+			}
+			for _, rest := range segs[i+1:] {
+				if fi, statErr := os.Stat(filepath.Join(dir, rest.name)); statErr == nil {
+					stats.DroppedBytes += fi.Size()
+				}
+				stats.DroppedSegments++
+			}
+			break
+		}
+	}
+	return stats, valid, nil
+}
+
+// scanSegment validates one segment, bumping *expect per frame.
+// Returns the length of the segment's valid prefix.
+func scanSegment(dir string, seg segment, expect *uint64, from uint64, fn func(lsn uint64, recs []Record) error, stats *ReplayStats) (int64, error) {
+	f, err := os.Open(filepath.Join(dir, seg.name))
+	if err != nil {
+		return 0, fmt.Errorf("wal: opening segment %s: %w", seg.name, err)
+	}
+	defer f.Close()
+	var off int64
+	buf := make([]byte, 0, 1<<16)
+	cut := func(reason string) {
+		stats.Truncated = true
+		stats.TornSegment = seg.name
+		stats.TornOffset = off
+		stats.Reason = reason
+	}
+	for {
+		frame, recs, err := readFrame(f, &buf)
+		if err == io.EOF {
+			return off, nil // clean end of segment
+		}
+		if err != nil {
+			cut(err.Error())
+			return off, nil
+		}
+		lsn := binary.LittleEndian.Uint64(frame[len(Magic)+4:])
+		if lsn != *expect {
+			cut(fmt.Sprintf("frame lsn %d breaks the sequence (want %d)", lsn, *expect))
+			return off, nil
+		}
+		if fn != nil && lsn > from {
+			if err := fn(lsn, recs); err != nil {
+				return off, fmt.Errorf("wal: replaying frame %d: %w", lsn, err)
+			}
+		}
+		if lsn <= from {
+			stats.SkippedRecords += uint64(len(recs))
+		}
+		off += int64(len(frame))
+		*expect = lsn + 1
+		stats.Frames++
+		stats.Records += uint64(len(recs))
+		stats.LastLSN = lsn
+	}
+}
+
+// readFrame reads and verifies one frame from r. io.EOF means a clean
+// end (zero bytes at a frame boundary); any other error describes the
+// corruption. The frame bytes are accumulated in *buf (reused across
+// calls) and returned alongside the decoded records.
+func readFrame(r io.Reader, buf *[]byte) ([]byte, []Record, error) {
+	b := (*buf)[:0]
+	b = append(b, make([]byte, frameHeaderLen)...)
+	n, err := io.ReadFull(r, b)
+	if n == 0 && err == io.EOF {
+		return nil, nil, io.EOF
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("truncated frame header (%d of %d bytes)", n, frameHeaderLen)
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return nil, nil, fmt.Errorf("bad frame magic %q", b[:len(Magic)])
+	}
+	if v := binary.LittleEndian.Uint32(b[len(Magic):]); v != Version {
+		return nil, nil, fmt.Errorf("unsupported frame version %d", v)
+	}
+	count := binary.LittleEndian.Uint32(b[len(Magic)+12:])
+	if count == 0 || count > maxFrameRecords {
+		return nil, nil, fmt.Errorf("implausible record count %d", count)
+	}
+	recs := make([]Record, 0, min(int(count), 1<<10))
+	for i := 0; i < int(count); i++ {
+		head := len(b)
+		b = append(b, make([]byte, 5)...)
+		if _, err := io.ReadFull(r, b[head:]); err != nil {
+			return nil, nil, fmt.Errorf("truncated record header at record %d", i)
+		}
+		op := b[head]
+		plen := binary.LittleEndian.Uint32(b[head+1:])
+		if plen > maxPayloadLen {
+			return nil, nil, fmt.Errorf("record %d payload length %d exceeds %d", i, plen, maxPayloadLen)
+		}
+		pstart := len(b)
+		b = append(b, make([]byte, plen)...)
+		if _, err := io.ReadFull(r, b[pstart:]); err != nil {
+			return nil, nil, fmt.Errorf("truncated record %d payload", i)
+		}
+		rec, err := decodeRecord(op, b[pstart:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("record %d: %v", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return nil, nil, fmt.Errorf("truncated frame checksum")
+	}
+	if stored, want := binary.LittleEndian.Uint32(crcBuf[:]), crc32.ChecksumIEEE(b); stored != want {
+		return nil, nil, fmt.Errorf("frame checksum mismatch (stored %08x, computed %08x)", stored, want)
+	}
+	b = append(b, crcBuf[:]...)
+	*buf = b
+	return b, recs, nil
+}
+
+// syncDir fsyncs a directory so entry creation/removal is durable;
+// best-effort on platforms where directories cannot be synced.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

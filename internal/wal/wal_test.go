@@ -1,0 +1,495 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// rec builds a deterministic record for frame i, record j.
+func rec(i, j int) Record {
+	if (i+j)%3 == 2 {
+		return Record{Op: OpDelete, Token: fmt.Sprintf("tok-%d-%d", i, j)}
+	}
+	v := make([]float32, 4)
+	for k := range v {
+		v[k] = float32(i*31+j*7+k) / 13
+	}
+	return Record{Op: OpUpsert, Token: fmt.Sprintf("tok-%d-%d", i, j), Vector: v}
+}
+
+// appendFrames writes the given frames (one Append per entry) into a
+// fresh or existing log at dir and closes it.
+func appendFrames(t *testing.T, dir string, opts Options, frames [][]Record) {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, fr := range frames {
+		if _, err := l.Append(fr...); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// collect replays dir read-only and returns every frame's records in
+// order plus the stats.
+func collect(t *testing.T, dir string, from uint64) ([][]Record, ReplayStats) {
+	t.Helper()
+	var got [][]Record
+	stats, err := ReplayDir(dir, from, func(lsn uint64, recs []Record) error {
+		cp := make([]Record, len(recs))
+		copy(cp, recs)
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplayDir: %v", err)
+	}
+	return got, stats
+}
+
+// segments lists the on-disk segment file names in LSN order.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(segs))
+	for i, s := range segs {
+		names[i] = s.name
+	}
+	return names
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	frames := [][]Record{
+		{rec(0, 0)},
+		{rec(1, 0), rec(1, 1), rec(1, 2)}, // a batch frame
+		{rec(2, 0)},
+	}
+	appendFrames(t, dir, Options{}, frames)
+	got, stats := collect(t, dir, 0)
+	if !reflect.DeepEqual(got, frames) {
+		t.Fatalf("replay mismatch:\ngot  %+v\nwant %+v", got, frames)
+	}
+	if stats.Truncated {
+		t.Fatalf("clean log reported truncation: %+v", stats)
+	}
+	if stats.Frames != 3 || stats.Records != 5 || stats.LastLSN != 3 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestReplayFromSkipsCheckpointedFrames(t *testing.T) {
+	dir := t.TempDir()
+	frames := [][]Record{{rec(0, 0)}, {rec(1, 0)}, {rec(2, 0)}}
+	appendFrames(t, dir, Options{}, frames)
+	got, stats := collect(t, dir, 2) // frames 1 and 2 already folded in
+	if len(got) != 1 || !reflect.DeepEqual(got[0], frames[2]) {
+		t.Fatalf("replay from 2: got %+v", got)
+	}
+	if stats.SkippedRecords != 2 || stats.Records != 3 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestAppendAcrossReopens(t *testing.T) {
+	dir := t.TempDir()
+	appendFrames(t, dir, Options{}, [][]Record{{rec(0, 0)}})
+	appendFrames(t, dir, Options{}, [][]Record{{rec(1, 0)}})
+	got, stats := collect(t, dir, 0)
+	if len(got) != 2 || stats.LastLSN != 2 || stats.Truncated {
+		t.Fatalf("after reopen: %d frames, stats %+v", len(got), stats)
+	}
+}
+
+func TestSegmentRotationAndTruncateThrough(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every frame larger than 1 byte forces a rotation,
+	// so each frame lands in its own segment.
+	l, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lsns []uint64
+	for i := 0; i < 5; i++ {
+		lsn, err := l.Append(rec(i, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if names := segmentFiles(t, dir); len(names) != 5 {
+		t.Fatalf("want 5 segments, have %v", names)
+	}
+	// Truncating through LSN 3 drops the three sealed segments that
+	// only hold frames 1..3.
+	removed, err := l.TruncateThrough(lsns[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("TruncateThrough removed %d segments, want 3", removed)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := collect(t, dir, lsns[2])
+	if len(got) != 2 || stats.Truncated {
+		t.Fatalf("after truncate: %d frames, stats %+v", len(got), stats)
+	}
+	// The log keeps accepting appends with continuous LSNs afterwards.
+	appendFrames(t, dir, Options{}, [][]Record{{rec(9, 0)}})
+	_, stats = collect(t, dir, 0)
+	if stats.LastLSN != 6 || stats.Truncated {
+		t.Fatalf("after post-truncate append: %+v", stats)
+	}
+}
+
+func TestTruncateThroughRotatesActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{}) // default segment size: one segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(rec(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All three frames are in the active segment; truncating through
+	// the last LSN must rotate it away and delete it.
+	removed, err := l.TruncateThrough(l.LastLSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed %d segments, want 1", removed)
+	}
+	if _, err := l.Append(rec(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := collect(t, dir, 0)
+	if len(got) != 1 || stats.LastLSN != 4 || stats.Truncated {
+		t.Fatalf("after truncate+append: %d frames, stats %+v", len(got), stats)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "": SyncAlways, "Interval": SyncInterval, "never": SyncNever,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("fsync-sometimes"); err == nil {
+		t.Error("ParseSyncPolicy accepted nonsense")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for name, r := range map[string]Record{
+		"empty token":   {Op: OpUpsert, Token: "", Vector: []float32{1}},
+		"no vector":     {Op: OpUpsert, Token: "x"},
+		"unknown op":    {Op: 9, Token: "x"},
+		"delete no tok": {Op: OpDelete},
+	} {
+		if _, err := l.Append(r); err == nil {
+			t.Errorf("%s: Append accepted %+v", name, r)
+		}
+	}
+	if _, err := l.Append(); err == nil {
+		t.Error("empty Append accepted")
+	}
+	// Rejected appends must not burn LSNs or corrupt the stream.
+	if lsn, err := l.Append(rec(0, 0)); err != nil || lsn != 1 {
+		t.Fatalf("valid append after rejections: lsn %d, err %v", lsn, err)
+	}
+}
+
+// TestReplayCorruption is the fault-injection table of the issue: each
+// case damages a healthy multi-segment log in one specific way, and
+// replay must recover exactly the frames before the damage and report
+// where and why it cut.
+func TestReplayCorruption(t *testing.T) {
+	// The healthy baseline: 3 segments of 2 frames each (SegmentBytes
+	// sized so exactly two 80-100 byte frames fit per segment), 6
+	// frames total, LSNs 1..6.
+	const framesTotal = 6
+	build := func(t *testing.T) (string, [][]Record) {
+		dir := t.TempDir()
+		var frames [][]Record
+		for i := 0; i < framesTotal; i++ {
+			frames = append(frames, []Record{rec(i, 0), rec(i, 1)})
+		}
+		appendFrames(t, dir, Options{SegmentBytes: 180}, frames)
+		names := segmentFiles(t, dir)
+		if len(names) != 3 {
+			t.Fatalf("baseline wants 3 segments, built %v", names)
+		}
+		return dir, frames
+	}
+
+	// Mutators damage the log and return the number of frames that
+	// must survive replay plus a substring of the expected cut reason.
+	cases := []struct {
+		name       string
+		mutate     func(t *testing.T, dir string)
+		survive    int
+		reason     string
+		cutSegment int // index of the segment the cut is reported in
+	}{
+		{
+			name: "truncated frame header",
+			mutate: func(t *testing.T, dir string) {
+				// Cut the last segment in the middle of frame 6's header.
+				chop(t, dir, 2, frameSizeAt(t, dir, 2, 0)+10)
+			},
+			survive: 5, reason: "truncated frame header", cutSegment: 2,
+		},
+		{
+			name: "truncated record payload",
+			mutate: func(t *testing.T, dir string) {
+				chop(t, dir, 2, frameSizeAt(t, dir, 2, 0)+frameHeaderLen+5+3)
+			},
+			survive: 5, reason: "truncated record", cutSegment: 2,
+		},
+		{
+			name: "flipped checksum byte",
+			mutate: func(t *testing.T, dir string) {
+				// Flip the last byte of segment 1 (frame 4's CRC trailer).
+				name := segmentFiles(t, dir)[1]
+				fi, err := os.Stat(filepath.Join(dir, name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				flip(t, dir, 1, fi.Size()-1)
+			},
+			survive: 3, reason: "checksum mismatch", cutSegment: 1,
+		},
+		{
+			name: "flipped payload byte",
+			mutate: func(t *testing.T, dir string) {
+				// Flip a byte inside frame 3's first record payload; the
+				// CRC catches it even though the framing still parses.
+				flip(t, dir, 1, int64(frameHeaderLen)+5+8)
+			},
+			survive: 2, reason: "checksum mismatch", cutSegment: 1,
+		},
+		{
+			name: "zero-length file",
+			mutate: func(t *testing.T, dir string) {
+				// The whole log is one empty segment: nothing to recover,
+				// nothing torn — the empty-at-a-boundary case.
+				for _, n := range segmentFiles(t, dir) {
+					if err := os.Remove(filepath.Join(dir, n)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := os.WriteFile(filepath.Join(dir, segmentName(1)), nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			survive: 0, reason: "", cutSegment: -1,
+		},
+		{
+			name: "trailing garbage after a valid prefix",
+			mutate: func(t *testing.T, dir string) {
+				name := segmentFiles(t, dir)[2]
+				f, err := os.OpenFile(filepath.Join(dir, name), os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write([]byte("NOTAWAL!garbage well past one frame header......")); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			},
+			survive: 6, reason: "bad frame magic", cutSegment: 2,
+		},
+		{
+			name: "empty segment between full ones",
+			mutate: func(t *testing.T, dir string) {
+				// Empty the middle segment: frames 3 and 4 vanish, so 5
+				// and 6 are unreachable across the LSN hole. The cut is
+				// reported at the first segment that cannot continue the
+				// sequence (the one after the hole).
+				name := segmentFiles(t, dir)[1]
+				if err := os.Truncate(filepath.Join(dir, name), 0); err != nil {
+					t.Fatal(err)
+				}
+			},
+			survive: 2, reason: "starts at lsn", cutSegment: 2,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, frames := build(t)
+			names := segmentFiles(t, dir)
+			tc.mutate(t, dir)
+
+			// Read-only replay: the valid prefix comes back intact and
+			// the cut is located and explained.
+			got, stats := collect(t, dir, 0)
+			if len(got) != tc.survive || !reflect.DeepEqual(got, append([][]Record(nil), frames[:tc.survive]...)) {
+				t.Fatalf("recovered %d frames, want the first %d intact", len(got), tc.survive)
+			}
+			if stats.LastLSN != uint64(tc.survive) {
+				t.Errorf("LastLSN = %d, want %d", stats.LastLSN, tc.survive)
+			}
+			if tc.reason == "" {
+				if stats.Truncated {
+					t.Fatalf("unexpected truncation: %+v", stats)
+				}
+			} else {
+				if !stats.Truncated {
+					t.Fatalf("damage went undetected: %+v", stats)
+				}
+				if !strings.Contains(stats.Reason, tc.reason) {
+					t.Errorf("cut reason %q does not mention %q", stats.Reason, tc.reason)
+				}
+				if want := names[tc.cutSegment]; stats.TornSegment != want {
+					t.Errorf("cut located in %s, want %s", stats.TornSegment, want)
+				}
+				if stats.DroppedBytes <= 0 {
+					t.Errorf("stats dropped no bytes: %+v", stats)
+				}
+			}
+
+			// Open repairs the damage; the reopened log replays the same
+			// prefix with no truncation and accepts new appends.
+			l, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("Open on damaged log: %v", err)
+			}
+			if rec := l.Recovery(); rec.Truncated != stats.Truncated || rec.LastLSN != stats.LastLSN {
+				t.Errorf("Recovery() = %+v, scan said %+v", rec, stats)
+			}
+			if lsn, err := l.Append(Record{Op: OpDelete, Token: "post-repair"}); err != nil || lsn != uint64(tc.survive)+1 {
+				t.Fatalf("append after repair: lsn %d, err %v", lsn, err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got2, stats2 := collect(t, dir, 0)
+			if stats2.Truncated {
+				t.Fatalf("repair left damage behind: %+v", stats2)
+			}
+			if len(got2) != tc.survive+1 {
+				t.Fatalf("after repair+append: %d frames, want %d", len(got2), tc.survive+1)
+			}
+			if !reflect.DeepEqual(got2[:tc.survive], frames[:tc.survive]) {
+				t.Fatal("repair corrupted the surviving prefix")
+			}
+		})
+	}
+}
+
+// frameSizeAt returns the byte size of the idx-th frame of segment
+// seg (sizes vary with token lengths, so tests measure rather than
+// hard-code offsets).
+func frameSizeAt(t *testing.T, dir string, seg, idx int) int {
+	t.Helper()
+	name := segmentFiles(t, dir)[seg]
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var buf []byte
+	for i := 0; ; i++ {
+		frame, _, err := readFrame(f, &buf)
+		if err != nil {
+			t.Fatalf("frame %d of %s: %v", i, name, err)
+		}
+		if i == idx {
+			return len(frame)
+		}
+	}
+}
+
+// chop truncates segment seg to n bytes.
+func chop(t *testing.T, dir string, seg int, n int) {
+	t.Helper()
+	name := segmentFiles(t, dir)[seg]
+	if err := os.Truncate(filepath.Join(dir, name), int64(n)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flip XORs one byte of segment seg at offset off.
+func flip(t *testing.T, dir string, seg int, off int64) {
+	t.Helper()
+	name := segmentFiles(t, dir)[seg]
+	path := filepath.Join(dir, name)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 || off >= int64(len(b)) {
+		t.Fatalf("flip offset %d outside segment of %d bytes", off, len(b))
+	}
+	b[off] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRemovesMisnumberedTail(t *testing.T) {
+	// A segment past an LSN hole must be deleted by repair, not kept
+	// under its stale name, so post-repair appends stay continuous.
+	dir := t.TempDir()
+	appendFrames(t, dir, Options{SegmentBytes: 1}, [][]Record{{rec(0, 0)}, {rec(1, 0)}, {rec(2, 0)}})
+	// Remove the middle segment: segment 3 (LSN 3) is now unreachable.
+	names := segmentFiles(t, dir)
+	if err := os.Remove(filepath.Join(dir, names[1])); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := l.Recovery(); !rec.Truncated || rec.LastLSN != 1 || rec.DroppedSegments != 1 {
+		t.Fatalf("Recovery() = %+v", rec)
+	}
+	if lsn, err := l.Append(Record{Op: OpDelete, Token: "x"}); err != nil || lsn != 2 {
+		t.Fatalf("append: lsn %d, err %v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, stats := collect(t, dir, 0); stats.Truncated || stats.LastLSN != 2 {
+		t.Fatalf("post-repair log still damaged: %+v", stats)
+	}
+}
+
+func TestReplayStatsString(t *testing.T) {
+	s := ReplayStats{Segments: 2, Frames: 3, Records: 4, LastLSN: 3,
+		Truncated: true, TornSegment: "x.wal", TornOffset: 12, Reason: "why", DroppedBytes: 9}.String()
+	for _, want := range []string{"4 records", "x.wal:12", "why"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats string %q missing %q", s, want)
+		}
+	}
+}

@@ -476,6 +476,13 @@ func VectorStoreOf(rows [][]float64) *VectorStore { return vecstore.FromRows64(r
 // model path, index, response cache size). See docs/SERVING.md.
 type ServeConfig = server.Config
 
+// ServeWALConfig configures the server's write-ahead log
+// (ServeConfig.WAL): with a log directory set, every acknowledged
+// write is logged before it is applied and startup replays the log,
+// so a crash loses no acknowledged write. See docs/SERVING.md
+// ("Durability").
+type ServeWALConfig = server.WALConfig
+
 // QueryServer is a long-lived HTTP/JSON query service over a trained
 // embedding: /v1/neighbors, /v1/similarity, /v1/analogy, /v1/predict
 // (plus batched variants), /healthz and /stats, with atomic hot model
