@@ -17,9 +17,9 @@ BENCH_PATTERN ?= BenchmarkGenerateUniform$$|BenchmarkTrainCBOWNegSampling$$|Benc
 BENCH_PKGS    ?= ./internal/walk ./internal/word2vec ./internal/vecstore ./internal/knn
 
 .PHONY: build test race vet bench bench-short serve-smoke crash-smoke crash-smoke-short \
-	wal-fuzz loadgen-bench loadgen-short \
-	loadgen-write loadgen-write-short hnsw-recall hnsw-recall-full hnsw-recall-incr \
-	hnsw-recall-incr-full loadgen-hnsw clean
+	crash-smoke-sharded wal-fuzz loadgen-bench loadgen-short \
+	loadgen-write loadgen-write-short loadgen-sharded hnsw-recall hnsw-recall-full \
+	hnsw-recall-incr hnsw-recall-incr-full hnsw-recall-sharded loadgen-hnsw clean
 
 build:
 	$(GO) build ./...
@@ -55,7 +55,13 @@ crash-smoke:
 	CRASH_REPORT_OUT=$(CRASH_REPORT_OUT) $(GO) test -run TestCrashRecoveryE2E -count 1 -v .
 
 crash-smoke-short:
-	CRASH_REPORT_OUT=$(CRASH_REPORT_OUT) $(GO) test -short -run TestCrashRecoveryE2E -count 1 -v .
+	CRASH_REPORT_OUT=$(CRASH_REPORT_OUT) $(GO) test -short -run 'TestCrashRecoveryE2E$$' -count 1 -v .
+
+# Same fault-injection run against a 4-shard serving generation:
+# SIGKILL mid-load, restart, and prove deterministic hash routing puts
+# every acknowledged write back in the shard it was served from.
+crash-smoke-sharded:
+	$(GO) test -short -run TestShardedCrashRecoveryE2E -count 1 -v .
 
 # WAL replay fuzz smoke: a short bounded -fuzz run over the frame
 # decoder (the corpus seeds cover the torn/corrupt taxonomy; the fuzz
@@ -141,6 +147,26 @@ loadgen-write-short:
 		-mix 'neighbors=0.85,similarity=0.05,predict=0.05,neighbors-batch=0.05' \
 		-out $(LOADGEN_OUT)
 	@echo wrote $(LOADGEN_OUT)
+
+# Sharded serving smoke: the loadgen-write mix against a 4-shard
+# scatter-gather generation (routed writes, fan-out reads, per-shard
+# compaction — zero errors is the bar). CI runs this on every push;
+# the full-size variant regenerates the LOADGEN_<date>.json sharded
+# rows quoted in docs/SERVING.md.
+loadgen-sharded:
+	$(GO) run ./cmd/loadgen -selfserve -vectors 2000 -dim 32 -cache 4096 \
+		-shards 4 -warmup 1 -duration 2s -workers 4 -write-fraction 0.15 \
+		-mix 'neighbors=0.85,similarity=0.05,predict=0.05,neighbors-batch=0.05' \
+		-out $(LOADGEN_OUT)
+	@echo wrote $(LOADGEN_OUT)
+
+# Sharded HNSW quality gate: recall@10 and qps through the 8-shard
+# scatter-gather coordinator vs the exact index on the acceptance
+# store (100k x 128 clustered).
+hnsw-recall-sharded:
+	$(GO) run ./cmd/hnswrecall -n 100000 -dim 128 -queries 500 -shards 8 \
+		-min-recall 0.95 -out $(HNSW_OUT)
+	@echo wrote $(HNSW_OUT)
 
 # Scaled-down serving snapshot for CI.
 loadgen-short:

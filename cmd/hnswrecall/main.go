@@ -11,9 +11,15 @@
 //
 //	hnswrecall [-n 100000] [-dim 128] [-k 10] [-queries 500]
 //	           [-dist clustered|gaussian] [-clusters 1000]
-//	           [-m 0] [-efc 0] [-efs 0] [-seed 1]
+//	           [-m 0] [-efc 0] [-efs 0] [-seed 1] [-shards 0]
 //	           [-incremental 0] [-min-recall 0.95] [-min-speedup 0]
 //	           [-save bundle.snap] [-out recall.json]
+//
+// -shards N (N > 1) builds a sharded coordinator instead of a single
+// graph: rows are hash-partitioned into N independent HNSW shards
+// built concurrently, and each query scatter-gathers across all of
+// them. With -save the bundle holds one graph per shard (servable
+// with `v2v serve -index hnsw -shards N`).
 //
 // -incremental f (0 < f < 1) builds the graph over the first (1-f)
 // fraction of rows by batch insertion and adds the remaining rows one
@@ -79,6 +85,7 @@ func main() {
 		efc        = flag.Int("efc", 0, "hnsw construction beam width (0 = 200)")
 		efs        = flag.Int("efs", 0, "hnsw query beam width (0 = 128)")
 		seed       = flag.Uint64("seed", 1, "store and level-sampling seed")
+		shardsN    = flag.Int("shards", 0, "partition rows across N HNSW shards: concurrent builds, scatter-gather queries (0/1 = unsharded)")
 		incr       = flag.Float64("incremental", 0, "build this fraction of rows via incremental MutableIndex.Insert instead of the batch build (0 disables)")
 		minRecall  = flag.Float64("min-recall", 0.95, "fail below this recall@k")
 		minSpeedup = flag.Float64("min-speedup", 0, "fail below this single-core qps ratio (0 = no floor)")
@@ -120,13 +127,41 @@ func main() {
 
 	exact := vecstore.NewExact(store, vecstore.Cosine, 1)
 	hcfg := vecstore.HNSWConfig{M: *m, EfConstruction: *efc, EfSearch: *efs, Seed: *seed}
+	sharded := *shardsN > 1
+	shardCfg := vecstore.Config{
+		Kind: vecstore.KindHNSW, Shards: *shardsN,
+		M: *m, EfConstruction: *efc, EfSearch: *efs, Seed: *seed,
+	}
 	var h *vecstore.HNSW
+	var sh *vecstore.Sharded
 	var err error
+	build := func(s *vecstore.Store) error {
+		if sharded {
+			sh, err = vecstore.OpenSharded(s, shardCfg)
+		} else {
+			h, err = vecstore.NewHNSW(s, vecstore.Cosine, hcfg)
+		}
+		return err
+	}
+	insertRow := func(v []float32) error {
+		if sharded {
+			_, err := sh.Insert(v)
+			return err
+		}
+		_, err := h.Insert(v)
+		return err
+	}
+	search := func(q []float32, k int) []vecstore.Result {
+		if sharded {
+			return sh.Search(q, k)
+		}
+		return h.Search(q, k)
+	}
 	var buildSecs, insertSecs float64
 	inserted := 0
 	buildStart := time.Now()
 	if *incr == 0 {
-		if h, err = vecstore.NewHNSW(store, vecstore.Cosine, hcfg); err != nil {
+		if err := build(store); err != nil {
 			fatal(err)
 		}
 		buildSecs = time.Since(buildStart).Seconds()
@@ -144,13 +179,13 @@ func main() {
 			prefix[i] = i
 		}
 		grown := store.Gather(prefix)
-		if h, err = vecstore.NewHNSW(grown, vecstore.Cosine, hcfg); err != nil {
+		if err := build(grown); err != nil {
 			fatal(err)
 		}
 		buildSecs = time.Since(buildStart).Seconds()
 		insertStart := time.Now()
 		for i := split; i < *n; i++ {
-			if _, err := h.Insert(store.Row(i)); err != nil {
+			if err := insertRow(store.Row(i)); err != nil {
 				fatal(err)
 			}
 		}
@@ -159,11 +194,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hnswrecall: incremental phase: %d rows inserted in %.1fs (%.0f inserts/s)\n",
 			inserted, insertSecs, float64(inserted)/insertSecs)
 	}
-	fmt.Fprintf(os.Stderr, "hnswrecall: %d x %d store; hnsw built in %.1fs (m=%d efc=%d efs=%d, max level %d)\n",
-		*n, *dim, buildSecs+insertSecs, h.M(), *efc, h.EfSearch(), h.MaxLevel())
+	if sharded {
+		fmt.Fprintf(os.Stderr, "hnswrecall: %d x %d store; %d-shard hnsw built in %.1fs (m=%d efc=%d efs=%d)\n",
+			*n, *dim, sh.NumShards(), buildSecs+insertSecs, *m, *efc, *efs)
+	} else {
+		fmt.Fprintf(os.Stderr, "hnswrecall: %d x %d store; hnsw built in %.1fs (m=%d efc=%d efs=%d, max level %d)\n",
+			*n, *dim, buildSecs+insertSecs, h.M(), *efc, h.EfSearch(), h.MaxLevel())
+	}
 
 	if *savePath != "" {
-		if err := snapshot.SaveBundleFile(*savePath, model, nil, h.Graph()); err != nil {
+		if sharded {
+			graphs, err := sh.Graphs()
+			if err != nil {
+				fatal(err)
+			}
+			if err := snapshot.SaveShardedBundleFile(*savePath, model, nil, graphs); err != nil {
+				fatal(err)
+			}
+		} else if err := snapshot.SaveBundleFile(*savePath, model, nil, h.Graph()); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "hnswrecall: wrote model + graph bundle to %s\n", *savePath)
@@ -186,7 +234,7 @@ func main() {
 	approx := make([][]vecstore.Result, len(qs))
 	hnswStart := time.Now()
 	for i, q := range qs {
-		approx[i] = h.Search(q, *k)
+		approx[i] = search(q, *k)
 	}
 	hnswSecs := time.Since(hnswStart).Seconds()
 
@@ -222,6 +270,10 @@ func main() {
 		name = fmt.Sprintf("HNSWIncrementalRecallVsExact/%s/n=%d/dim=%d/incr=%g", *dist, *n, *dim, *incr)
 		metrics["insert-seconds"] = insertSecs
 		metrics["inserts-per-second"] = float64(inserted) / insertSecs
+	}
+	if sharded {
+		name = fmt.Sprintf("ShardedHNSWRecallVsExact/%s/n=%d/dim=%d/shards=%d", *dist, *n, *dim, *shardsN)
+		metrics["shards"] = float64(*shardsN)
 	}
 	doc := snapshotDoc{
 		Date:      *date,

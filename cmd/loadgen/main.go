@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -68,6 +69,7 @@ func main() {
 		hnswM     = flag.Int("m", 0, "selfserve hnsw: links per node per level (0 = 16)")
 		efc       = flag.Int("efc", 0, "selfserve hnsw: construction beam width (0 = 200)")
 		efs       = flag.Int("efs", 0, "selfserve hnsw: query beam width (0 = 128)")
+		shards    = flag.Int("shards", 0, "selfserve: partition rows across N index shards (0/1 = unsharded)")
 	)
 	flag.Parse()
 
@@ -78,6 +80,7 @@ func main() {
 		M:              *hnswM,
 		EfConstruction: *efc,
 		EfSearch:       *efs,
+		Shards:         *shards,
 	}
 	switch *index {
 	case "exact":
@@ -109,8 +112,12 @@ func main() {
 			fatal(err)
 		}
 		defer stop()
+		kind := string(idxCfg.Kind)
+		if idxCfg.Shards > 1 {
+			kind = fmt.Sprintf("%d-shard %s", idxCfg.Shards, idxCfg.Kind)
+		}
 		fmt.Fprintf(os.Stderr, "loadgen: self-serving %d x %d synthetic model at %s (%s index)\n",
-			*vectors, *dim, base, idxCfg.Kind)
+			*vectors, *dim, base, kind)
 	}
 
 	res, err := loadgen.Run(loadgen.Config{
@@ -155,9 +162,39 @@ func main() {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(res.Snapshot(*date)); err != nil {
+	snap := res.Snapshot(*date)
+	snap.Server = serverMeta(base, *selfserve, *index, idxCfg.Shards)
+	if err := enc.Encode(snap); err != nil {
 		fatal(err)
 	}
+}
+
+// serverMeta probes the target's /healthz so the snapshot records the
+// serving shape (corpus size, shard count) that produced its numbers.
+// The index kind is only knowable in selfserve mode, where we chose it.
+func serverMeta(base string, selfserve bool, kind string, shards int) *loadgen.ServerMeta {
+	meta := &loadgen.ServerMeta{}
+	if selfserve {
+		meta.Index = kind
+		meta.Shards = shards
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return meta
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Vectors int `json:"vectors"`
+		Dim     int `json:"dim"`
+		Shards  int `json:"shards"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&h) == nil {
+		meta.Vectors, meta.Dim = h.Vectors, h.Dim
+		if h.Shards > 0 {
+			meta.Shards = h.Shards
+		}
+	}
+	return meta
 }
 
 // startSelfServe builds a deterministic random model, serves it on a

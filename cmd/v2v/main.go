@@ -19,7 +19,7 @@
 //
 //	v2v query -model vectors.txt [-k 10] [-index exact|ivf|hnsw]
 //	          [-nlists 0] [-nprobe 0] [-m 0] [-efc 0] [-efs 0]
-//	          [-v] [vertex ...]
+//	          [-shards 0] [-v] [vertex ...]
 //
 // Queries are vertex tokens, taken from the command line or — when
 // none are given — one per line from stdin; each answer line is
@@ -30,18 +30,21 @@
 // Index usage (persist a prebuilt HNSW graph next to the model):
 //
 //	v2v index -model vectors.snap -out indexed.snap
-//	          [-m 0] [-efc 0] [-efs 0] [-seed 1]
+//	          [-m 0] [-efc 0] [-efs 0] [-shards 0] [-seed 1]
 //
 // The output bundle is a model snapshot followed by the index graph
 // (own magic/version/CRC section). `v2v serve -index hnsw` and
 // `v2v query -index hnsw` bind the persisted graph instead of
-// rebuilding it at startup.
+// rebuilding it at startup. With -shards N the rows are partitioned
+// across N independently-built HNSW shards (parallel build,
+// scatter-gather queries) and the bundle carries one graph per shard;
+// serve/query with the same -shards N rebind them.
 //
 // Serve usage (the long-lived HTTP/JSON query server):
 //
 //	v2v serve -model vectors.snap [-addr 127.0.0.1:8080]
 //	          [-index exact|ivf|hnsw] [-nlists 0] [-nprobe 0]
-//	          [-m 0] [-efc 0] [-efs 0] [-cache 4096]
+//	          [-m 0] [-efc 0] [-efs 0] [-shards 0] [-cache 4096]
 //	          [-readonly] [-compact-frac 0]
 //	          [-wal DIR] [-wal-sync always|interval|never]
 //	          [-wal-sync-interval 100ms] [-wal-segment-bytes N]
@@ -111,6 +114,7 @@ func indexSelection(fs *flag.FlagSet, defaultKind string) func() (v2v.IndexConfi
 		m      = fs.Int("m", 0, "hnsw: links per node per level (0 = 16)")
 		efc    = fs.Int("efc", 0, "hnsw: construction beam width (0 = 200)")
 		efs    = fs.Int("efs", 0, "hnsw: query beam width (0 = 128)")
+		shards = fs.Int("shards", 0, "partition rows across N index shards: parallel builds and scatter-gather queries (0/1 = unsharded)")
 		seed   = fs.Uint64("seed", 1, "index build seed")
 	)
 	return func() (v2v.IndexConfig, error) {
@@ -121,6 +125,7 @@ func indexSelection(fs *flag.FlagSet, defaultKind string) func() (v2v.IndexConfi
 			M:              *m,
 			EfConstruction: *efc,
 			EfSearch:       *efs,
+			Shards:         *shards,
 		}
 		switch *kind {
 		case "exact":

@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -78,7 +79,16 @@ func startServeProcess(t *testing.T, bin string, args ...string) (*exec.Cmd, str
 // with the journal — upserted tokens resolve, deleted tokens 404.
 // Tokens with in-flight writes at the kill are excluded: an unacked
 // write may legitimately land either way.
-func TestCrashRecoveryE2E(t *testing.T) {
+func TestCrashRecoveryE2E(t *testing.T) { runCrashRecoveryE2E(t, 0) }
+
+// TestShardedCrashRecoveryE2E is the same fault-injection run against
+// a 4-shard serving generation (`make crash-smoke-sharded`). Hash
+// routing is deterministic, so replay must land every acknowledged
+// write back in the shard it was served from: any misroute makes the
+// per-token verification below disagree with the journal.
+func TestShardedCrashRecoveryE2E(t *testing.T) { runCrashRecoveryE2E(t, 4) }
+
+func runCrashRecoveryE2E(t *testing.T, shards int) {
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skip("go toolchain not on PATH")
 	}
@@ -114,6 +124,9 @@ func TestCrashRecoveryE2E(t *testing.T) {
 		"serve", "-model", model, "-addr", "127.0.0.1:0",
 		"-wal", walDir, "-wal-sync", "always",
 		"-wal-segment-bytes", "4096", "-wal-checkpoint-bytes", "8192",
+	}
+	if shards > 1 {
+		serveArgs = append(serveArgs, "-shards", strconv.Itoa(shards))
 	}
 	cmd, base, logTail := startServeProcess(t, bin, serveArgs...)
 
@@ -168,6 +181,25 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	// Restart over the same WAL directory: checkpoint + replay must
 	// reconstruct every acknowledged write.
 	_, base2, logTail2 := startServeProcess(t, bin, serveArgs...)
+
+	if shards > 1 {
+		// The restarted generation must actually be sharded — a silent
+		// fall-back to a flat index would make the verification vacuous.
+		var h struct {
+			Shards int `json:"shards"`
+		}
+		resp, err := http.Get(base2 + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if h.Shards != shards {
+			t.Fatalf("restarted server reports %d shards, want %d", h.Shards, shards)
+		}
+	}
 
 	// Fold the journal per token. Each token belongs to one worker and
 	// journals are worker-ordered, so the last event is the token's

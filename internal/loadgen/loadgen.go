@@ -672,12 +672,23 @@ type BenchEntry struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// ServerMeta records the serving configuration a run was generated
+// against — index kind, shard count, corpus shape — so a trajectory
+// row is reproducible from its own file.
+type ServerMeta struct {
+	Index   string `json:"index,omitempty"`
+	Shards  int    `json:"shards,omitempty"`
+	Vectors int    `json:"vectors,omitempty"`
+	Dim     int    `json:"dim,omitempty"`
+}
+
 // BenchSnapshot mirrors cmd/benchjson's Snapshot shape.
 type BenchSnapshot struct {
 	Date       string       `json:"date"`
 	GoVersion  string       `json:"go_version"`
 	GOOS       string       `json:"goos"`
 	GOARCH     string       `json:"goarch"`
+	Server     *ServerMeta  `json:"server,omitempty"`
 	Benchmarks []BenchEntry `json:"benchmarks"`
 }
 

@@ -118,7 +118,12 @@ const (
 // lifetime, but writes mutate the store and index in place under mu;
 // epoch counts those writes for cache scoping.
 type modelState struct {
+	// store backs an unsharded generation; it is nil when sharded is
+	// set (a sharded generation has no single store — rows live in
+	// shard-private stores behind the coordinator). Handlers go
+	// through the dim/live/row/cosine accessors, which dispatch.
 	store    *vecstore.Store
+	sharded  *vecstore.Sharded
 	tokens   []string
 	byToken  map[string]int
 	index    vecstore.Index
@@ -133,6 +138,74 @@ type modelState struct {
 	// epoch counts accepted writes; it scopes cache keys so a write
 	// invalidates every previously cached answer of this generation.
 	epoch atomic.Uint64
+}
+
+// Store accessors: every handler read of row data or occupancy goes
+// through these so a sharded generation (nil store) dispatches to the
+// coordinator and an unsharded one to its single store.
+
+func (st *modelState) dim() int {
+	if st.sharded != nil {
+		return st.sharded.Dim()
+	}
+	return st.store.Dim()
+}
+
+func (st *modelState) live() int {
+	if st.sharded != nil {
+		return st.sharded.Live()
+	}
+	return st.store.Live()
+}
+
+func (st *modelState) dead() int {
+	if st.sharded != nil {
+		return st.sharded.Dead()
+	}
+	return st.store.Dead()
+}
+
+func (st *modelState) rowDeleted(id int) bool {
+	if st.sharded != nil {
+		return st.sharded.Deleted(id)
+	}
+	return st.store.Deleted(id)
+}
+
+func (st *modelState) row(id int) []float32 {
+	if st.sharded != nil {
+		return st.sharded.Row(id)
+	}
+	return st.store.Row(id)
+}
+
+func (st *modelState) cosine(a, b int) float64 {
+	if st.sharded != nil {
+		return st.sharded.Cosine(a, b)
+	}
+	return st.store.Cosine(a, b)
+}
+
+// pairScore is the link-prediction embedding score
+// (linkpred.EmbeddingScorer semantics: dot when hadamard, else
+// cosine) dispatched across sharding.
+func (st *modelState) pairScore(u, v int, hadamard bool) float64 {
+	if st.sharded != nil {
+		if hadamard {
+			return st.sharded.Dot(u, v)
+		}
+		return st.sharded.Cosine(u, v)
+	}
+	return (&linkpred.EmbeddingScorer{Store: st.store, Hadamard: hadamard}).Score(u, v)
+}
+
+// shardCount reports how many index shards serve this generation
+// (1 = unsharded).
+func (st *modelState) shardCount() int {
+	if st.sharded != nil {
+		return st.sharded.NumShards()
+	}
+	return 1
 }
 
 // endpointNames fixes the stats key set (and the order /stats reports
@@ -219,10 +292,30 @@ func loadServable(cfg Config, path string) (*word2vec.Model, []string, vecstore.
 		m, tokens, err := snapshot.LoadFile(path)
 		return m, tokens, nil, err
 	}
-	m, tokens, g, err := snapshot.LoadBundleFile(path)
+	b, err := snapshot.LoadBundle(path)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	m, tokens := b.Model, b.Tokens
+	if ns := cfg.Index.Shards; ns > 1 {
+		// A sharded configuration binds only a sharded bundle with the
+		// same shard count and compatible build parameters; anything
+		// else (a single-graph bundle, a different partition) rebuilds.
+		if len(b.Shards) != ns || cfg.Index.EfConstruction != 0 {
+			return m, tokens, nil, nil
+		}
+		for _, g := range b.Shards {
+			if g.Metric != cfg.Index.Metric || (cfg.Index.M != 0 && cfg.Index.M != g.M) {
+				return m, tokens, nil, nil
+			}
+		}
+		idx, err := vecstore.OpenShardedFromGraphs(m.Store(), b.Shards, cfg.Index)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("binding bundled sharded index: %w", err)
+		}
+		return m, tokens, idx, nil
+	}
+	g := b.Graph
 	if g == nil || g.Metric != cfg.Index.Metric ||
 		(cfg.Index.M != 0 && cfg.Index.M != g.M) || cfg.Index.EfConstruction != 0 {
 		return m, tokens, nil, nil
@@ -335,6 +428,19 @@ func (s *Server) swapModel(m *word2vec.Model, tokens []string, source string, pr
 			return 0, fmt.Errorf("server: building index: %w", err)
 		}
 	}
+	// A sharded coordinator owns its rows (the base store was copied
+	// into shard-private stores) and compacts its own shards; the
+	// generation's store is nil so every read dispatches through the
+	// coordinator, and the server-level compactor stands down.
+	sharded, _ := idx.(*vecstore.Sharded)
+	if sharded != nil {
+		frac := s.cfg.CompactFraction
+		if frac == 0 {
+			frac = defaultCompactFraction
+		}
+		sharded.SetCompactFraction(frac) // negative disables, like planCompaction
+		store = nil
+	}
 	byToken := make(map[string]int, len(tokens))
 	for i, tok := range tokens {
 		byToken[tok] = i
@@ -375,6 +481,7 @@ func (s *Server) swapModel(m *word2vec.Model, tokens []string, source string, pr
 	}
 	s.state.Store(&modelState{
 		store:    store,
+		sharded:  sharded,
 		tokens:   tokens,
 		byToken:  byToken,
 		index:    idx,
@@ -400,8 +507,12 @@ func (s *Server) swapModel(m *word2vec.Model, tokens []string, source string, pr
 	if prebuilt != nil {
 		how = " (prebuilt graph)"
 	}
+	kind := s.cfg.Index.Kind.String()
+	if sharded != nil {
+		kind = fmt.Sprintf("%d-shard %s", sharded.NumShards(), kind)
+	}
 	s.logger.Printf("server: generation %d live: %d vectors, dim %d, %s index%s (source %q)",
-		gen, m.Vocab, m.Dim, s.cfg.Index.Kind, how, source)
+		gen, m.Vocab, m.Dim, kind, how, source)
 	return gen, nil
 }
 
@@ -711,8 +822,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		"status":     "ok",
 		"generation": st.gen,
 		"epoch":      st.epoch.Load(),
-		"vectors":    st.store.Live(),
-		"dim":        st.store.Dim(),
+		"vectors":    st.live(),
+		"dim":        st.dim(),
+		"shards":     st.shardCount(),
 	})
 }
 
@@ -723,6 +835,7 @@ type StatsResponse struct {
 	Reloads       uint64                       `json:"reloads"`
 	Model         ModelStats                   `json:"model"`
 	Writes        WriteStats                   `json:"writes"`
+	Shards        []vecstore.ShardStat         `json:"shards,omitempty"`
 	WAL           WALStats                     `json:"wal"`
 	Cache         CacheStats                   `json:"cache"`
 	Endpoints     map[string]EndpointStatsJSON `json:"endpoints"`
@@ -769,13 +882,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	for name, c := range s.counters {
 		eps[name] = EndpointStatsJSON{Requests: c.requests.Load(), Errors: c.errors.Load()}
 	}
+	// In sharded mode the coordinator compacts its own shards; report
+	// those rebuilds in the same counter the server-level compactor
+	// feeds, plus the per-shard occupancy block.
+	compactions := s.compactions.Load()
+	var shardStats []vecstore.ShardStat
+	if st.sharded != nil {
+		shardStats = st.sharded.ShardStats()
+		for _, ss := range shardStats {
+			compactions += ss.Compactions
+		}
+	}
 	return writeJSONUnlocked(w, unlock, StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Generation:    st.gen,
 		Reloads:       s.reloads.Load(),
 		Model: ModelStats{
-			Vectors:  st.store.Live(),
-			Dim:      st.store.Dim(),
+			Vectors:  st.live(),
+			Dim:      st.dim(),
 			Index:    s.cfg.Index.Kind.String(),
 			Source:   st.source,
 			LoadedAt: st.loadedAt.UTC().Format(time.RFC3339),
@@ -784,11 +908,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			ReadOnly:    s.cfg.ReadOnly,
 			Upserts:     s.upserts.Load(),
 			Deletes:     s.deletes.Load(),
-			Compactions: s.compactions.Load(),
+			Compactions: compactions,
 			Epoch:       st.epoch.Load(),
-			Tombstones:  st.store.Dead(),
+			Tombstones:  st.dead(),
 		},
-		WAL: s.walStats(),
+		Shards: shardStats,
+		WAL:    s.walStats(),
 		Cache: CacheStats{
 			Enabled:  s.cache != nil,
 			Entries:  s.cache.len(),
@@ -890,7 +1015,7 @@ func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) er
 		}
 		missIdx = append(missIdx, i)
 		missIDs = append(missIDs, id)
-		missQs = append(missQs, st.store.Row(id))
+		missQs = append(missQs, st.row(id))
 	}
 	if len(missQs) > 0 {
 		// The query vertex ranks first in its own results (score 1
@@ -953,7 +1078,7 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) error 
 		return err
 	}
 	return writeJSONUnlocked(w, unlock, SimilarityResponse{
-		A: aTok, B: bTok, Similarity: st.store.Cosine(a, b),
+		A: aTok, B: bTok, Similarity: st.cosine(a, b),
 	})
 }
 
@@ -990,7 +1115,7 @@ func (s *Server) handleSimilarityBatch(w http.ResponseWriter, r *http.Request) e
 		if err != nil {
 			return err
 		}
-		out.Results[i] = SimilarityResponse{A: p[0], B: p[1], Similarity: st.store.Cosine(a, b)}
+		out.Results[i] = SimilarityResponse{A: p[0], B: p[1], Similarity: st.cosine(a, b)}
 	}
 	return writeJSONUnlocked(w, unlock, out)
 }
@@ -1037,8 +1162,14 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
 	}
 	// Analogy targets are synthetic vectors (b - a + c); they are
 	// scored by the exact analogy path over the live store regardless
-	// of the configured neighbors index.
-	res := word2vec.AnalogyStore(st.store, a, b, c, k)
+	// of the configured neighbors index — scatter-gathered across the
+	// shards when sharded, with identical results.
+	var res []word2vec.Neighbor
+	if st.sharded != nil {
+		res = word2vec.AnalogySharded(st.sharded, a, b, c, k)
+	} else {
+		res = word2vec.AnalogyStore(st.store, a, b, c, k)
+	}
 	nbrs := make([]NeighborJSON, len(res))
 	for i, n := range res {
 		nbrs[i] = NeighborJSON{Vertex: st.tokens[n.Word], Score: n.Similarity}
@@ -1080,9 +1211,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	scorer := &linkpred.EmbeddingScorer{Store: st.store, Hadamard: hadamard}
+	name := (&linkpred.EmbeddingScorer{Hadamard: hadamard}).Name()
 	return writeJSONUnlocked(w, unlock, PredictResponse{
-		U: uTok, V: vTok, Score: scorer.Score(u, v), Scorer: scorer.Name(),
+		U: uTok, V: vTok, Score: st.pairScore(u, v, hadamard), Scorer: name,
 	})
 }
 
@@ -1111,9 +1242,9 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) erro
 	}
 	st, unlock := s.readState()
 	defer unlock()
-	scorer := &linkpred.EmbeddingScorer{Store: st.store, Hadamard: req.Hadamard}
+	name := (&linkpred.EmbeddingScorer{Hadamard: req.Hadamard}).Name()
 	out := PredictBatchResponse{
-		Scorer:  scorer.Name(),
+		Scorer:  name,
 		Results: make([]PredictResponse, len(req.Pairs)),
 	}
 	for i, p := range req.Pairs {
@@ -1125,7 +1256,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) erro
 		if err != nil {
 			return err
 		}
-		out.Results[i] = PredictResponse{U: p[0], V: p[1], Score: scorer.Score(u, v), Scorer: scorer.Name()}
+		out.Results[i] = PredictResponse{U: p[0], V: p[1], Score: st.pairScore(u, v, req.Hadamard), Scorer: name}
 	}
 	return writeJSONUnlocked(w, unlock, out)
 }
@@ -1141,7 +1272,7 @@ func (s *Server) handleVocab(w http.ResponseWriter, r *http.Request) error {
 	st, unlock := s.readState()
 	defer unlock()
 	q := r.URL.Query()
-	live := st.store.Live()
+	live := st.live()
 	offset, limit := 0, live
 	if raw := q.Get("offset"); raw != "" {
 		v, err := strconv.Atoi(raw)
@@ -1168,13 +1299,13 @@ func (s *Server) handleVocab(w http.ResponseWriter, r *http.Request) error {
 	// only, stopping as soon as the page is full (no O(vocab) work
 	// for a small page).
 	var tokens []string
-	if st.store.Dead() == 0 {
+	if st.dead() == 0 {
 		tokens = st.tokens[offset : offset+limit]
 	} else {
 		tokens = make([]string, 0, limit)
 		skipped := 0
 		for i, tok := range st.tokens {
-			if st.store.Deleted(i) {
+			if st.rowDeleted(i) {
 				continue
 			}
 			if skipped < offset {
@@ -1222,8 +1353,8 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) error {
 	defer unlock()
 	return writeJSONUnlocked(w, unlock, ReloadResponse{
 		Generation: gen,
-		Vectors:    st.store.Live(),
-		Dim:        st.store.Dim(),
+		Vectors:    st.live(),
+		Dim:        st.dim(),
 		Source:     st.source,
 		LoadMillis: float64(time.Since(start).Microseconds()) / 1000,
 	})
@@ -1313,9 +1444,9 @@ func validateUpsert(st *modelState, item *UpsertRequest) error {
 			return errBadRequest("vertex name contains control characters")
 		}
 	}
-	if len(item.Vector) != st.store.Dim() {
+	if len(item.Vector) != st.dim() {
 		return errBadRequest("vector for %q has dimension %d, model dimension is %d",
-			item.Vertex, len(item.Vector), st.store.Dim())
+			item.Vertex, len(item.Vector), st.dim())
 	}
 	for _, x := range item.Vector {
 		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
@@ -1364,6 +1495,7 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	st := s.lockCurrent()
+	var lsn uint64
 	resp, pw, err := func() (UpsertResponse, postWrite, error) {
 		defer st.mu.Unlock()
 		if err := validateUpsert(st, &req); err != nil {
@@ -1374,8 +1506,10 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) error {
 			return UpsertResponse{}, postWrite{}, err
 		}
 		// Log before apply: if the append fails the store is untouched
-		// and the client gets a 500, never an un-replayable ack.
-		if err := s.walAppend(wal.Record{Op: wal.OpUpsert, Token: req.Vertex, Vector: req.Vector}); err != nil {
+		// and the client gets a 500, never an un-replayable ack. Only
+		// the frame write happens under the lock — the fsync wait comes
+		// after the unlock, so concurrent writes share one fsync.
+		if lsn, err = s.walAppendNoSync(wal.Record{Op: wal.OpUpsert, Token: req.Vertex, Vector: req.Vector}); err != nil {
 			return UpsertResponse{}, postWrite{}, err
 		}
 		resp, err := s.applyUpsert(st, midx, &req)
@@ -1388,6 +1522,9 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) error {
 		return resp, s.planPostWrite(st), nil
 	}()
 	if err != nil {
+		return err
+	}
+	if err := s.walWaitDurable(lsn); err != nil {
 		return err
 	}
 	s.runPostWrite(st, pw)
@@ -1410,6 +1547,7 @@ func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) error
 		return errBadRequest("batch of %d exceeds limit %d", len(req.Items), max)
 	}
 	st := s.lockCurrent()
+	var lsn uint64
 	out, pw, err := func() (UpsertBatchResponse, postWrite, error) {
 		defer st.mu.Unlock()
 		var out UpsertBatchResponse
@@ -1429,7 +1567,7 @@ func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) error
 		for i := range req.Items {
 			recs[i] = wal.Record{Op: wal.OpUpsert, Token: req.Items[i].Vertex, Vector: req.Items[i].Vector}
 		}
-		if err := s.walAppend(recs...); err != nil {
+		if lsn, err = s.walAppendNoSync(recs...); err != nil {
 			return out, postWrite{}, err
 		}
 		out.Results = make([]UpsertResponse, len(req.Items))
@@ -1441,6 +1579,9 @@ func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) error
 		return out, s.planPostWrite(st), nil
 	}()
 	if err != nil {
+		return err
+	}
+	if err := s.walWaitDurable(lsn); err != nil {
 		return err
 	}
 	s.runPostWrite(st, pw)
@@ -1479,6 +1620,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 		return errBadRequest("missing 'vertex'")
 	}
 	st := s.lockCurrent()
+	var lsn uint64
 	resp, pw, err := func() (DeleteResponse, postWrite, error) {
 		defer st.mu.Unlock()
 		midx, err := mutableIndex(st)
@@ -1489,7 +1631,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 		if _, ok := st.byToken[req.Vertex]; !ok {
 			return DeleteResponse{}, postWrite{}, errNotFound("unknown vertex %q", req.Vertex)
 		}
-		if err := s.walAppend(wal.Record{Op: wal.OpDelete, Token: req.Vertex}); err != nil {
+		if lsn, err = s.walAppendNoSync(wal.Record{Op: wal.OpDelete, Token: req.Vertex}); err != nil {
 			return DeleteResponse{}, postWrite{}, err
 		}
 		resp, err := s.applyDelete(st, midx, req.Vertex)
@@ -1499,6 +1641,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 		return resp, s.planPostWrite(st), nil
 	}()
 	if err != nil {
+		return err
+	}
+	if err := s.walWaitDurable(lsn); err != nil {
 		return err
 	}
 	resp.Compacted = pw.compact != nil
@@ -1522,6 +1667,7 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) error
 		return errBadRequest("batch of %d exceeds limit %d", len(req.Vertices), max)
 	}
 	st := s.lockCurrent()
+	var lsn uint64
 	out, pw, err := func() (DeleteBatchResponse, postWrite, error) {
 		defer st.mu.Unlock()
 		var out DeleteBatchResponse
@@ -1549,7 +1695,7 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) error
 		for i, tok := range req.Vertices {
 			recs[i] = wal.Record{Op: wal.OpDelete, Token: tok}
 		}
-		if err := s.walAppend(recs...); err != nil {
+		if lsn, err = s.walAppendNoSync(recs...); err != nil {
 			return out, postWrite{}, err
 		}
 		out.Results = make([]DeleteResponse, len(req.Vertices))
@@ -1561,6 +1707,9 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) error
 		return out, s.planPostWrite(st), nil
 	}()
 	if err != nil {
+		return err
+	}
+	if err := s.walWaitDurable(lsn); err != nil {
 		return err
 	}
 	if pw.compact != nil && len(out.Results) > 0 {
@@ -1598,6 +1747,13 @@ type compactSnapshot struct {
 // from each paying their own gather + rebuild while one is already
 // in flight.
 func (s *Server) planCompaction(st *modelState) *compactSnapshot {
+	if st.sharded != nil {
+		// The coordinator compacts shard by shard in the background
+		// (see vecstore.Sharded.SetCompactFraction); a whole-world
+		// gather + rebuild here would reintroduce the global stall
+		// sharding exists to avoid.
+		return nil
+	}
 	frac := s.cfg.CompactFraction
 	if frac < 0 {
 		return nil

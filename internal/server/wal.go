@@ -181,20 +181,41 @@ func (s *Server) applyWALFrame(lsn uint64, recs []wal.Record) error {
 	return nil
 }
 
-// walAppend logs recs as one frame (one atomicity unit — a batch
-// appends all its records through a single call). Callers hold the
-// current generation's writer lock, so the log's frame order is the
-// apply order. With no WAL configured it is a no-op.
-func (s *Server) walAppend(recs ...wal.Record) error {
+// walAppendNoSync logs recs as one frame (one atomicity unit — a
+// batch appends all its records through a single call) without
+// waiting for durability, and returns the frame's LSN (0 with no WAL
+// configured). Callers hold the current generation's writer lock, so
+// the log's frame order is the apply order; they follow up with
+// walWaitDurable *after* releasing it, so concurrent writes queueing
+// on the lock group-commit under one fsync instead of serialising an
+// fsync each behind it.
+func (s *Server) walAppendNoSync(recs ...wal.Record) (uint64, error) {
 	if s.wal == nil {
-		return nil
+		return 0, nil
 	}
-	if _, err := s.wal.Append(recs...); err != nil {
+	lsn, err := s.wal.AppendNoSync(recs...)
+	if err != nil {
 		// The write was NOT applied and must not be acknowledged: with
 		// the log unwritable, accepting it would hand out an ack that a
 		// restart cannot honor.
-		return &httpError{code: http.StatusInternalServerError,
+		return 0, &httpError{code: http.StatusInternalServerError,
 			msg: fmt.Sprintf("write-ahead log append failed: %v", err)}
+	}
+	return lsn, nil
+}
+
+// walWaitDurable blocks until the frame at lsn is on stable storage
+// (a no-op outside SyncAlways, and with no WAL). The write is already
+// applied and visible when this fails, but it has not been
+// acknowledged — the client's 500 means "indeterminate", which a
+// crash would have produced anyway.
+func (s *Server) walWaitDurable(lsn uint64) error {
+	if s.wal == nil || lsn == 0 {
+		return nil
+	}
+	if err := s.wal.WaitDurable(lsn); err != nil {
+		return &httpError{code: http.StatusInternalServerError,
+			msg: fmt.Sprintf("write-ahead log fsync failed: %v", err)}
 	}
 	return nil
 }
@@ -238,6 +259,12 @@ type checkpointPlan struct {
 	liveIDs []int
 	tokens  []string
 	lsn     uint64
+	// sharded marks a sharded generation's plan: there is no single
+	// store to gather from, so finishCheckpoint takes a GatherLive cut
+	// of the coordinator (and resolves tokens and the LSN there, under
+	// the reader lock — consistent, because writes need the writer
+	// side).
+	sharded *vecstore.Sharded
 }
 
 // planCheckpoint decides, under st's writer lock, whether enough log
@@ -258,6 +285,9 @@ func (s *Server) planCheckpoint(st *modelState) *checkpointPlan {
 	if !s.compacting.CompareAndSwap(false, true) {
 		return nil // a compaction or checkpoint is already in flight
 	}
+	if st.sharded != nil {
+		return &checkpointPlan{sharded: st.sharded}
+	}
 	liveIDs := st.store.LiveIDs()
 	plan := &checkpointPlan{
 		src:     st.store,
@@ -277,6 +307,23 @@ func (s *Server) planCheckpoint(st *modelState) *checkpointPlan {
 // and writes the checkpoint. Runs on a background goroutine.
 func (s *Server) finishCheckpoint(st *modelState, plan *checkpointPlan) {
 	defer s.compacting.Store(false)
+	if plan.sharded != nil {
+		// GatherLive is one consistent cut across every shard, and the
+		// reader lock excludes writers — so LastLSN read here is exactly
+		// the state gathered (coordinator self-compactions may run
+		// concurrently, but they never change the live set).
+		st.mu.RLock()
+		folded, ids := plan.sharded.GatherLive()
+		tokens := make([]string, len(ids))
+		for i, id := range ids {
+			tokens[i] = st.tokens[id]
+		}
+		lsn := s.wal.LastLSN()
+		st.mu.RUnlock()
+		s.writeCheckpoint(&word2vec.Model{Dim: folded.Dim(), Vocab: folded.Len(), Vectors: folded.Data()},
+			tokens, lsn, false, "volume")
+		return
+	}
 	st.mu.RLock()
 	folded := plan.src.Gather(plan.liveIDs)
 	st.mu.RUnlock()
@@ -327,6 +374,7 @@ type WALStats struct {
 	SyncPolicy      string `json:"sync_policy,omitempty"`
 	LastLSN         uint64 `json:"last_lsn,omitempty"`
 	AppendedBytes   int64  `json:"appended_bytes,omitempty"`
+	Fsyncs          uint64 `json:"fsyncs,omitempty"`
 	Checkpoints     uint64 `json:"checkpoints,omitempty"`
 	CheckpointLSN   uint64 `json:"checkpoint_lsn,omitempty"`
 	ReplayedRecords uint64 `json:"replayed_records,omitempty"`
@@ -344,6 +392,7 @@ func (s *Server) walStats() WALStats {
 		SyncPolicy:      s.walSync.String(),
 		LastLSN:         s.wal.LastLSN(),
 		AppendedBytes:   s.wal.AppendedBytes(),
+		Fsyncs:          s.wal.Fsyncs(),
 		Checkpoints:     s.checkpoints.Load(),
 		CheckpointLSN:   s.ckptLSN.Load(),
 		ReplayedRecords: s.walReplayed.Load(),

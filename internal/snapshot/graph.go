@@ -316,6 +316,15 @@ func LoadBundleFile(path string) (*word2vec.Model, []string, *vecstore.HNSWGraph
 		}
 		return m, tokens, nil, nil
 	}
+	if IsShardedIndex(trail) {
+		// A sharded bundle used through the single-graph API: verify
+		// the section but only hand back the model — the per-shard
+		// graphs bind through LoadBundle + OpenShardedFromGraphs.
+		if _, _, err := loadShardedIndex(br); err != nil {
+			return nil, nil, nil, err
+		}
+		return m, tokens, nil, nil
+	}
 	g, dim, err := loadIndex(br)
 	if err != nil {
 		return nil, nil, nil, err

@@ -1,0 +1,153 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"v2v/internal/vecstore"
+)
+
+// buildShardedTest trains a small deterministic model and a sharded
+// HNSW coordinator over it.
+func buildShardedTest(t *testing.T, n, dim, shards int) (*vecstore.Sharded, []string, string) {
+	t.Helper()
+	m, tokens := testModel(n, dim, 29)
+	sh, err := vecstore.OpenSharded(m.Store(), vecstore.Config{
+		Kind: vecstore.KindHNSW, Shards: shards, Seed: 7, M: 6, EfConstruction: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sharded.snap")
+	graphs, err := sh.Graphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveShardedBundleFile(path, m, tokens, graphs); err != nil {
+		t.Fatalf("SaveShardedBundleFile: %v", err)
+	}
+	return sh, tokens, path
+}
+
+func TestShardedBundleRoundTrip(t *testing.T) {
+	const n, dim, shards = 80, 6, 4
+	sh, tokens, path := buildShardedTest(t, n, dim, shards)
+
+	b, err := LoadBundle(path)
+	if err != nil {
+		t.Fatalf("LoadBundle: %v", err)
+	}
+	if b.Graph != nil || len(b.Shards) != shards {
+		t.Fatalf("bundle carries graph=%v shards=%d, want nil graph and %d shards", b.Graph, len(b.Shards), shards)
+	}
+	if b.Model.Vocab != n || b.Model.Dim != dim || len(b.Tokens) != len(tokens) {
+		t.Fatalf("model mangled: %dx%d, %d tokens", b.Model.Vocab, b.Model.Dim, len(b.Tokens))
+	}
+	sh2, err := vecstore.OpenShardedFromGraphs(b.Model.Store(), b.Shards, vecstore.Config{
+		Kind: vecstore.KindHNSW, Shards: shards, Seed: 7, M: 6, EfConstruction: 24,
+	})
+	if err != nil {
+		t.Fatalf("OpenShardedFromGraphs: %v", err)
+	}
+	for row := 0; row < n; row += 17 {
+		a, bRes := sh.SearchRow(row, 5), sh2.SearchRow(row, 5)
+		if len(a) != len(bRes) {
+			t.Fatalf("row %d: %d vs %d results", row, len(a), len(bRes))
+		}
+		for i := range a {
+			if a[i] != bRes[i] {
+				t.Fatalf("row %d rank %d: %+v vs %+v after round trip", row, i, a[i], bRes[i])
+			}
+		}
+	}
+}
+
+// TestShardedBundleSingleGraphAPI checks the graceful-degradation
+// contract: the single-graph loader reads the model out of a sharded
+// bundle (no graph), and LoadBundle reads single-index bundles and
+// plain snapshots too.
+func TestShardedBundleSingleGraphAPI(t *testing.T) {
+	_, _, path := buildShardedTest(t, 50, 6, 3)
+	m, _, g, err := LoadBundleFile(path)
+	if err != nil {
+		t.Fatalf("LoadBundleFile on sharded bundle: %v", err)
+	}
+	if g != nil {
+		t.Fatal("LoadBundleFile invented a single graph from a sharded bundle")
+	}
+	if m.Vocab != 50 {
+		t.Fatalf("model mangled: vocab %d", m.Vocab)
+	}
+
+	// LoadBundle on a single-index bundle and a plain snapshot.
+	m1, tokens, h := buildTestGraph(t, 40, 6)
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.snap")
+	if err := SaveBundleFile(single, m1, tokens, h.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundle(single)
+	if err != nil {
+		t.Fatalf("LoadBundle on single bundle: %v", err)
+	}
+	if b.Graph == nil || b.Shards != nil {
+		t.Fatalf("single bundle parsed as graph=%v shards=%v", b.Graph, b.Shards)
+	}
+	plain := filepath.Join(dir, "plain.snap")
+	if err := SaveFile(plain, m1, tokens); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = LoadBundle(plain); err != nil || b.Graph != nil || b.Shards != nil {
+		t.Fatalf("plain snapshot: bundle %+v, err %v", b, err)
+	}
+}
+
+func TestShardedBundleCorruption(t *testing.T) {
+	_, _, path := buildShardedTest(t, 60, 6, 4)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Flip a byte inside the last shard's graph payload: the per-shard
+	// CRC must catch it.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-9] ^= 0x40
+	badPath := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(badPath); err == nil {
+		t.Fatal("LoadBundle accepted a corrupt shard graph")
+	}
+
+	// Corrupt the sharded header's shard count: the header CRC must
+	// catch it before any graph parsing.
+	idx := bytes.Index(raw, []byte(ShardMagic))
+	if idx < 0 {
+		t.Fatal("sharded magic not found in bundle")
+	}
+	badHdr := append([]byte(nil), raw...)
+	badHdr[idx+12] ^= 0x01
+	hdrPath := filepath.Join(dir, "badhdr.snap")
+	if err := os.WriteFile(hdrPath, badHdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(hdrPath); err == nil {
+		t.Fatal("LoadBundle accepted a corrupt sharded header")
+	}
+
+	// Truncating mid-shard must fail cleanly, not hand back fewer
+	// shards.
+	trunc := raw[:idx+16+(len(raw)-idx-16)/2]
+	truncPath := filepath.Join(dir, "trunc.snap")
+	if err := os.WriteFile(truncPath, trunc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(truncPath); err == nil {
+		t.Fatal("LoadBundle accepted a truncated sharded bundle")
+	}
+}

@@ -212,10 +212,11 @@ func load(br *bufio.Reader, size int64) (*word2vec.Model, []string, error) {
 		return nil, nil, fmt.Errorf("snapshot: checksum mismatch (stored %08x, computed %08x): file is corrupt", stored, want)
 	}
 	// The only bytes allowed after the model section are an
-	// index-graph section (see graph.go) or a WAL handoff section
-	// (see walmeta.go); anything else is corruption.
+	// index-graph section (see graph.go), a sharded index section
+	// (see sharded.go) or a WAL handoff section (see walmeta.go);
+	// anything else is corruption.
 	if trail, err := br.Peek(len(IndexMagic)); len(trail) > 0 {
-		if !IsIndexGraph(trail) && !IsWALMeta(trail) {
+		if !IsIndexGraph(trail) && !IsShardedIndex(trail) && !IsWALMeta(trail) {
 			return nil, nil, fmt.Errorf("snapshot: trailing data after checksum")
 		}
 	} else if err != io.EOF {

@@ -99,6 +99,13 @@ type Config struct {
 	// EfSearch is the HNSW query-time beam width (0 = 128); queries
 	// use max(EfSearch, k).
 	EfSearch int
+
+	// Shards > 1 partitions the rows across that many hash-routed
+	// shards behind a scatter-gather coordinator: per-shard indexes
+	// build concurrently, queries fan out and merge, and writes lock
+	// only the owning shard. 0 or 1 builds a single unsharded index.
+	// See Sharded and docs/INDEXES.md.
+	Shards int
 }
 
 // Validate reports, with a descriptive error, why the configuration
@@ -128,6 +135,7 @@ func (c Config) Validate() error {
 		{"M", c.M},
 		{"EfConstruction", c.EfConstruction},
 		{"EfSearch", c.EfSearch},
+		{"Shards", c.Shards},
 	} {
 		if p.v < 0 {
 			return fmt.Errorf("vecstore: %s index: negative %s %d (0 selects the default)", c.Kind, p.name, p.v)
@@ -193,10 +201,15 @@ type MutableIndex interface {
 }
 
 // Open builds the index described by cfg over s, validating cfg
-// first. The result always implements MutableIndex.
+// first. The result always implements MutableIndex. Shards > 1
+// returns a *Sharded scatter-gather coordinator over per-shard
+// indexes of the configured kind.
 func Open(s *Store, cfg Config) (Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		return OpenSharded(s, cfg)
 	}
 	switch cfg.Kind {
 	case KindIVF:

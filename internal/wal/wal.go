@@ -31,12 +31,18 @@
 // Durability is governed by Options.Sync: SyncAlways fsyncs before
 // Append returns (acknowledged implies durable — the crash-test
 // guarantee), SyncInterval fsyncs on a background tick (bounded loss
-// of the last interval), SyncNever leaves flushing to the OS. See
-// docs/SERVING.md ("Durability").
+// of the last interval), SyncNever leaves flushing to the OS. Under
+// SyncAlways concurrent appends group-commit: frames are written in
+// LSN order under the log mutex, then one appender fsyncs as the
+// leader on behalf of every frame already on the file, and the
+// followers just wait for the durable watermark to cover their LSN —
+// N concurrent writes cost one fsync, not N. See docs/SERVING.md
+// ("Durability").
 package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -223,12 +229,27 @@ type Log struct {
 
 	appended atomic.Int64 // valid bytes ever observed: recovered + appended
 	lastLSN  atomic.Uint64
+	fsyncs   atomic.Uint64 // fsync calls issued over the log's lifetime
 
 	recovery ReplayStats
 	scratch  []byte
 
 	stopSync chan struct{}
 	syncDone chan struct{}
+
+	// Group commit (SyncAlways). syncMu orders leaders and guards the
+	// watermark; it is never acquired while l.mu is held, so a leader
+	// may take l.mu for the fsync itself. syncedLSN is the durable
+	// watermark: every frame at or below it has been fsynced (or was
+	// sealed into a rotated segment, which fsyncs before closing).
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	syncedLSN uint64
+	syncing   bool // a leader's fsync is in flight
+
+	// fsyncFn is the group-commit fsync; tests swap in a slowed-down
+	// version to make leader/follower batching deterministic.
+	fsyncFn func(*os.File) error
 }
 
 // Open opens (creating if needed) the log in dir and repairs it: the
@@ -251,6 +272,8 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
 	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	l.fsyncFn = (*os.File).Sync
 
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -301,6 +324,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l.appended.Store(valid)
 	l.lastLSN.Store(l.nextLSN - 1)
+	l.syncedLSN = l.nextLSN - 1 // recovered frames were read back from disk
 
 	// Open the last surviving segment for appends, or start the first.
 	if len(segs) == 0 {
@@ -346,10 +370,30 @@ func (l *Log) LastLSN() uint64 { return l.lastLSN.Load() }
 func (l *Log) AppendedBytes() int64 { return l.appended.Load() }
 
 // Append writes recs as one frame — one atomicity unit: replay yields
-// all of them or none — and, under SyncAlways, fsyncs before
-// returning, so a successful Append means the write survives a crash.
-// It returns the frame's LSN.
+// all of them or none — and, under SyncAlways, does not return until
+// the frame is on stable storage, so a successful Append means the
+// write survives a crash. Concurrent SyncAlways appends group-commit:
+// one appender fsyncs as the leader for every frame already written,
+// the rest wait for the durable watermark instead of issuing their
+// own fsync. It returns the frame's LSN.
 func (l *Log) Append(recs ...Record) (uint64, error) {
+	lsn, err := l.AppendNoSync(recs...)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// AppendNoSync writes recs as one frame and returns its LSN without
+// waiting for durability, regardless of the sync policy. Callers that
+// must not ack before the frame is on disk follow up with
+// WaitDurable(lsn) — splitting the two lets them drop locks that
+// order concurrent appends before joining the group commit, so one
+// fsync can cover many writers.
+func (l *Log) AppendNoSync(recs ...Record) (uint64, error) {
 	if len(recs) == 0 {
 		return 0, fmt.Errorf("wal: empty append")
 	}
@@ -358,6 +402,23 @@ func (l *Log) Append(recs ...Record) (uint64, error) {
 			return 0, err
 		}
 	}
+	return l.writeFrame(recs)
+}
+
+// WaitDurable blocks until the frame at lsn is on stable storage,
+// group-committing with any concurrent callers. Under policies other
+// than SyncAlways it returns immediately: durability is the
+// flusher's (or the OS's) business, matching Append's contract.
+func (l *Log) WaitDurable(lsn uint64) error {
+	if l.opts.Sync != SyncAlways || lsn == 0 {
+		return nil
+	}
+	return l.groupSync(lsn)
+}
+
+// writeFrame serializes recs and appends the frame to the active
+// segment (rotating first if it is over the limit), without syncing.
+func (l *Log) writeFrame(recs []Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -380,13 +441,80 @@ func (l *Log) Append(recs ...Record) (uint64, error) {
 	l.appended.Add(int64(len(frame)))
 	l.nextLSN++
 	l.lastLSN.Store(lsn)
-	if l.opts.Sync == SyncAlways {
-		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: fsync after frame %d: %w", lsn, err)
-		}
-	}
 	return lsn, nil
 }
+
+// groupSync blocks until the frame at lsn is durable. The first
+// appender to arrive while no fsync is in flight becomes the leader:
+// it fsyncs the active segment once, covering every frame written
+// before the fsync started, and wakes the followers. A follower whose
+// frame landed before the leader's fsync returns without syncing at
+// all; one that arrived too late takes its turn as the next leader.
+func (l *Log) groupSync(lsn uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	for l.syncedLSN < lsn {
+		if l.syncing {
+			l.syncCond.Wait()
+			continue
+		}
+		l.syncing = true
+		l.syncMu.Unlock()
+		high, err := l.syncActive()
+		l.syncMu.Lock()
+		l.syncing = false
+		if err == nil && high > l.syncedLSN {
+			l.syncedLSN = high
+		}
+		l.syncCond.Broadcast()
+		if err != nil {
+			// Followers are awake and will retry as leaders; each
+			// failed fsync reports to the append that led it.
+			return fmt.Errorf("wal: fsync after frame %d: %w", lsn, err)
+		}
+	}
+	return nil
+}
+
+// syncActive fsyncs the active segment and returns the highest LSN the
+// sync covered. Frames in sealed segments were already fsynced at
+// rotation, so syncing the active file makes every frame at or below
+// the snapshotted watermark durable. On a closed log the frames were
+// flushed by Close, so the watermark still advances.
+//
+// The fsync itself runs outside the append mutex: holding l.mu across
+// the syscall would stall every concurrent writer for the fsync's
+// duration and leave the leader nothing to coalesce. Snapshotting
+// (file, watermark) under l.mu first keeps the accounting exact — a
+// frame past the watermark may or may not hit disk with this sync,
+// and its appender waits for the next leader either way. A rotation
+// racing the fsync is benign: the sealed segment was fsynced before
+// closing, and an in-flight Sync pins the descriptor.
+func (l *Log) syncActive() (uint64, error) {
+	l.mu.Lock()
+	high := l.lastLSN.Load()
+	f := l.f
+	if l.closed || f == nil {
+		l.mu.Unlock()
+		return high, nil
+	}
+	l.fsyncs.Add(1)
+	l.mu.Unlock()
+	if err := l.fsyncFn(f); err != nil {
+		// A rotation (or Close) sealed the segment while the sync was
+		// queued; both fsync before closing, so every frame at or
+		// below the watermark is already durable.
+		if errors.Is(err, os.ErrClosed) {
+			return high, nil
+		}
+		return 0, err
+	}
+	return high, nil
+}
+
+// Fsyncs returns the number of fsync calls the log has issued — the
+// group-commit effectiveness counter (appends per fsync).
+func (l *Log) Fsyncs() uint64 { return l.fsyncs.Load() }
 
 // Sync flushes the active segment to stable storage.
 func (l *Log) Sync() error {
@@ -395,6 +523,7 @@ func (l *Log) Sync() error {
 	if l.closed || l.f == nil {
 		return nil
 	}
+	l.fsyncs.Add(1)
 	return l.f.Sync()
 }
 
@@ -418,6 +547,7 @@ func (l *Log) syncLoop() {
 // rotateLocked seals the active segment (fsync + close) and starts a
 // new one at the next LSN. Callers hold l.mu.
 func (l *Log) rotateLocked() error {
+	l.fsyncs.Add(1)
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync before rotation: %w", err)
 	}
@@ -532,6 +662,7 @@ func (l *Log) Close() error {
 	if f == nil {
 		return nil
 	}
+	l.fsyncs.Add(1)
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return err

@@ -6,7 +6,9 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // rec builds a deterministic record for frame i, record j.
@@ -491,5 +493,127 @@ func TestReplayStatsString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("stats string %q missing %q", s, want)
 		}
+	}
+}
+
+// TestGroupCommitConcurrentAppends hammers a SyncAlways log from many
+// goroutines and checks the group-commit invariants: every append got
+// a unique LSN, every frame replays intact and in order, and the
+// leader/follower batching issued strictly fewer fsyncs than appends
+// (with 32 contended writers at least some must have shared a leader).
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways, SegmentBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A warm-cache fsync completes in microseconds, faster than the
+	// scheduler interleaves the writers, which would let every append
+	// lead its own sync. Slow it to a realistic device latency so
+	// appends pile up behind the leader, as they do on real disks.
+	l.fsyncFn = func(f *os.File) error {
+		time.Sleep(time.Millisecond)
+		return f.Sync()
+	}
+	const writers, perWriter = 32, 10
+	lsns := make(chan uint64, writers*perWriter)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				lsn, err := l.Append(rec(w, i))
+				if err != nil {
+					t.Errorf("writer %d append %d: %v", w, i, err)
+					return
+				}
+				lsns <- lsn
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	close(lsns)
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	const total = writers * perWriter
+	seen := make(map[uint64]bool, total)
+	for lsn := range lsns {
+		if seen[lsn] {
+			t.Fatalf("duplicate LSN %d", lsn)
+		}
+		seen[lsn] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("got %d LSNs, want %d", len(seen), total)
+	}
+	for lsn := uint64(1); lsn <= total; lsn++ {
+		if !seen[lsn] {
+			t.Fatalf("LSN %d missing: appends must be gap-free", lsn)
+		}
+	}
+	fsyncs := l.Fsyncs()
+	if fsyncs == 0 {
+		t.Fatal("SyncAlways log issued no fsyncs")
+	}
+	if fsyncs >= total {
+		t.Errorf("no group commit: %d fsyncs for %d appends", fsyncs, total)
+	}
+	t.Logf("group commit: %d appends, %d fsyncs (%.1f appends/fsync)",
+		total, fsyncs, float64(total)/float64(fsyncs))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats := collect(t, dir, 0)
+	if len(got) != total || stats.Truncated || stats.LastLSN != total {
+		t.Fatalf("replay: %d frames, stats %+v", len(got), stats)
+	}
+}
+
+// TestGroupCommitWatermarkCoversRotation appends frames small segments
+// apart so rotation seals mid-batch: the durable watermark must still
+// cover every frame (rotation fsyncs before sealing), and a reopened
+// log continues the sequence.
+func TestGroupCommitWatermarkCoversRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append(rec(i, 0)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if n := len(segmentFiles(t, dir)); n < 2 {
+		t.Fatalf("expected rotation, got %d segments", n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := collect(t, dir, 0)
+	if len(got) != 40 || stats.Truncated {
+		t.Fatalf("replay: %d frames, stats %+v", len(got), stats)
+	}
+	// Reopen: the recovered watermark must let new appends sync.
+	l2, err := Open(dir, Options{Sync: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l2.Append(rec(99, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 41 {
+		t.Fatalf("post-reopen LSN = %d, want 41", lsn)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

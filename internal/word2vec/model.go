@@ -193,6 +193,40 @@ func AnalogyStore(s *vecstore.Store, a, b, c, k int) []Neighbor {
 	return toNeighbors(top.Append(nil))
 }
 
+// AnalogySharded is AnalogyStore over a sharded store: the same
+// float64 target arithmetic, pushed through the coordinator's exact
+// scatter-gather scan. ScanExact visits each shard's rows in
+// ascending global order and merges with the same tie-breaks TopK
+// uses, so results are bit-for-bit AnalogyStore's over the
+// equivalent single store.
+func AnalogySharded(sh *vecstore.Sharded, a, b, c, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	target := make([]float64, sh.Dim())
+	va, vb, vc := sh.Row(a), sh.Row(b), sh.Row(c)
+	for i := range target {
+		target[i] = float64(vb[i]) - float64(va[i]) + float64(vc[i])
+	}
+	var tNorm float64
+	for _, x := range target {
+		tNorm += x * x
+	}
+	tNorm = math.Sqrt(tNorm)
+	res := sh.ScanExact(func(vu []float32) float64 {
+		var dot, un float64
+		for i := range vu {
+			dot += float64(vu[i]) * target[i]
+			un += float64(vu[i]) * float64(vu[i])
+		}
+		if un > 0 && tNorm > 0 {
+			return dot / (math.Sqrt(un) * tNorm)
+		}
+		return 0
+	}, []int{a, b, c}, k)
+	return toNeighbors(res)
+}
+
 // Centroid returns the mean vector of the given vertices.
 func (m *Model) Centroid(vertices []int) []float64 {
 	out := make([]float64, m.Dim)

@@ -314,13 +314,22 @@ func LoadSnapshot(r io.Reader) (*Model, []string, error) { return snapshot.Load(
 // HNSW index configuration binds the persisted graph instead of
 // re-inserting every row — startup cost becomes a bounds-checked
 // read. idx must be an HNSW index over m's store (built with NewIndex
-// and Kind: HNSWIndex). See docs/INDEXES.md.
+// and Kind: HNSWIndex) — or a sharded HNSW coordinator (Shards > 1),
+// whose per-shard graphs are written as a sharded bundle that a
+// matching configuration rebinds the same way. See docs/INDEXES.md.
 func SaveIndexedSnapshot(w io.Writer, m *Model, tokens []string, idx Index) error {
-	h, ok := idx.(*vecstore.HNSW)
-	if !ok {
+	switch h := idx.(type) {
+	case *vecstore.HNSW:
+		return snapshot.SaveBundle(w, m, tokens, h.Graph())
+	case *vecstore.Sharded:
+		graphs, err := h.Graphs()
+		if err != nil {
+			return fmt.Errorf("v2v: SaveIndexedSnapshot: %w", err)
+		}
+		return snapshot.SaveShardedBundle(w, m, tokens, graphs)
+	default:
 		return fmt.Errorf("v2v: SaveIndexedSnapshot needs an HNSW index, got %T (exact and IVF indexes rebuild quickly and are not persisted)", idx)
 	}
-	return snapshot.SaveBundle(w, m, tokens, h.Graph())
 }
 
 // SaveIndexedSnapshotFile writes the bundle to path atomically
@@ -329,11 +338,18 @@ func SaveIndexedSnapshot(w io.Writer, m *Model, tokens []string, idx Index) erro
 // the hot-reload deploy loop depends on. Prefer this over
 // SaveIndexedSnapshot for files the server reloads from.
 func SaveIndexedSnapshotFile(path string, m *Model, tokens []string, idx Index) error {
-	h, ok := idx.(*vecstore.HNSW)
-	if !ok {
+	switch h := idx.(type) {
+	case *vecstore.HNSW:
+		return snapshot.SaveBundleFile(path, m, tokens, h.Graph())
+	case *vecstore.Sharded:
+		graphs, err := h.Graphs()
+		if err != nil {
+			return fmt.Errorf("v2v: SaveIndexedSnapshotFile: %w", err)
+		}
+		return snapshot.SaveShardedBundleFile(path, m, tokens, graphs)
+	default:
 		return fmt.Errorf("v2v: SaveIndexedSnapshotFile needs an HNSW index, got %T (exact and IVF indexes rebuild quickly and are not persisted)", idx)
 	}
-	return snapshot.SaveBundleFile(path, m, tokens, h.Graph())
 }
 
 // LoadIndexedSnapshot loads a model file in any persistence format
@@ -360,12 +376,21 @@ func LoadIndexedSnapshot(path string, cfg IndexConfig) (*Model, []string, Index,
 		}
 		return m, tokens, idx, nil
 	}
-	m, tokens, g, err := snapshot.LoadBundleFile(path)
+	b, err := snapshot.LoadBundle(path)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if bindableGraph(g, cfg) {
-		idx, err := vecstore.HNSWFromGraph(m.Store(), g, cfg.EfSearch, cfg.Workers)
+	m, tokens := b.Model, b.Tokens
+	if cfg.Shards > 1 {
+		if bindableShards(b.Shards, cfg) {
+			idx, err := vecstore.OpenShardedFromGraphs(m.Store(), b.Shards, cfg)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("v2v: binding bundled sharded index: %w", err)
+			}
+			return m, tokens, idx, nil
+		}
+	} else if bindableGraph(b.Graph, cfg) {
+		idx, err := vecstore.HNSWFromGraph(m.Store(), b.Graph, cfg.EfSearch, cfg.Workers)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("v2v: binding bundled index graph: %w", err)
 		}
@@ -385,6 +410,21 @@ func LoadIndexedSnapshot(path string, cfg IndexConfig) (*Model, []string, Index,
 func bindableGraph(g *vecstore.HNSWGraph, cfg IndexConfig) bool {
 	return g != nil && g.Metric == cfg.Metric &&
 		(cfg.M == 0 || cfg.M == g.M) && cfg.EfConstruction == 0
+}
+
+// bindableShards is bindableGraph for a sharded bundle: the persisted
+// partition must match the configured shard count, and every shard's
+// graph must individually satisfy the configuration.
+func bindableShards(graphs []*vecstore.HNSWGraph, cfg IndexConfig) bool {
+	if len(graphs) != cfg.Shards {
+		return false
+	}
+	for _, g := range graphs {
+		if !bindableGraph(g, cfg) {
+			return false
+		}
+	}
+	return true
 }
 
 // ---- Vector store and top-k indexes --------------------------------
