@@ -39,11 +39,14 @@ race:
 # End-to-end serving smoke tests: builds the v2v binary, serves a
 # snapshot on a random port, issues one query per endpoint — including
 # a hot reload, /v1/upsert and /v1/delete (visibility without reload,
-# 404 after delete) — and asserts a clean SIGTERM shutdown; plus the
-# live-reload shape-mismatch test (clean 400, previous generation
-# keeps serving).
+# 404 after delete) — scrapes and validates the /metrics exposition,
+# and asserts a clean SIGTERM shutdown; plus the live-reload
+# shape-mismatch test (clean 400, previous generation keeps serving).
+# Set METRICS_SNAPSHOT_OUT to save the scraped /metrics page (CI
+# uploads it as an artifact).
+METRICS_SNAPSHOT_OUT ?=
 serve-smoke:
-	$(GO) test -run 'TestServeSmokeE2E|TestReloadShapeMismatchKeepsServing' -count 1 -v .
+	METRICS_SNAPSHOT_OUT=$(METRICS_SNAPSHOT_OUT) $(GO) test -run 'TestServeSmokeE2E|TestReloadShapeMismatchKeepsServing' -count 1 -v .
 
 # Crash-recovery fault-injection e2e: builds the real binary, serves a
 # snapshot with -wal, SIGKILLs the process in the middle of a mixed

@@ -1,6 +1,7 @@
 // Command loadgen benchmarks a running `v2v serve` instance: it fires
 // a configurable mix of endpoint queries at a target QPS from N
-// concurrent workers and reports throughput and p50/p95/p99 latency,
+// concurrent workers and reports throughput and p50/p95/p99/p99.9
+// latency (from HDR histograms merged across workers),
 // as human-readable text on stderr and as JSON (compatible with the
 // BENCH_<date>.json trajectory format) on the output file.
 //
@@ -147,8 +148,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loadgen: %d requests in %.2fs (%.0f req/s, %d errors, %d workers)\n",
 		res.Overall.Requests, res.DurationSeconds, res.Overall.QPS, res.Overall.Errors, res.Workers)
 	for _, o := range res.PerOp {
-		fmt.Fprintf(os.Stderr, "  %-17s %8d reqs  %8.0f req/s  p50 %6.3fms  p95 %6.3fms  p99 %6.3fms  max %6.1fms\n",
-			o.Op, o.Requests, o.QPS, o.P50Ms, o.P95Ms, o.P99Ms, o.MaxMs)
+		fmt.Fprintf(os.Stderr, "  %-17s %8d reqs  %8.0f req/s  p50 %6.3fms  p95 %6.3fms  p99 %6.3fms  p99.9 %6.3fms  max %6.1fms\n",
+			o.Op, o.Requests, o.QPS, o.P50Ms, o.P95Ms, o.P99Ms, o.P999Ms, o.MaxMs)
 	}
 
 	w := os.Stdout

@@ -279,6 +279,8 @@ func serveMain(args []string) {
 		readonly = fs.Bool("readonly", false, "disable /v1/upsert and /v1/delete (they answer 403)")
 		compact  = fs.Float64("compact-frac", 0, "tombstone fraction that triggers compaction (0 = 0.25 default, negative disables)")
 		quiet    = fs.Bool("q", false, "suppress serving logs")
+		slowMs   = fs.Float64("slowlog-ms", 0, "log a per-stage breakdown for requests slower than this many ms (0 disables)")
+		pprof    = fs.Bool("pprof", false, "expose the net/http/pprof profiling handlers under /debug/pprof/")
 
 		walDir      = fs.String("wal", "", "write-ahead log directory (enables durable writes + crash recovery)")
 		walSync     = fs.String("wal-sync", "", "wal fsync policy: always (default), interval or never")
@@ -298,6 +300,8 @@ func serveMain(args []string) {
 		CacheSize:       *cache,
 		ReadOnly:        *readonly,
 		CompactFraction: *compact,
+		SlowLogMs:       *slowMs,
+		Pprof:           *pprof,
 	}
 	if *walDir != "" {
 		cfg.WAL = v2v.ServeWALConfig{

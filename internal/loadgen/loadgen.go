@@ -16,12 +16,12 @@ import (
 	"net/http"
 	"net/url"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"v2v/internal/telemetry"
 	"v2v/internal/xrand"
 )
 
@@ -156,7 +156,10 @@ type WriteEvent struct {
 	Acked  bool   `json:"acked"`
 }
 
-// OpResult is the measured outcome of one operation type.
+// OpResult is the measured outcome of one operation type. Percentiles
+// cover successful requests (errors are counted, not timed) and come
+// from the shared telemetry histogram, so they carry its ≤ 0.78%
+// relative bucket-width error; Max and Mean are exact.
 type OpResult struct {
 	Op       Op      `json:"op"`
 	Requests int     `json:"requests"`
@@ -165,6 +168,7 @@ type OpResult struct {
 	P50Ms    float64 `json:"p50_ms"`
 	P95Ms    float64 `json:"p95_ms"`
 	P99Ms    float64 `json:"p99_ms"`
+	P999Ms   float64 `json:"p999_ms"`
 	MaxMs    float64 `json:"max_ms"`
 	MeanMs   float64 `json:"mean_ms"`
 }
@@ -182,11 +186,44 @@ type Result struct {
 	Writes []WriteEvent `json:"writes,omitempty"`
 }
 
-// sample is one completed request observation.
-type sample struct {
-	op  int8
-	ok  bool
-	dur time.Duration
+// opAgg accumulates one operation's outcomes within one worker: a
+// request/error tally plus an HDR histogram of successful-request
+// latencies. Workers aggregate into their own opAggs with no
+// synchronization; after the run joins, per-worker aggs merge
+// bucket-wise into per-op totals, and the per-op totals merge again
+// into the overall row — the fixed bucket layout makes both merges
+// exact (the merged histogram equals the histogram of the union of
+// observations). The histogram is allocated lazily so ops absent from
+// the mix cost nothing.
+type opAgg struct {
+	requests int
+	errors   int
+	hist     *telemetry.Histogram
+}
+
+// observe records one completed request.
+func (a *opAgg) observe(ok bool, d time.Duration) {
+	a.requests++
+	if !ok {
+		a.errors++
+		return
+	}
+	if a.hist == nil {
+		a.hist = telemetry.NewHistogram()
+	}
+	a.hist.Observe(d)
+}
+
+// merge folds o into a, bucket-wise.
+func (a *opAgg) merge(o opAgg) {
+	a.requests += o.requests
+	a.errors += o.errors
+	if o.hist != nil {
+		if a.hist == nil {
+			a.hist = telemetry.NewHistogram()
+		}
+		a.hist.Merge(o.hist)
+	}
 }
 
 // Run executes the configured load and aggregates the measurements.
@@ -288,7 +325,7 @@ func Run(cfg Config) (*Result, error) {
 		deadline = start.Add(duration)
 	}
 
-	perWorker := make([][]sample, workers)
+	perWorker := make([][]opAgg, workers)
 	journals := make([][]WriteEvent, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -296,7 +333,7 @@ func Run(cfg Config) (*Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			rng := xrand.NewStream(cfg.Seed, uint64(w))
-			samples := make([]sample, 0, 4096)
+			aggs := make([]opAgg, len(allOps))
 			g := generator{
 				client: client, base: base, tokens: tokens,
 				k: k, batch: batch, rng: rng,
@@ -328,21 +365,30 @@ func Run(cfg Config) (*Result, error) {
 				executed, ok := g.issue(allOps[op])
 				// issue may substitute the drawn op (a delete with no
 				// outstanding target performs an upsert instead);
-				// attribute the sample to what actually ran so per-op
-				// latency is honest.
-				samples = append(samples, sample{op: int8(opIdx[executed]), ok: ok, dur: time.Since(t0)})
+				// attribute the observation to what actually ran so
+				// per-op latency is honest.
+				aggs[opIdx[executed]].observe(ok, time.Since(t0))
 			}
-			perWorker[w] = samples
+			perWorker[w] = aggs
 			journals[w] = g.writes
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []sample
-	for _, s := range perWorker {
-		all = append(all, s...)
+	// Per-op totals across workers, then the overall row as a merge of
+	// the per-op merges — both exact bucket-wise additions.
+	perOp := make([]opAgg, len(allOps))
+	for _, aggs := range perWorker {
+		for i := range aggs {
+			perOp[i].merge(aggs[i])
+		}
 	}
+	var overall opAgg
+	for i := range perOp {
+		overall.merge(perOp[i])
+	}
+
 	res := &Result{
 		DurationSeconds: elapsed.Seconds(),
 		Workers:         workers,
@@ -351,16 +397,10 @@ func Run(cfg Config) (*Result, error) {
 	for _, j := range journals {
 		res.Writes = append(res.Writes, j...)
 	}
-	res.Overall = summarize("overall", all, elapsed)
+	res.Overall = summarize("overall", overall, elapsed)
 	for i, op := range allOps {
-		var sub []sample
-		for _, s := range all {
-			if int(s.op) == i {
-				sub = append(sub, s)
-			}
-		}
-		if len(sub) > 0 {
-			res.PerOp = append(res.PerOp, summarize(op, sub, elapsed))
+		if perOp[i].requests > 0 {
+			res.PerOp = append(res.PerOp, summarize(op, perOp[i], elapsed))
 		}
 	}
 	return res, nil
@@ -610,33 +650,23 @@ func fetchDim(client *http.Client, base string) (int, error) {
 	return out.Dim, nil
 }
 
-// summarize aggregates samples into an OpResult. Latency percentiles
-// cover successful requests; error counts cover the rest.
-func summarize(op Op, samples []sample, elapsed time.Duration) OpResult {
-	r := OpResult{Op: op, Requests: len(samples)}
-	durs := make([]float64, 0, len(samples))
-	var sum float64
-	for _, s := range samples {
-		if !s.ok {
-			r.Errors++
-			continue
-		}
-		ms := float64(s.dur) / float64(time.Millisecond)
-		durs = append(durs, ms)
-		sum += ms
-	}
+// summarize renders an aggregated opAgg into an OpResult. Latency
+// percentiles cover successful requests; error counts cover the rest.
+func summarize(op Op, agg opAgg, elapsed time.Duration) OpResult {
+	r := OpResult{Op: op, Requests: agg.requests, Errors: agg.errors}
 	if elapsed > 0 {
-		r.QPS = float64(len(samples)) / elapsed.Seconds()
+		r.QPS = float64(agg.requests) / elapsed.Seconds()
 	}
-	if len(durs) == 0 {
+	if agg.hist == nil {
 		return r
 	}
-	sort.Float64s(durs)
-	r.P50Ms = percentile(durs, 0.50)
-	r.P95Ms = percentile(durs, 0.95)
-	r.P99Ms = percentile(durs, 0.99)
-	r.MaxMs = durs[len(durs)-1]
-	r.MeanMs = sum / float64(len(durs))
+	s := agg.hist.Snapshot()
+	r.P50Ms = s.QuantileMs(0.50)
+	r.P95Ms = s.QuantileMs(0.95)
+	r.P99Ms = s.QuantileMs(0.99)
+	r.P999Ms = s.QuantileMs(0.999)
+	r.MaxMs = s.MaxMs()
+	r.MeanMs = s.MeanMs()
 	return r
 }
 
@@ -645,7 +675,10 @@ func summarize(op Op, samples []sample, elapsed time.Duration) OpResult {
 // are <= it, i.e. rank ceil(q*n)). The historical implementation
 // rounded (int(q*n+0.5)) instead of taking the ceiling, which
 // under-reports whenever q*n has a fractional part below 0.5 — e.g.
-// n=11, q=0.75 gives rank 8 where nearest-rank defines 9.
+// n=11, q=0.75 gives rank 8 where nearest-rank defines 9. Reporting
+// now comes from the telemetry histogram; this exact implementation
+// stays as the test oracle the histogram's quantiles are checked
+// against.
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
@@ -682,14 +715,17 @@ type ServerMeta struct {
 	Dim     int    `json:"dim,omitempty"`
 }
 
-// BenchSnapshot mirrors cmd/benchjson's Snapshot shape.
+// BenchSnapshot mirrors cmd/benchjson's Snapshot shape, extended with
+// the build metadata block shared with /healthz and /stats so a
+// trajectory row records the toolchain and core count it ran on.
 type BenchSnapshot struct {
-	Date       string       `json:"date"`
-	GoVersion  string       `json:"go_version"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	Server     *ServerMeta  `json:"server,omitempty"`
-	Benchmarks []BenchEntry `json:"benchmarks"`
+	Date       string          `json:"date"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	Build      telemetry.Build `json:"build"`
+	Server     *ServerMeta     `json:"server,omitempty"`
+	Benchmarks []BenchEntry    `json:"benchmarks"`
 }
 
 // Snapshot converts a run into the trajectory document format.
@@ -699,6 +735,7 @@ func (r *Result) Snapshot(date string) BenchSnapshot {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		Build:     telemetry.BuildInfo(),
 	}
 	entry := func(name string, o OpResult) BenchEntry {
 		return BenchEntry{
@@ -706,12 +743,13 @@ func (r *Result) Snapshot(date string) BenchSnapshot {
 			Package:    "v2v/internal/loadgen",
 			Iterations: int64(o.Requests),
 			Metrics: map[string]float64{
-				"qps":    o.QPS,
-				"p50-ms": o.P50Ms,
-				"p95-ms": o.P95Ms,
-				"p99-ms": o.P99Ms,
-				"max-ms": o.MaxMs,
-				"errors": float64(o.Errors),
+				"qps":     o.QPS,
+				"p50-ms":  o.P50Ms,
+				"p95-ms":  o.P95Ms,
+				"p99-ms":  o.P99Ms,
+				"p999-ms": o.P999Ms,
+				"max-ms":  o.MaxMs,
+				"errors":  float64(o.Errors),
 			},
 		}
 	}

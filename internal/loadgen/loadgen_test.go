@@ -3,6 +3,8 @@ package loadgen
 import (
 	"net/http/httptest"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -52,7 +54,7 @@ func TestRunRequestsBound(t *testing.T) {
 	if res.Overall.Errors != 0 {
 		t.Fatalf("%d errors against a healthy server", res.Overall.Errors)
 	}
-	if res.Overall.P50Ms <= 0 || res.Overall.P99Ms < res.Overall.P50Ms {
+	if res.Overall.P50Ms <= 0 || res.Overall.P99Ms < res.Overall.P50Ms || res.Overall.P999Ms < res.Overall.P99Ms {
 		t.Fatalf("implausible percentiles: %+v", res.Overall)
 	}
 	var sum int
@@ -156,8 +158,14 @@ func TestSnapshotShape(t *testing.T) {
 	if snap.Date != "2026-07-26" || len(snap.Benchmarks) != 2 {
 		t.Fatalf("snapshot: %+v", snap)
 	}
+	if !strings.HasPrefix(snap.Build.GoVersion, "go") || snap.Build.GOMAXPROCS < 1 {
+		t.Fatalf("snapshot build block: %+v", snap.Build)
+	}
 	if snap.Benchmarks[0].Name != "LoadgenOverall" || snap.Benchmarks[0].Metrics["qps"] != 10 {
 		t.Fatalf("overall entry: %+v", snap.Benchmarks[0])
+	}
+	if _, ok := snap.Benchmarks[0].Metrics["p999-ms"]; !ok {
+		t.Fatal("overall entry missing p999-ms")
 	}
 	if snap.Benchmarks[1].Name != "Loadgen/neighbors" {
 		t.Fatalf("per-op entry: %+v", snap.Benchmarks[1])
@@ -284,6 +292,71 @@ func TestPercentileNearestRank(t *testing.T) {
 		if got := percentile(seq(c.n), c.q); got != c.want {
 			t.Errorf("percentile(n=%d, q=%g) = %g, want %g", c.n, c.q, got, c.want)
 		}
+	}
+}
+
+// TestOverallMergeMatchesOracle pins the aggregation contract after
+// the histogram switch: the overall row is the bucket-wise merge of
+// the per-op merges, so its observation count equals the sum of the
+// per-op success counts exactly, and its quantiles agree with the
+// exact nearest-rank oracle over the union of all samples to within
+// one bucket width (≤ ~1% relative).
+func TestOverallMergeMatchesOracle(t *testing.T) {
+	const nOps, nWorkers, perWorkerN = 3, 4, 500
+	rng := xrand.New(9)
+	perWorker := make([][]opAgg, nWorkers)
+	var union []float64 // successful latencies in ms, across all workers and ops
+	total, errs := 0, 0
+	for w := range perWorker {
+		aggs := make([]opAgg, nOps)
+		for i := 0; i < perWorkerN; i++ {
+			op := int(rng.Uint64() % nOps)
+			ok := rng.Float64() > 0.05
+			d := time.Duration(rng.Uint64() % 50_000_000) // 0–50ms
+			aggs[op].observe(ok, d)
+			total++
+			if ok {
+				union = append(union, float64(d)/float64(time.Millisecond))
+			} else {
+				errs++
+			}
+		}
+		perWorker[w] = aggs
+	}
+
+	perOp := make([]opAgg, nOps)
+	for _, aggs := range perWorker {
+		for i := range aggs {
+			perOp[i].merge(aggs[i])
+		}
+	}
+	var overall opAgg
+	var opSuccesses uint64
+	for i := range perOp {
+		overall.merge(perOp[i])
+		if perOp[i].hist != nil {
+			opSuccesses += perOp[i].hist.Count()
+		}
+	}
+	if overall.requests != total || overall.errors != errs {
+		t.Fatalf("overall tallies %d/%d, want %d/%d", overall.requests, overall.errors, total, errs)
+	}
+	if got := overall.hist.Count(); got != opSuccesses || got != uint64(len(union)) {
+		t.Fatalf("overall histogram holds %d observations; per-op sum %d, union %d",
+			got, opSuccesses, len(union))
+	}
+
+	sort.Float64s(union)
+	snap := overall.hist.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		exact := percentile(union, q)
+		got := snap.QuantileMs(q)
+		if got < exact || got > exact*1.01+0.001 {
+			t.Errorf("q=%g: histogram says %.6fms, oracle %.6fms", q, got, exact)
+		}
+	}
+	if got, want := snap.MaxMs(), union[len(union)-1]; got != want {
+		t.Errorf("merged max %.6f, want %.6f", got, want)
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,7 @@ import (
 
 	"v2v/internal/linkpred"
 	"v2v/internal/snapshot"
+	"v2v/internal/telemetry"
 	"v2v/internal/vecstore"
 	"v2v/internal/wal"
 	"v2v/internal/word2vec"
@@ -100,6 +102,16 @@ type Config struct {
 	// startup replays the log so a crash loses nothing acknowledged.
 	// The zero value disables it. See wal.go and docs/SERVING.md.
 	WAL WALConfig
+
+	// SlowLogMs logs any request slower than this many milliseconds
+	// as one structured line with its per-stage span breakdown (see
+	// docs/OBSERVABILITY.md). 0 disables the slow-query log.
+	SlowLogMs float64
+
+	// Pprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/. Off by default: the profile endpoints expose
+	// internals and cost CPU while sampling, so they are opt-in.
+	Pprof bool
 
 	// Log receives serving events (startup, reloads). Nil discards.
 	Log *log.Logger
@@ -213,12 +225,18 @@ func (st *modelState) shardCount() int {
 var endpointNames = []string{
 	"neighbors", "neighbors_batch", "similarity", "similarity_batch",
 	"analogy", "predict", "predict_batch", "vocab", "reload", "healthz", "stats",
-	"upsert", "upsert_batch", "delete", "delete_batch",
+	"metrics", "upsert", "upsert_batch", "delete", "delete_batch",
 }
 
 type endpointCounters struct {
 	requests atomic.Uint64
-	errors   atomic.Uint64
+	errors   atomic.Uint64 // handler returned an error (any class)
+	// Status-class split, counted from the status actually written
+	// (via statusWriter), so errors a handler renders itself are
+	// classified too.
+	errors4xx atomic.Uint64
+	errors5xx atomic.Uint64
+	latency   *telemetry.Histogram
 }
 
 // Server is the embedding query server. Build one with New or
@@ -241,6 +259,9 @@ type Server struct {
 	started     time.Time
 	mux         *http.ServeMux
 	counters    map[string]*endpointCounters
+	stages      map[string]*telemetry.Histogram
+	tracePool   sync.Pool // *telemetry.Trace, reset between requests
+	build       telemetry.Build
 
 	// Durability (nil/zero without Config.WAL; see wal.go).
 	wal           *wal.Log
@@ -349,7 +370,10 @@ func newFromModel(cfg Config, m *word2vec.Model, tokens []string, prebuilt vecst
 		logger:   cfg.Log,
 		started:  time.Now(),
 		counters: make(map[string]*endpointCounters, len(endpointNames)),
+		stages:   make(map[string]*telemetry.Histogram, len(stageNames)),
+		build:    telemetry.BuildInfo(),
 	}
+	s.tracePool.New = func() any { return new(telemetry.Trace) }
 	if s.logger == nil {
 		s.logger = log.New(io.Discard, "", 0)
 	}
@@ -359,7 +383,10 @@ func newFromModel(cfg Config, m *word2vec.Model, tokens []string, prebuilt vecst
 	}
 	s.cache = newLRUCache(size) // nil (always-miss) when negative
 	for _, name := range endpointNames {
-		s.counters[name] = &endpointCounters{}
+		s.counters[name] = &endpointCounters{latency: telemetry.NewHistogram()}
+	}
+	for _, name := range stageNames {
+		s.stages[name] = telemetry.NewHistogram()
 	}
 	if _, err := s.swapModel(m, tokens, source, prebuilt); err != nil {
 		return nil, err
@@ -635,6 +662,17 @@ func (s *Server) initMux() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	if s.cfg.Pprof {
+		// The default pprof handlers register on http.DefaultServeMux;
+		// mount them on this server's mux explicitly so they exist only
+		// when opted in.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux.HandleFunc("/v1/neighbors", s.instrument("neighbors", s.handleNeighbors))
 	s.mux.HandleFunc("/v1/neighbors/batch", s.instrument("neighbors_batch", s.handleNeighborsBatch))
 	s.mux.HandleFunc("/v1/similarity", s.instrument("similarity", s.handleSimilarity))
@@ -666,21 +704,43 @@ func errNotFound(format string, args ...any) *httpError {
 	return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
 }
 
-// instrument wraps a handler with request/error counting and JSON
-// error rendering.
+// instrument wraps a handler with the full request telemetry:
+// request/error counting (errors split by status class via a
+// wrapping statusWriter), a latency histogram observation, a pooled
+// per-request trace threaded through the request context for stage
+// spans, and the slow-query log. JSON error rendering for handlers
+// that return an error rides along as before.
 func (s *Server) instrument(name string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	c := s.counters[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.requests.Add(1)
-		if err := h(w, r); err != nil {
+		tr := s.tracePool.Get().(*telemetry.Trace)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		if err := h(sw, r.WithContext(telemetry.NewContext(r.Context(), tr))); err != nil {
 			c.errors.Add(1)
 			code := http.StatusInternalServerError
 			var he *httpError
 			if errors.As(err, &he) {
 				code = he.code
 			}
-			writeJSON(w, code, map[string]string{"error": err.Error()})
+			writeJSON(sw, code, map[string]string{"error": err.Error()})
 		}
+		elapsed := time.Since(start)
+		c.latency.Observe(elapsed)
+		status := sw.status()
+		switch {
+		case status >= 500:
+			c.errors5xx.Add(1)
+		case status >= 400:
+			c.errors4xx.Add(1)
+		}
+		s.observeSpans(tr)
+		if th := s.slowThreshold(); th > 0 && elapsed >= th {
+			s.logSlow(name, status, elapsed, tr)
+		}
+		tr.Reset()
+		s.tracePool.Put(tr)
 	}
 }
 
@@ -825,12 +885,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		"vectors":    st.live(),
 		"dim":        st.dim(),
 		"shards":     st.shardCount(),
+		"build":      s.build,
 	})
 }
 
 // StatsResponse answers /stats.
 type StatsResponse struct {
 	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Build         telemetry.Build              `json:"build"`
 	Generation    uint64                       `json:"generation"`
 	Reloads       uint64                       `json:"reloads"`
 	Model         ModelStats                   `json:"model"`
@@ -869,10 +931,21 @@ type CacheStats struct {
 	Misses   uint64 `json:"misses"`
 }
 
-// EndpointStatsJSON reports per-endpoint traffic.
+// EndpointStatsJSON reports per-endpoint traffic and latency. The
+// percentiles come from the endpoint's HDR histogram (worst-case
+// ~0.8% relative error, see internal/telemetry) over every request
+// since startup.
 type EndpointStatsJSON struct {
-	Requests uint64 `json:"requests"`
-	Errors   uint64 `json:"errors"`
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	Errors4xx uint64  `json:"errors_4xx,omitempty"`
+	Errors5xx uint64  `json:"errors_5xx,omitempty"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	P999Ms    float64 `json:"p999_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+	MaxMs     float64 `json:"max_ms"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
@@ -880,7 +953,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	defer unlock()
 	eps := make(map[string]EndpointStatsJSON, len(s.counters))
 	for name, c := range s.counters {
-		eps[name] = EndpointStatsJSON{Requests: c.requests.Load(), Errors: c.errors.Load()}
+		snap := c.latency.Snapshot()
+		eps[name] = EndpointStatsJSON{
+			Requests:  c.requests.Load(),
+			Errors:    c.errors.Load(),
+			Errors4xx: c.errors4xx.Load(),
+			Errors5xx: c.errors5xx.Load(),
+			P50Ms:     snap.QuantileMs(0.5),
+			P95Ms:     snap.QuantileMs(0.95),
+			P99Ms:     snap.QuantileMs(0.99),
+			P999Ms:    snap.QuantileMs(0.999),
+			MeanMs:    snap.MeanMs(),
+			MaxMs:     snap.MaxMs(),
+		}
 	}
 	// In sharded mode the coordinator compacts its own shards; report
 	// those rebuilds in the same counter the server-level compactor
@@ -895,6 +980,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	}
 	return writeJSONUnlocked(w, unlock, StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		Build:         s.build,
 		Generation:    st.gen,
 		Reloads:       s.reloads.Load(),
 		Model: ModelStats{
@@ -926,6 +1012,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
+	tr := telemetry.FromContext(r.Context())
+	t := time.Now()
 	body, err := bodyParams(r)
 	if err != nil {
 		return err
@@ -938,26 +1026,39 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	t = spanSince(tr, "parse", t)
 	st, unlock := s.readState()
 	defer unlock()
+	t = spanSince(tr, "gen_acquire", t)
 	id, err := st.resolve(tok)
 	if err != nil {
 		return err
 	}
 	key := cacheKey(st.gen, st.epoch.Load(), 'n', k, tok)
-	if buf, ok := s.cache.get(key); ok {
+	buf, hit := s.cache.get(key)
+	t = spanSince(tr, "cache_lookup", t)
+	if hit {
 		unlock()
 		writeJSONBytes(w, http.StatusOK, buf)
+		spanSince(tr, "write", t)
 		return nil
 	}
-	res := st.index.SearchRow(id, k)
-	buf, err := json.Marshal(NeighborsResponse{Vertex: tok, K: k, Neighbors: toNeighborJSON(st, res)})
+	var res []vecstore.Result
+	if st.sharded != nil {
+		res = st.sharded.SearchRowSpans(id, k, traceRecorder(tr))
+	} else {
+		res = st.index.SearchRow(id, k)
+	}
+	t = spanSince(tr, "index_search", t)
+	buf, err = json.Marshal(NeighborsResponse{Vertex: tok, K: k, Neighbors: toNeighborJSON(st, res)})
 	if err != nil {
 		return err
 	}
 	s.cache.put(key, buf)
+	t = spanSince(tr, "encode", t)
 	unlock()
 	writeJSONBytes(w, http.StatusOK, buf)
+	spanSince(tr, "write", t)
 	return nil
 }
 
@@ -973,6 +1074,8 @@ type NeighborsBatchResponse struct {
 }
 
 func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) error {
+	tr := telemetry.FromContext(r.Context())
+	t := time.Now()
 	var req NeighborsBatchRequest
 	if err := decodePost(r, &req); err != nil {
 		return err
@@ -990,8 +1093,10 @@ func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) er
 	if k < 0 || k > s.maxK() {
 		return errBadRequest("invalid k %d", k)
 	}
+	t = spanSince(tr, "parse", t)
 	st, unlock := s.readState()
 	defer unlock()
+	t = spanSince(tr, "gen_acquire", t)
 	// A batch answer is defined as the per-vertex single-query
 	// answers, so each item shares the single endpoint's cache entry:
 	// hits are spliced in as already-serialized JSON, and only the
@@ -1017,11 +1122,13 @@ func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) er
 		missIDs = append(missIDs, id)
 		missQs = append(missQs, st.row(id))
 	}
+	t = spanSince(tr, "cache_lookup", t)
 	if len(missQs) > 0 {
 		// The query vertex ranks first in its own results (score 1
 		// under cosine); ask for k+1 and strip it so batch items match
 		// the single endpoint's SearchRow exactly.
 		batch := st.index.SearchBatch(missQs, k+1)
+		t = spanSince(tr, "index_search", t)
 		for j, res := range batch {
 			i := missIdx[j]
 			filtered := make([]vecstore.Result, 0, k)
@@ -1052,8 +1159,10 @@ func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) er
 		buf.Write(p)
 	}
 	buf.WriteString(`]}`)
+	t = spanSince(tr, "encode", t)
 	unlock()
 	writeJSONBytes(w, http.StatusOK, buf.Bytes())
+	spanSince(tr, "write", t)
 	return nil
 }
 
@@ -1121,6 +1230,8 @@ func (s *Server) handleSimilarityBatch(w http.ResponseWriter, r *http.Request) e
 }
 
 func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
+	tr := telemetry.FromContext(r.Context())
+	t := time.Now()
 	body, err := bodyParams(r)
 	if err != nil {
 		return err
@@ -1135,8 +1246,10 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	t = spanSince(tr, "parse", t)
 	st, unlock := s.readState()
 	defer unlock()
+	t = spanSince(tr, "gen_acquire", t)
 	a, err := st.resolve(aTok)
 	if err != nil {
 		return err
@@ -1155,9 +1268,12 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
 	// answer.
 	key := cacheKey(st.gen, st.epoch.Load(), 'a', k, fmt.Sprintf("%d:%s%d:%s%d:%s",
 		len(aTok), aTok, len(bTok), bTok, len(cTok), cTok))
-	if buf, ok := s.cache.get(key); ok {
+	buf, hit := s.cache.get(key)
+	t = spanSince(tr, "cache_lookup", t)
+	if hit {
 		unlock()
 		writeJSONBytes(w, http.StatusOK, buf)
+		spanSince(tr, "write", t)
 		return nil
 	}
 	// Analogy targets are synthetic vectors (b - a + c); they are
@@ -1170,17 +1286,20 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
 	} else {
 		res = word2vec.AnalogyStore(st.store, a, b, c, k)
 	}
+	t = spanSince(tr, "index_search", t)
 	nbrs := make([]NeighborJSON, len(res))
 	for i, n := range res {
 		nbrs[i] = NeighborJSON{Vertex: st.tokens[n.Word], Score: n.Similarity}
 	}
-	buf, err := json.Marshal(NeighborsResponse{K: k, Neighbors: nbrs})
+	buf, err = json.Marshal(NeighborsResponse{K: k, Neighbors: nbrs})
 	if err != nil {
 		return err
 	}
 	s.cache.put(key, buf)
+	t = spanSince(tr, "encode", t)
 	unlock()
 	writeJSONBytes(w, http.StatusOK, buf)
+	spanSince(tr, "write", t)
 	return nil
 }
 
@@ -1490,11 +1609,15 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) error {
 	if s.cfg.ReadOnly {
 		return errReadOnly
 	}
+	tr := telemetry.FromContext(r.Context())
+	t := time.Now()
 	var req UpsertRequest
 	if err := decodePost(r, &req); err != nil {
 		return err
 	}
+	t = spanSince(tr, "parse", t)
 	st := s.lockCurrent()
+	t = spanSince(tr, "gen_acquire", t)
 	var lsn uint64
 	resp, pw, err := func() (UpsertResponse, postWrite, error) {
 		defer st.mu.Unlock()
@@ -1509,13 +1632,16 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) error {
 		// and the client gets a 500, never an un-replayable ack. Only
 		// the frame write happens under the lock — the fsync wait comes
 		// after the unlock, so concurrent writes share one fsync.
+		t0 := time.Now()
 		if lsn, err = s.walAppendNoSync(wal.Record{Op: wal.OpUpsert, Token: req.Vertex, Vector: req.Vector}); err != nil {
 			return UpsertResponse{}, postWrite{}, err
 		}
+		t0 = spanSince(tr, "wal_append", t0)
 		resp, err := s.applyUpsert(st, midx, &req)
 		if err != nil {
 			return UpsertResponse{}, postWrite{}, err
 		}
+		spanSince(tr, "apply", t0)
 		// Replace-upserts tombstone the old row, so an update-heavy
 		// workload crosses the compaction threshold without a single
 		// delete — check here too.
@@ -1524,11 +1650,14 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	t = time.Now()
 	if err := s.walWaitDurable(lsn); err != nil {
 		return err
 	}
+	t = spanSince(tr, "wal_fsync", t)
 	s.runPostWrite(st, pw)
 	writeJSON(w, http.StatusOK, resp)
+	spanSince(tr, "write", t)
 	return nil
 }
 
@@ -1546,7 +1675,10 @@ func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) error
 	if max := s.maxBatch(); len(req.Items) > max {
 		return errBadRequest("batch of %d exceeds limit %d", len(req.Items), max)
 	}
+	tr := telemetry.FromContext(r.Context())
+	t := time.Now()
 	st := s.lockCurrent()
+	t = spanSince(tr, "gen_acquire", t)
 	var lsn uint64
 	out, pw, err := func() (UpsertBatchResponse, postWrite, error) {
 		defer st.mu.Unlock()
@@ -1567,25 +1699,31 @@ func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) error
 		for i := range req.Items {
 			recs[i] = wal.Record{Op: wal.OpUpsert, Token: req.Items[i].Vertex, Vector: req.Items[i].Vector}
 		}
+		t0 := time.Now()
 		if lsn, err = s.walAppendNoSync(recs...); err != nil {
 			return out, postWrite{}, err
 		}
+		t0 = spanSince(tr, "wal_append", t0)
 		out.Results = make([]UpsertResponse, len(req.Items))
 		for i := range req.Items {
 			if out.Results[i], err = s.applyUpsert(st, midx, &req.Items[i]); err != nil {
 				return out, postWrite{}, err
 			}
 		}
+		spanSince(tr, "apply", t0)
 		return out, s.planPostWrite(st), nil
 	}()
 	if err != nil {
 		return err
 	}
+	t = time.Now()
 	if err := s.walWaitDurable(lsn); err != nil {
 		return err
 	}
+	t = spanSince(tr, "wal_fsync", t)
 	s.runPostWrite(st, pw)
 	writeJSON(w, http.StatusOK, out)
+	spanSince(tr, "write", t)
 	return nil
 }
 
@@ -1619,7 +1757,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	if req.Vertex == "" {
 		return errBadRequest("missing 'vertex'")
 	}
+	tr := telemetry.FromContext(r.Context())
+	t := time.Now()
 	st := s.lockCurrent()
+	t = spanSince(tr, "gen_acquire", t)
 	var lsn uint64
 	resp, pw, err := func() (DeleteResponse, postWrite, error) {
 		defer st.mu.Unlock()
@@ -1631,24 +1772,30 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 		if _, ok := st.byToken[req.Vertex]; !ok {
 			return DeleteResponse{}, postWrite{}, errNotFound("unknown vertex %q", req.Vertex)
 		}
+		t0 := time.Now()
 		if lsn, err = s.walAppendNoSync(wal.Record{Op: wal.OpDelete, Token: req.Vertex}); err != nil {
 			return DeleteResponse{}, postWrite{}, err
 		}
+		t0 = spanSince(tr, "wal_append", t0)
 		resp, err := s.applyDelete(st, midx, req.Vertex)
 		if err != nil {
 			return DeleteResponse{}, postWrite{}, err
 		}
+		spanSince(tr, "apply", t0)
 		return resp, s.planPostWrite(st), nil
 	}()
 	if err != nil {
 		return err
 	}
+	t = time.Now()
 	if err := s.walWaitDurable(lsn); err != nil {
 		return err
 	}
+	t = spanSince(tr, "wal_fsync", t)
 	resp.Compacted = pw.compact != nil
 	s.runPostWrite(st, pw)
 	writeJSON(w, http.StatusOK, resp)
+	spanSince(tr, "write", t)
 	return nil
 }
 
@@ -1666,7 +1813,10 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) error
 	if max := s.maxBatch(); len(req.Vertices) > max {
 		return errBadRequest("batch of %d exceeds limit %d", len(req.Vertices), max)
 	}
+	tr := telemetry.FromContext(r.Context())
+	t := time.Now()
 	st := s.lockCurrent()
+	t = spanSince(tr, "gen_acquire", t)
 	var lsn uint64
 	out, pw, err := func() (DeleteBatchResponse, postWrite, error) {
 		defer st.mu.Unlock()
@@ -1695,28 +1845,34 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) error
 		for i, tok := range req.Vertices {
 			recs[i] = wal.Record{Op: wal.OpDelete, Token: tok}
 		}
+		t0 := time.Now()
 		if lsn, err = s.walAppendNoSync(recs...); err != nil {
 			return out, postWrite{}, err
 		}
+		t0 = spanSince(tr, "wal_append", t0)
 		out.Results = make([]DeleteResponse, len(req.Vertices))
 		for i, tok := range req.Vertices {
 			if out.Results[i], err = s.applyDelete(st, midx, tok); err != nil {
 				return out, postWrite{}, err
 			}
 		}
+		spanSince(tr, "apply", t0)
 		return out, s.planPostWrite(st), nil
 	}()
 	if err != nil {
 		return err
 	}
+	t = time.Now()
 	if err := s.walWaitDurable(lsn); err != nil {
 		return err
 	}
+	t = spanSince(tr, "wal_fsync", t)
 	if pw.compact != nil && len(out.Results) > 0 {
 		out.Results[len(out.Results)-1].Compacted = true
 	}
 	s.runPostWrite(st, pw)
 	writeJSON(w, http.StatusOK, out)
+	spanSince(tr, "write", t)
 	return nil
 }
 

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// DefaultBuckets is the exposition bucket ladder in seconds: a
+// 1-2.5-5 ladder from 1 µs to 60 s (the histogram's native range),
+// plus the implicit +Inf bucket. The fine internal layout (≤ 0.78%
+// buckets) is aggregated onto this ladder at scrape time, so the
+// exposition stays ~25 lines per series while quantile math inside
+// the process keeps full resolution.
+var DefaultBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// Sample is one series of a counter or gauge family: an optional
+// label set (rendered exactly as given, e.g. `endpoint="neighbors"`)
+// and its value.
+type Sample struct {
+	Labels string
+	Value  float64
+}
+
+// HistSeries is one labeled series of a histogram family.
+type HistSeries struct {
+	Labels string
+	Snap   HistogramSnapshot
+}
+
+// ExpoWriter renders metric families in the Prometheus text
+// exposition format (version 0.0.4). Families must be written as
+// whole units (one call per family) so # HELP/# TYPE headers appear
+// exactly once; the first write error sticks and is reported by Err.
+type ExpoWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewExpoWriter wraps w.
+func NewExpoWriter(w io.Writer) *ExpoWriter { return &ExpoWriter{w: w} }
+
+// Err returns the first error any write encountered.
+func (e *ExpoWriter) Err() error { return e.err }
+
+func (e *ExpoWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func (e *ExpoWriter) header(name, typ, help string) {
+	e.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// fmtValue renders a sample value the Prometheus way (integers
+// without a decimal point, floats in shortest form).
+func fmtValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func (e *ExpoWriter) sample(name, labels, suffix string, v float64) {
+	if labels == "" {
+		e.printf("%s%s %s\n", name, suffix, fmtValue(v))
+		return
+	}
+	e.printf("%s%s{%s} %s\n", name, suffix, labels, fmtValue(v))
+}
+
+// CounterFamily writes one counter family with all its series.
+func (e *ExpoWriter) CounterFamily(name, help string, samples ...Sample) {
+	e.header(name, "counter", help)
+	for _, s := range samples {
+		e.sample(name, s.Labels, "", s.Value)
+	}
+}
+
+// GaugeFamily writes one gauge family with all its series.
+func (e *ExpoWriter) GaugeFamily(name, help string, samples ...Sample) {
+	e.header(name, "gauge", help)
+	for _, s := range samples {
+		e.sample(name, s.Labels, "", s.Value)
+	}
+}
+
+// HistogramFamily writes one histogram family: for each series the
+// cumulative DefaultBuckets ladder plus the implicit +Inf bucket,
+// then _sum (in seconds) and _count. The +Inf bucket and _count are
+// both the snapshot's total, so the family is internally consistent
+// by construction.
+func (e *ExpoWriter) HistogramFamily(name, help string, series ...HistSeries) {
+	e.header(name, "histogram", help)
+	for _, hs := range series {
+		for _, b := range DefaultBuckets {
+			le := fmtValue(b)
+			cum := hs.Snap.CumulativeAtNs(uint64(b * 1e9))
+			e.sample(name, joinLabels(hs.Labels, `le="`+le+`"`), "_bucket", float64(cum))
+		}
+		e.sample(name, joinLabels(hs.Labels, `le="+Inf"`), "_bucket", float64(hs.Snap.Count))
+		e.sample(name, hs.Labels, "_sum", float64(hs.Snap.SumNs)/1e9)
+		e.sample(name, hs.Labels, "_count", float64(hs.Snap.Count))
+	}
+}
+
+// joinLabels appends extra to a (possibly empty) label set.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}

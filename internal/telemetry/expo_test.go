@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExpoRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.ObserveNs(uint64(i) * 50_000) // 0–50ms
+	}
+	var buf bytes.Buffer
+	w := NewExpoWriter(&buf)
+	w.CounterFamily("v2v_requests_total", "Requests served.",
+		Sample{Labels: `endpoint="neighbors"`, Value: 1000},
+		Sample{Labels: `endpoint="stats"`, Value: 2})
+	w.GaugeFamily("v2v_generation", "Current model generation.", Sample{Value: 3})
+	w.HistogramFamily("v2v_request_seconds", "Request latency.",
+		HistSeries{Labels: `endpoint="neighbors"`, Snap: h.Snapshot()})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatalf("validate: %v\n%s", err, buf.String())
+	}
+	if v, ok := e.Value("v2v_requests_total", `endpoint="neighbors"`); !ok || v != 1000 {
+		t.Fatalf("requests_total = %v, %v", v, ok)
+	}
+	if v, ok := e.Value("v2v_generation", ""); !ok || v != 3 {
+		t.Fatalf("generation = %v, %v", v, ok)
+	}
+	f := e.Family("v2v_request_seconds")
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("histogram family missing or mistyped: %+v", f)
+	}
+	if got := f.Series["_count"][`endpoint="neighbors"`]; got != 1000 {
+		t.Fatalf("_count = %g", got)
+	}
+	// The 50ms bound must hold every observation below it: values are
+	// 0..49.95ms, so le="0.05" covers all but the straddling bucket.
+	if got := f.Series["_bucket"][`endpoint="neighbors",le="0.05"`]; got < 990 {
+		t.Fatalf("le=0.05 bucket = %g, want >= 990", got)
+	}
+}
+
+func TestParserRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"duplicate series": "# TYPE a counter\na 1\na 1\n",
+		"duplicate TYPE":   "# TYPE a counter\n# TYPE a counter\n",
+		"bad value":        "# TYPE a counter\na xyz\n",
+		"bad name":         "# TYPE a counter\n1a 5\n",
+		"unbalanced":       "# TYPE a counter\na{x=\"1\" 5\n",
+	}
+	for name, page := range cases {
+		if _, err := ParseExposition([]byte(page)); err == nil {
+			t.Errorf("%s: parse accepted %q", name, page)
+		}
+	}
+}
+
+func TestValidateCatchesBrokenHistograms(t *testing.T) {
+	cases := map[string]string{
+		"non-cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"no +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 6\n",
+		"missing sum": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+	}
+	for name, page := range cases {
+		e, err := ParseExposition([]byte(page))
+		if err != nil {
+			t.Fatalf("%s: parse failed: %v", name, err)
+		}
+		if err := e.Validate(); err == nil {
+			t.Errorf("%s: validation accepted a broken histogram", name)
+		}
+	}
+	good := "# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 7\nh_sum 1.5\nh_count 7\n"
+	e, err := ParseExposition([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatalf("validation rejected a well-formed histogram: %v", err)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var tr Trace
+	tr.Add("cache_lookup", 100*time.Microsecond)
+	tr.Add("shard_wait/3", 2*time.Millisecond)
+	tr.Add("negative", -time.Second)
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[2].Dur != 0 {
+		t.Fatal("negative span not clamped")
+	}
+	// Only top-level spans count toward the sum: shard_wait/3 is a
+	// detail span nested inside some top-level stage's wall time.
+	if got := tr.SpanSumMs(); got < 0.099 || got > 0.101 {
+		t.Fatalf("SpanSumMs = %g", got)
+	}
+	if Stage("shard_wait/3") != "shard_wait" || Stage("encode") != "encode" {
+		t.Fatal("Stage suffix stripping broken")
+	}
+	tr.Reset()
+	if len(tr.Spans()) != 0 {
+		t.Fatal("Reset did not clear spans")
+	}
+
+	// Nil traces record nothing and never panic.
+	var nilT *Trace
+	nilT.Add("x", time.Second)
+	nilT.Reset()
+	if nilT.Spans() != nil || nilT.SpanSumMs() != 0 {
+		t.Fatal("nil trace misbehaved")
+	}
+
+	// Context round trip.
+	ctx := NewContext(context.Background(), &tr)
+	if FromContext(ctx) != &tr {
+		t.Fatal("context did not carry the trace")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context returned a trace")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := BuildInfo()
+	if !strings.HasPrefix(b.GoVersion, "go") {
+		t.Fatalf("GoVersion = %q", b.GoVersion)
+	}
+	if b.GOMAXPROCS < 1 || b.NumCPU < 1 {
+		t.Fatalf("bad runtime counts: %+v", b)
+	}
+}

@@ -1,0 +1,266 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the consuming half of the exposition contract: a small
+// Prometheus text-format parser the smoke tests and CI use to
+// validate what /metrics serves — unique family declarations, no
+// duplicate series, and (via Validate) the histogram invariants:
+// cumulative buckets monotone in le, a +Inf bucket present and equal
+// to _count, and _sum present. It parses the subset of the 0.0.4
+// text format ExpoWriter emits (which is the subset everything else
+// emits too).
+
+// ExpoFamily is one parsed metric family.
+type ExpoFamily struct {
+	Name string
+	Type string // counter | gauge | histogram | untyped
+	// Series maps the rendered label set (as it appeared between the
+	// braces, "" for none) to the sample value, per suffix: the base
+	// name's samples live under "", histogram components under
+	// "_bucket", "_sum", "_count".
+	Series map[string]map[string]float64
+}
+
+// Exposition is a parsed /metrics page.
+type Exposition struct {
+	Families map[string]*ExpoFamily
+}
+
+// Family returns a family by base name, or nil.
+func (e *Exposition) Family(name string) *ExpoFamily { return e.Families[name] }
+
+// Value returns the value of series `name{labels}` (base samples
+// only) and whether it exists.
+func (e *Exposition) Value(name, labels string) (float64, bool) {
+	f := e.Families[name]
+	if f == nil {
+		return 0, false
+	}
+	v, ok := f.Series[""][labels]
+	return v, ok
+}
+
+// ParseExposition parses a text-format exposition page, rejecting
+// malformed lines, duplicate TYPE declarations and duplicate series
+// outright. Call Validate on the result for the histogram invariants.
+func ParseExposition(data []byte) (*Exposition, error) {
+	e := &Exposition{Families: make(map[string]*ExpoFamily)}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	family := func(name string) *ExpoFamily {
+		f := e.Families[name]
+		if f == nil {
+			f = &ExpoFamily{Name: name, Type: "untyped", Series: make(map[string]map[string]float64)}
+			e.Families[name] = f
+		}
+		return f
+	}
+	declared := make(map[string]bool)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return nil, fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				name := fields[2]
+				if declared[name] {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				declared[name] = true
+				family(name).Type = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, sfx)
+			if trimmed != name && declared[trimmed] && e.Families[trimmed].Type == "histogram" {
+				base, suffix = trimmed, sfx
+				break
+			}
+		}
+		f := family(base)
+		if f.Series[suffix] == nil {
+			f.Series[suffix] = make(map[string]float64)
+		}
+		if _, dup := f.Series[suffix][labels]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s%s{%s}", lineNo, base, suffix, labels)
+		}
+		f.Series[suffix][labels] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// parseSample splits `name{labels} value` (labels optional).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = line[i+1 : j]
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		k := strings.IndexByte(line, ' ')
+		if k < 0 {
+			return "", "", 0, fmt.Errorf("no value in %q", line)
+		}
+		name = line[:k]
+		rest = strings.TrimSpace(line[k:])
+	}
+	if name == "" || !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name in %q", line)
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	return name, labels, value, nil
+}
+
+func validMetricName(s string) bool {
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// labelsWithoutLE strips the le="..." pair from a bucket series'
+// label set, returning the residual labels and the le value.
+func labelsWithoutLE(labels string) (rest string, le float64, ok bool) {
+	var kept []string
+	le = math.NaN()
+	for _, pair := range splitLabelPairs(labels) {
+		k, v, found := strings.Cut(pair, "=")
+		if found && k == "le" {
+			raw := strings.Trim(v, `"`)
+			if raw == "+Inf" {
+				le = math.Inf(1)
+			} else if f, err := strconv.ParseFloat(raw, 64); err == nil {
+				le = f
+			} else {
+				return "", 0, false
+			}
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if math.IsNaN(le) {
+		return "", 0, false
+	}
+	return strings.Join(kept, ","), le, true
+}
+
+// splitLabelPairs splits `a="x",b="y,z"` on commas outside quotes.
+func splitLabelPairs(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var out []string
+	inQuote := false
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '"':
+			if i == 0 || labels[i-1] != '\\' {
+				inQuote = !inQuote
+			}
+		case ',':
+			if !inQuote {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, labels[start:])
+}
+
+// Validate checks the parsed page's structural invariants: every
+// histogram family's bucket series must be cumulative (non-decreasing
+// with increasing le), end in a +Inf bucket whose value equals the
+// series' _count, and carry a finite non-negative _sum.
+func (e *Exposition) Validate() error {
+	for name, f := range e.Families {
+		if f.Type != "histogram" {
+			continue
+		}
+		type bkt struct {
+			le  float64
+			cum float64
+		}
+		perSeries := make(map[string][]bkt)
+		for labels, v := range f.Series["_bucket"] {
+			rest, le, ok := labelsWithoutLE(labels)
+			if !ok {
+				return fmt.Errorf("%s_bucket{%s}: missing or bad le label", name, labels)
+			}
+			perSeries[rest] = append(perSeries[rest], bkt{le, v})
+		}
+		if len(perSeries) == 0 {
+			return fmt.Errorf("histogram %s has no _bucket series", name)
+		}
+		for labels, bkts := range perSeries {
+			sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+			last := math.Inf(-1)
+			prev := -1.0
+			for _, b := range bkts {
+				if b.le == last {
+					return fmt.Errorf("%s{%s}: duplicate le=%g", name, labels, b.le)
+				}
+				if b.cum < prev {
+					return fmt.Errorf("%s{%s}: bucket counts not cumulative at le=%g (%g < %g)", name, labels, b.le, b.cum, prev)
+				}
+				last, prev = b.le, b.cum
+			}
+			if !math.IsInf(last, 1) {
+				return fmt.Errorf("%s{%s}: no +Inf bucket", name, labels)
+			}
+			count, ok := f.Series["_count"][labels]
+			if !ok {
+				return fmt.Errorf("%s{%s}: missing _count", name, labels)
+			}
+			if count != prev {
+				return fmt.Errorf("%s{%s}: _count %g != +Inf bucket %g", name, labels, count, prev)
+			}
+			sum, ok := f.Series["_sum"][labels]
+			if !ok {
+				return fmt.Errorf("%s{%s}: missing _sum", name, labels)
+			}
+			if math.IsNaN(sum) || math.IsInf(sum, 0) || sum < 0 {
+				return fmt.Errorf("%s{%s}: bad _sum %g", name, labels, sum)
+			}
+		}
+	}
+	return nil
+}

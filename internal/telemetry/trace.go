@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+)
+
+// Span is one named, timed stage of a request (cache lookup, index
+// search, WAL fsync wait, ...). Names may carry a "/suffix" detail
+// segment ("shard_wait/3"); aggregation strips it (see Stage).
+type Span struct {
+	Name string        `json:"name"`
+	Dur  time.Duration `json:"-"`
+	Ms   float64       `json:"ms"` // Dur in float milliseconds, for the slow-query log
+}
+
+// Trace accumulates the stage spans of one request. It is owned by a
+// single request goroutine (not concurrency-safe) and is cheap enough
+// to run on every request: recording a span is an append into a
+// reused slice. A nil *Trace is valid and records nothing, so
+// instrumented code never branches on whether tracing is on.
+type Trace struct {
+	spans []Span
+}
+
+// Add records one completed span. No-op on a nil trace.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.spans = append(t.spans, Span{Name: name, Dur: d, Ms: float64(d) / float64(time.Millisecond)})
+}
+
+// Spans returns the recorded spans in record order. The slice aliases
+// the trace's storage; it is invalidated by Reset.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Reset clears the trace for reuse (pooling across requests).
+func (t *Trace) Reset() {
+	if t != nil {
+		t.spans = t.spans[:0]
+	}
+}
+
+// SpanSumMs returns the sum of the top-level span durations in
+// milliseconds — the slow-query log reports it next to the request
+// total so a reader can see how much of the latency the stages
+// explain. Detail spans (those with a "/" in the name, e.g. the
+// per-shard waits nested inside an index search) are excluded: they
+// overlap a top-level span's wall time, and counting both would make
+// the sum exceed the request total.
+func (t *Trace) SpanSumMs() float64 {
+	if t == nil {
+		return 0
+	}
+	var ms float64
+	for _, sp := range t.spans {
+		if Stage(sp.Name) == sp.Name {
+			ms += sp.Ms
+		}
+	}
+	return ms
+}
+
+// Stage returns a span name's aggregation key: the name with any
+// "/detail" suffix stripped, so "shard_wait/3" feeds the "shard_wait"
+// stage histogram while the slow-query log keeps the per-shard
+// detail.
+func Stage(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// traceKey is the context key for the request trace.
+type traceKey struct{}
+
+// NewContext returns ctx carrying t.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil (which records
+// nothing) when there is none.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

@@ -2,8 +2,10 @@ package vecstore
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Sharded is a scatter-gather coordinator over N hash-partitioned
@@ -550,24 +552,75 @@ func (sh *Sharded) compactShard(sid int) {
 	}()
 }
 
-// Search implements Index: the query fans out to every shard in
-// parallel, each shard answers from its own index under its read
-// lock, and the per-shard top-k merge keeps the global (score
-// descending, ID ascending) order.
-func (sh *Sharded) Search(q []float32, k int) []Result {
-	perShard := make([][]Result, len(sh.shards))
+// SpanRecorder receives named stage durations from a scatter-gather
+// query: one "shard_wait/<sid>" span per shard (that shard's lock +
+// search time) and one "merge" span for the top-k merge. Recorders
+// are invoked sequentially on the calling goroutine, after the
+// fan-out has joined, so they need no internal locking. A nil
+// recorder disables timing entirely — the untraced path does not even
+// read the clock.
+type SpanRecorder func(name string, d time.Duration)
+
+// fanOut runs one search closure per shard in parallel and, when rec
+// is non-nil, replays each shard's elapsed time to it after the join.
+// search runs under no locks — each closure takes its own shard read
+// lock — and fanOut guarantees all closures have returned when it
+// does.
+func (sh *Sharded) fanOut(rec SpanRecorder, search func(sid int, vs *vshard)) {
+	var durs []time.Duration
+	if rec != nil {
+		durs = make([]time.Duration, len(sh.shards))
+	}
 	var wg sync.WaitGroup
 	for sid, vs := range sh.shards {
 		wg.Add(1)
 		go func(sid int, vs *vshard) {
 			defer wg.Done()
-			vs.mu.RLock()
-			defer vs.mu.RUnlock()
-			perShard[sid] = toGlobal(vs.idx.Search(q, k), vs.globals)
+			if durs != nil {
+				start := time.Now()
+				defer func() { durs[sid] = time.Since(start) }()
+			}
+			search(sid, vs)
 		}(sid, vs)
 	}
 	wg.Wait()
-	return mergeTopK(perShard, k)
+	for sid, d := range durs {
+		rec("shard_wait/"+strconv.Itoa(sid), d)
+	}
+}
+
+// timeSpan records the duration of fn under name when rec is non-nil.
+func timeSpan(rec SpanRecorder, name string, fn func()) {
+	if rec == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	rec(name, time.Since(start))
+}
+
+// Search implements Index: the query fans out to every shard in
+// parallel, each shard answers from its own index under its read
+// lock, and the per-shard top-k merge keeps the global (score
+// descending, ID ascending) order.
+func (sh *Sharded) Search(q []float32, k int) []Result {
+	return sh.SearchSpans(q, k, nil)
+}
+
+// SearchSpans is Search with per-stage timing: rec (may be nil)
+// receives one "shard_wait/<sid>" span per shard and a "merge" span.
+// Results are identical to Search for the same inputs.
+func (sh *Sharded) SearchSpans(q []float32, k int, rec SpanRecorder) []Result {
+	perShard := make([][]Result, len(sh.shards))
+	sh.fanOut(rec, func(sid int, vs *vshard) {
+		vs.mu.RLock()
+		defer vs.mu.RUnlock()
+		perShard[sid] = toGlobal(vs.idx.Search(q, k), vs.globals)
+	})
+	var out []Result
+	timeSpan(rec, "merge", func() { out = mergeTopK(perShard, k) })
+	return out
 }
 
 // SearchRow implements Index: every shard searches with row i's
@@ -577,6 +630,14 @@ func (sh *Sharded) Search(q []float32, k int) []Result {
 // including it, minus i. Panics when the row was compacted away
 // (check Deleted first).
 func (sh *Sharded) SearchRow(i, k int) []Result {
+	return sh.SearchRowSpans(i, k, nil)
+}
+
+// SearchRowSpans is SearchRow with per-stage timing: rec (may be nil)
+// receives one "shard_wait/<sid>" span per shard and a "merge" span
+// covering the top-k merge and self-row strip. Results are identical
+// to SearchRow for the same inputs.
+func (sh *Sharded) SearchRowSpans(i, k int, rec SpanRecorder) []Result {
 	vs0, local := sh.lockRow(i)
 	q := vs0.store.Row(local) // contents immutable; valid after unlock
 	vs0.mu.RUnlock()
@@ -585,27 +646,24 @@ func (sh *Sharded) SearchRow(i, k int) []Result {
 	}
 
 	perShard := make([][]Result, len(sh.shards))
-	var wg sync.WaitGroup
-	for sid, vs := range sh.shards {
-		wg.Add(1)
-		go func(sid int, vs *vshard) {
-			defer wg.Done()
-			vs.mu.RLock()
-			defer vs.mu.RUnlock()
-			perShard[sid] = toGlobal(vs.idx.Search(q, k+1), vs.globals)
-		}(sid, vs)
-	}
-	wg.Wait()
-	merged := mergeTopK(perShard, k+1)
-	out := merged[:0]
-	for _, r := range merged {
-		if r.ID != i {
-			out = append(out, r)
+	sh.fanOut(rec, func(sid int, vs *vshard) {
+		vs.mu.RLock()
+		defer vs.mu.RUnlock()
+		perShard[sid] = toGlobal(vs.idx.Search(q, k+1), vs.globals)
+	})
+	var out []Result
+	timeSpan(rec, "merge", func() {
+		merged := mergeTopK(perShard, k+1)
+		out = merged[:0]
+		for _, r := range merged {
+			if r.ID != i {
+				out = append(out, r)
+			}
 		}
-	}
-	if len(out) > k {
-		out = out[:k]
-	}
+		if len(out) > k {
+			out = out[:k]
+		}
+	})
 	return out
 }
 

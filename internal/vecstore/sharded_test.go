@@ -416,3 +416,63 @@ func TestShardedConcurrent(t *testing.T) {
 		t.Fatalf("shard stats live %d != Live() %d", total, sh.Live())
 	}
 }
+
+// TestShardedSearchSpans: the span-recording search variants return
+// results bit-identical to their untraced twins, and the recorder
+// sees exactly one shard_wait span per shard followed by one merge
+// span, replayed sequentially after the fan-out joins.
+func TestShardedSearchSpans(t *testing.T) {
+	const n, dim, k, shards = 300, 16, 8, 4
+	sh, err := OpenSharded(randStore(n, dim, 3), Config{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = float32(j%5) - 2
+	}
+
+	type span struct {
+		name string
+		d    time.Duration
+	}
+	var spans []span
+	rec := func(name string, d time.Duration) { spans = append(spans, span{name, d}) }
+
+	checkSpans := func(what string) {
+		t.Helper()
+		if len(spans) != shards+1 {
+			t.Fatalf("%s: recorded %d spans, want %d: %v", what, len(spans), shards+1, spans)
+		}
+		for sid := 0; sid < shards; sid++ {
+			want := fmt.Sprintf("shard_wait/%d", sid)
+			if spans[sid].name != want {
+				t.Fatalf("%s: span %d = %q, want %q", what, sid, spans[sid].name, want)
+			}
+			if spans[sid].d < 0 {
+				t.Fatalf("%s: negative duration for %s", what, want)
+			}
+		}
+		if spans[shards].name != "merge" {
+			t.Fatalf("%s: last span = %q, want merge", what, spans[shards].name)
+		}
+	}
+
+	spans = nil
+	sameResults(t, "SearchSpans", sh.SearchSpans(q, k, rec), sh.Search(q, k))
+	checkSpans("SearchSpans")
+
+	spans = nil
+	sameResults(t, "SearchRowSpans", sh.SearchRowSpans(7, k, rec), sh.SearchRow(7, k))
+	checkSpans("SearchRowSpans")
+
+	// A nil recorder must be accepted and record nothing (it is the
+	// untraced hot path).
+	spans = nil
+	if got := sh.SearchRowSpans(7, 0, nil); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if len(spans) != 0 {
+		t.Fatal("nil recorder leaked spans")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"v2v/internal/snapshot"
+	"v2v/internal/telemetry"
 	"v2v/internal/vecstore"
 )
 
@@ -162,6 +164,46 @@ func TestServeSmokeE2E(t *testing.T) {
 	// previous generation keeps serving.
 	postCode("/v1/reload", fmt.Sprintf(`{"path":%q}`, filepath.Join(dir, "gone.snap")), 400)
 	get("/v1/neighbors?vertex=3&k=5")
+
+	// Scrape /metrics after the sweep: the exposition must parse and
+	// validate (unique names, monotone cumulative buckets, _sum/_count
+	// consistency), and every endpoint exercised above must have
+	// counted its requests. CI uploads the page as an artifact when
+	// METRICS_SNAPSHOT_OUT names a path.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	expo, err := telemetry.ParseExposition(page)
+	if err != nil {
+		t.Fatalf("parsing /metrics: %v\n%s", err, page)
+	}
+	if err := expo.Validate(); err != nil {
+		t.Fatalf("validating /metrics: %v\n%s", err, page)
+	}
+	for _, ep := range []string{
+		"healthz", "stats", "neighbors", "neighbors_batch", "similarity",
+		"similarity_batch", "analogy", "predict", "predict_batch", "vocab",
+		"reload", "upsert", "upsert_batch", "delete", "delete_batch",
+	} {
+		if v, ok := expo.Value("v2v_requests_total", fmt.Sprintf("endpoint=%q", ep)); !ok || v < 1 {
+			t.Errorf("endpoint %q counted %v requests (present=%v), want >= 1", ep, v, ok)
+		}
+	}
+	if f := expo.Family("v2v_build_info"); f == nil || len(f.Series[""]) != 1 {
+		t.Errorf("v2v_build_info missing or malformed: %+v", f)
+	}
+	if out := os.Getenv("METRICS_SNAPSHOT_OUT"); out != "" {
+		if err := os.WriteFile(out, page, 0o644); err != nil {
+			t.Fatalf("writing metrics snapshot: %v", err)
+		}
+		t.Logf("metrics snapshot written to %s (%d bytes)", out, len(page))
+	}
 
 	// Clean SIGTERM shutdown: exit code 0, within the grace period.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
