@@ -9,6 +9,7 @@ DATE    := $(shell date -u +%Y-%m-%d)
 BENCH_OUT ?= BENCH_$(DATE).json
 LOADGEN_OUT ?= LOADGEN_$(DATE).json
 LOADGEN_HNSW_OUT ?= LOADGEN_HNSW_$(DATE).json
+SWEEP_OUT ?= SWEEP_$(DATE).json
 HNSW_OUT ?= hnsw-recall.json
 
 # One representative benchmark per pipeline stage plus the full query
@@ -18,7 +19,8 @@ BENCH_PKGS    ?= ./internal/walk ./internal/word2vec ./internal/vecstore ./inter
 
 .PHONY: build test race vet bench bench-short serve-smoke crash-smoke crash-smoke-short \
 	crash-smoke-sharded wal-fuzz loadgen-bench loadgen-short \
-	loadgen-write loadgen-write-short loadgen-sharded hnsw-recall hnsw-recall-full \
+	loadgen-write loadgen-write-short loadgen-sharded loadgen-sweep loadgen-sweep-short \
+	hnsw-recall hnsw-recall-full \
 	hnsw-recall-incr hnsw-recall-incr-full hnsw-recall-sharded loadgen-hnsw clean
 
 build:
@@ -46,7 +48,7 @@ race:
 # uploads it as an artifact).
 METRICS_SNAPSHOT_OUT ?=
 serve-smoke:
-	METRICS_SNAPSHOT_OUT=$(METRICS_SNAPSHOT_OUT) $(GO) test -run 'TestServeSmokeE2E|TestReloadShapeMismatchKeepsServing' -count 1 -v .
+	METRICS_SNAPSHOT_OUT=$(METRICS_SNAPSHOT_OUT) $(GO) test -run 'TestServeSmokeE2E|TestReloadShapeMismatchKeepsServing|TestOverloadSheddingE2E|TestLoadgenSweepE2E' -count 1 -v .
 
 # Crash-recovery fault-injection e2e: builds the real binary, serves a
 # snapshot with -wal, SIGKILLs the process in the middle of a mixed
@@ -171,6 +173,27 @@ hnsw-recall-sharded:
 		-min-recall 0.95 -out $(HNSW_OUT)
 	@echo wrote $(HNSW_OUT)
 
+# Offered-QPS sweep: step the rate up a ladder against the in-process
+# server and locate the latency knee (first step whose p99 blows past
+# 3x the low-load baseline, or whose requests fail). One BENCH-schema
+# row per step plus the SweepKnee row land in SWEEP_<date>.json — the
+# committed capacity trajectory the overload docs quote.
+loadgen-sweep:
+	$(GO) run ./cmd/loadgen -selfserve -vectors 10000 -dim 64 -cache 16384 \
+		-warmup 1 -duration 5s -workers 8 \
+		-sweep 500,1000,2000,4000,8000,16000,32000 \
+		-out $(SWEEP_OUT)
+	@echo wrote $(SWEEP_OUT)
+
+# Scaled-down sweep for CI: a short ladder, enough to prove the sweep
+# machinery and the JSON shape on every push.
+loadgen-sweep-short:
+	$(GO) run ./cmd/loadgen -selfserve -vectors 2000 -dim 32 -cache 4096 \
+		-warmup 1 -duration 2s -workers 4 \
+		-sweep 500,1000,2000,4000 \
+		-out $(SWEEP_OUT)
+	@echo wrote $(SWEEP_OUT)
+
 # Scaled-down serving snapshot for CI.
 loadgen-short:
 	$(GO) run ./cmd/loadgen -selfserve -vectors 2000 -dim 32 -cache 4096 \
@@ -180,4 +203,4 @@ loadgen-short:
 	@echo wrote $(LOADGEN_OUT)
 
 clean:
-	rm -f BENCH_*.json LOADGEN_*.json LOADGEN_HNSW_*.json hnsw-recall*.json
+	rm -f BENCH_*.json LOADGEN_*.json LOADGEN_HNSW_*.json SWEEP_*.json hnsw-recall*.json

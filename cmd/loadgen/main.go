@@ -24,6 +24,12 @@
 // A qps of 0 runs closed-loop at maximum speed; otherwise arrival
 // times are paced open-loop at the target aggregate rate. See
 // docs/SERVING.md.
+//
+// Sweep mode steps the offered rate up a ladder and reports where the
+// latency knee sits (one BENCH-schema row per step plus a SweepKnee
+// row):
+//
+//	loadgen -selfserve -sweep 500,1000,2000,4000,8000 -duration 3s
 package main
 
 import (
@@ -56,6 +62,8 @@ func main() {
 		batch    = flag.Int("batch", 16, "queries per batch request")
 		warmup   = flag.Int("warmup", 0, "unmeasured warm-up passes over the vocabulary before the clock starts")
 		seed     = flag.Uint64("seed", 1, "query sampling seed")
+		sweep    = flag.String("sweep", "", "offered-QPS ladder, e.g. '500,1000,2000,4000'; runs one step per rung (-duration or -requests each) and reports the latency knee")
+		kneeF    = flag.Float64("knee-factor", 0, "sweep: declare the knee when a step's p99 exceeds this multiple of the first step's (0 = 3)")
 		out      = flag.String("out", "", "write the JSON snapshot here (default stdout)")
 		journal  = flag.String("write-journal", "", "journal every write op (one JSON event per line) here; crash harnesses verify acked writes against it")
 		date     = flag.String("date", time.Now().UTC().Format("2006-01-02"), "snapshot date stamp")
@@ -113,7 +121,7 @@ func main() {
 			fatal(err)
 		}
 		defer stop()
-		kind := string(idxCfg.Kind)
+		kind := idxCfg.Kind.String()
 		if idxCfg.Shards > 1 {
 			kind = fmt.Sprintf("%d-shard %s", idxCfg.Shards, idxCfg.Kind)
 		}
@@ -121,7 +129,7 @@ func main() {
 			*vectors, *dim, base, kind)
 	}
 
-	res, err := loadgen.Run(loadgen.Config{
+	runCfg := loadgen.Config{
 		BaseURL:      base,
 		Workers:      *workers,
 		QPS:          *qps,
@@ -133,7 +141,14 @@ func main() {
 		WarmupPasses: *warmup,
 		Seed:         *seed,
 		RecordWrites: *journal != "",
-	})
+	}
+
+	if *sweep != "" {
+		runSweep(runCfg, *sweep, *kneeF, *out, *date, base, *selfserve, *index, idxCfg.Shards)
+		return
+	}
+
+	res, err := loadgen.Run(runCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -145,8 +160,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: journaled %d write events to %s\n", len(res.Writes), *journal)
 	}
 
-	fmt.Fprintf(os.Stderr, "loadgen: %d requests in %.2fs (%.0f req/s, %d errors, %d workers)\n",
-		res.Overall.Requests, res.DurationSeconds, res.Overall.QPS, res.Overall.Errors, res.Workers)
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests in %.2fs (%.0f req/s, %s, %d workers)\n",
+		res.Overall.Requests, res.DurationSeconds, res.Overall.QPS, errorSummary(res.Overall), res.Workers)
 	for _, o := range res.PerOp {
 		fmt.Fprintf(os.Stderr, "  %-17s %8d reqs  %8.0f req/s  p50 %6.3fms  p95 %6.3fms  p99 %6.3fms  p99.9 %6.3fms  max %6.1fms\n",
 			o.Op, o.Requests, o.QPS, o.P50Ms, o.P95Ms, o.P99Ms, o.P999Ms, o.MaxMs)
@@ -165,6 +180,62 @@ func main() {
 	enc.SetIndent("", "  ")
 	snap := res.Snapshot(*date)
 	snap.Server = serverMeta(base, *selfserve, *index, idxCfg.Shards)
+	if err := enc.Encode(snap); err != nil {
+		fatal(err)
+	}
+}
+
+// errorSummary renders an OpResult's failure tallies, splitting out
+// deliberate load-shedding (429), deadline expiries (503) and
+// transport failures when any occurred.
+func errorSummary(o loadgen.OpResult) string {
+	if o.Errors == 0 {
+		return "0 errors"
+	}
+	return fmt.Sprintf("%d errors [%d shed, %d expired, %d net]", o.Errors, o.Shed, o.Expired, o.NetErrors)
+}
+
+// runSweep steps the offered rate up the ladder, prints one line per
+// rung plus the knee estimate, and writes the SWEEP JSON snapshot.
+func runSweep(cfg loadgen.Config, ladderSpec string, factor float64, out, date, base string, selfserve bool, kind string, shards int) {
+	ladder, err := loadgen.ParseLadder(ladderSpec)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := loadgen.RunSweep(cfg, ladder, factor)
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range res.Steps {
+		fmt.Fprintf(os.Stderr, "sweep: offered %8.0f req/s -> achieved %8.0f req/s  p50 %7.3fms  p99 %7.3fms  max %7.1fms  %s\n",
+			s.OfferedQPS, s.Overall.QPS, s.Overall.P50Ms, s.Overall.P99Ms, s.Overall.MaxMs, errorSummary(s.Overall))
+	}
+	switch {
+	case res.Knee.Index < 0:
+		fmt.Fprintf(os.Stderr, "sweep: no knee found — the server absorbed every offered rate (baseline p99 %.3fms, factor %g)\n",
+			res.Knee.BaselineP99Ms, res.KneeFactor)
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: knee at %g offered req/s (step %d, by %s; baseline p99 %.3fms, factor %g)\n",
+			res.Knee.OfferedQPS, res.Knee.Index, res.Knee.Reason, res.Knee.BaselineP99Ms, res.KneeFactor)
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	stepDur := cfg.Duration
+	if cfg.Requests > 0 {
+		stepDur = 0
+	}
+	snap := res.Snapshot(date, stepDur)
+	snap.Server = serverMeta(base, selfserve, kind, shards)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
 		fatal(err)
 	}

@@ -385,7 +385,6 @@ func (p params) embedOpenFlights(ds *v2v.OpenFlightsDataset, dim int) (*v2v.Embe
 	return v2v.Embed(ds.Graph, o)
 }
 
-
 func runFig8(p params, out string) error {
 	ds, err := p.openFlights()
 	if err != nil {

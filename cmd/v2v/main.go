@@ -49,6 +49,16 @@
 //	          [-wal DIR] [-wal-sync always|interval|never]
 //	          [-wal-sync-interval 100ms] [-wal-segment-bytes N]
 //	          [-wal-checkpoint-bytes N]
+//	          [-read-concurrency N] [-read-queue N] [-deadline-ms D]
+//	          [-write-concurrency N] [-write-queue N] [-write-deadline-ms D]
+//	          [-retry-after 1] [-no-admission]
+//
+// Admission control bounds in-flight requests per class (reads,
+// writes, admin) with a small wait queue each; excess load is shed
+// with 429 + Retry-After instead of queueing without bound, and
+// requests that outlive their -deadline-ms answer 503. /healthz,
+// /stats and /metrics are exempt so the server stays observable while
+// overloaded. See docs/SERVING.md ("Overload and backpressure").
 //
 // With -wal, every acknowledged write is appended to a write-ahead
 // log before it is applied, startup replays the log on top of the
@@ -282,6 +292,15 @@ func serveMain(args []string) {
 		slowMs   = fs.Float64("slowlog-ms", 0, "log a per-stage breakdown for requests slower than this many ms (0 disables)")
 		pprof    = fs.Bool("pprof", false, "expose the net/http/pprof profiling handlers under /debug/pprof/")
 
+		readConc    = fs.Int("read-concurrency", 0, "max in-flight read requests (0 = 16x GOMAXPROCS, min 64; negative = unbounded)")
+		readQueue   = fs.Int("read-queue", 0, "read requests parked awaiting a slot before shedding with 429 (0 = 2x concurrency; negative = none)")
+		writeConc   = fs.Int("write-concurrency", 0, "max in-flight write requests (0 = 4x GOMAXPROCS, min 16; negative = unbounded)")
+		writeQueue  = fs.Int("write-queue", 0, "write requests parked awaiting a slot before shedding with 429 (0 = 2x concurrency; negative = none)")
+		deadlineMs  = fs.Float64("deadline-ms", 0, "per-request deadline for reads in ms; expired requests answer 503 (0 disables)")
+		wDeadlineMs = fs.Float64("write-deadline-ms", 0, "per-request deadline for writes in ms; expired requests answer 503 (0 disables)")
+		noAdmission = fs.Bool("no-admission", false, "disable admission control entirely (no concurrency bounds, no shedding)")
+		retryAfter  = fs.Int("retry-after", 0, "Retry-After seconds advertised on shed (429) responses (0 = 1)")
+
 		walDir      = fs.String("wal", "", "write-ahead log directory (enables durable writes + crash recovery)")
 		walSync     = fs.String("wal-sync", "", "wal fsync policy: always (default), interval or never")
 		walSyncIvl  = fs.Duration("wal-sync-interval", 0, "flush period under -wal-sync interval (0 = 100ms)")
@@ -302,6 +321,15 @@ func serveMain(args []string) {
 		CompactFraction: *compact,
 		SlowLogMs:       *slowMs,
 		Pprof:           *pprof,
+		Admission: v2v.ServeAdmissionConfig{
+			Disabled:          *noAdmission,
+			Read:              v2v.ServeClassLimit{Concurrency: *readConc, Queue: *readQueue, DeadlineMs: *deadlineMs},
+			Write:             v2v.ServeClassLimit{Concurrency: *writeConc, Queue: *writeQueue, DeadlineMs: *wDeadlineMs},
+			RetryAfterSeconds: *retryAfter,
+		},
+	}
+	if *noAdmission && (*readConc != 0 || *readQueue != 0 || *writeConc != 0 || *writeQueue != 0 || *deadlineMs != 0 || *wDeadlineMs != 0 || *retryAfter != 0) {
+		fatal(fmt.Errorf("-no-admission conflicts with the per-class -read-*/-write-*/-*deadline-ms/-retry-after flags"))
 	}
 	if *walDir != "" {
 		cfg.WAL = v2v.ServeWALConfig{

@@ -160,17 +160,27 @@ type WriteEvent struct {
 // cover successful requests (errors are counted, not timed) and come
 // from the shared telemetry histogram, so they carry its ≤ 0.78%
 // relative bucket-width error; Max and Mean are exact.
+//
+// Errors counts every failed request; Shed (HTTP 429: admission
+// control), Expired (HTTP 503: deadline expiry) and NetErrors
+// (transport-level failures: refused, reset, timed out) break it down
+// so an overload run can tell deliberate load-shedding apart from a
+// server falling over. Errors ≥ Shed + Expired + NetErrors, with the
+// remainder being other non-200 statuses.
 type OpResult struct {
-	Op       Op      `json:"op"`
-	Requests int     `json:"requests"`
-	Errors   int     `json:"errors"`
-	QPS      float64 `json:"qps"`
-	P50Ms    float64 `json:"p50_ms"`
-	P95Ms    float64 `json:"p95_ms"`
-	P99Ms    float64 `json:"p99_ms"`
-	P999Ms   float64 `json:"p999_ms"`
-	MaxMs    float64 `json:"max_ms"`
-	MeanMs   float64 `json:"mean_ms"`
+	Op        Op      `json:"op"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	Shed      int     `json:"shed,omitempty"`
+	Expired   int     `json:"expired,omitempty"`
+	NetErrors int     `json:"net_errors,omitempty"`
+	QPS       float64 `json:"qps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	P999Ms    float64 `json:"p999_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	MeanMs    float64 `json:"mean_ms"`
 }
 
 // Result is a completed load run.
@@ -196,28 +206,44 @@ type Result struct {
 // observations). The histogram is allocated lazily so ops absent from
 // the mix cost nothing.
 type opAgg struct {
-	requests int
-	errors   int
-	hist     *telemetry.Histogram
+	requests  int
+	errors    int
+	shed      int
+	expired   int
+	netErrors int
+	hist      *telemetry.Histogram
 }
 
-// observe records one completed request.
-func (a *opAgg) observe(ok bool, d time.Duration) {
+// observe records one completed request by its HTTP status (0 means
+// the request never got a response: connection refused, reset, or
+// timed out).
+func (a *opAgg) observe(code int, d time.Duration) {
 	a.requests++
-	if !ok {
-		a.errors++
+	if code == http.StatusOK {
+		if a.hist == nil {
+			a.hist = telemetry.NewHistogram()
+		}
+		a.hist.Observe(d)
 		return
 	}
-	if a.hist == nil {
-		a.hist = telemetry.NewHistogram()
+	a.errors++
+	switch code {
+	case 0:
+		a.netErrors++
+	case http.StatusTooManyRequests:
+		a.shed++
+	case http.StatusServiceUnavailable:
+		a.expired++
 	}
-	a.hist.Observe(d)
 }
 
 // merge folds o into a, bucket-wise.
 func (a *opAgg) merge(o opAgg) {
 	a.requests += o.requests
 	a.errors += o.errors
+	a.shed += o.shed
+	a.expired += o.expired
+	a.netErrors += o.netErrors
 	if o.hist != nil {
 		if a.hist == nil {
 			a.hist = telemetry.NewHistogram()
@@ -344,8 +370,9 @@ func Run(cfg Config) (*Result, error) {
 				if cfg.Requests > 0 && i >= int64(cfg.Requests) {
 					break
 				}
+				var due time.Time
 				if cfg.QPS > 0 {
-					due := start.Add(time.Duration(float64(i) / cfg.QPS * float64(time.Second)))
+					due = start.Add(time.Duration(float64(i) / cfg.QPS * float64(time.Second)))
 					// A claimed slot due after the deadline will never
 					// be issued — stop instead of sleeping past the
 					// run's nominal window (at low QPS the first
@@ -362,12 +389,23 @@ func Run(cfg Config) (*Result, error) {
 				}
 				op := cdfOps[pick(rng, cdf, total)]
 				t0 := time.Now()
-				executed, ok := g.issue(allOps[op])
+				// Open-loop latency is measured from the request's
+				// scheduled arrival, not the send: when every worker is
+				// stuck behind a slow server, later slots go out late,
+				// and the wait they accumulated is queue delay a real
+				// client would have experienced. Measuring from the send
+				// is the coordinated-omission error that makes an
+				// overloaded server look fast. (After the pacing sleep,
+				// now >= due, so t0 only ever moves backwards.)
+				if cfg.QPS > 0 && due.Before(t0) {
+					t0 = due
+				}
+				executed, code := g.issue(allOps[op])
 				// issue may substitute the drawn op (a delete with no
 				// outstanding target performs an upsert instead);
 				// attribute the observation to what actually ran so
 				// per-op latency is honest.
-				aggs[opIdx[executed]].observe(ok, time.Since(t0))
+				aggs[opIdx[executed]].observe(code, time.Since(t0))
 			}
 			perWorker[w] = aggs
 			journals[w] = g.writes
@@ -462,9 +500,10 @@ func (g *generator) rawTok() string {
 
 // issue fires one request of the drawn shape, returning the operation
 // actually executed (a delete drawn with no outstanding target runs
-// an upsert instead, so its sample is attributed honestly) and
-// whether it succeeded (HTTP 200 and a fully-read body).
-func (g *generator) issue(op Op) (Op, bool) {
+// an upsert instead, so its sample is attributed honestly) and the
+// HTTP status it got back — 200 with a fully-read body is success, 0
+// means the request never completed at the transport level.
+func (g *generator) issue(op Op) (Op, int) {
 	switch op {
 	case OpNeighbors:
 		return op, g.get(fmt.Sprintf("%s/v1/neighbors?vertex=%s&k=%d", g.base, g.tok(), g.k))
@@ -506,17 +545,17 @@ func (g *generator) issue(op Op) (Op, bool) {
 		tok := g.outstanding[pick]
 		g.outstanding[pick] = g.outstanding[last]
 		g.outstanding = g.outstanding[:last]
-		ok := g.post(g.base+"/v1/delete", map[string]any{"vertex": tok})
-		g.journal(OpDelete, tok, ok)
-		return op, ok
+		code := g.post(g.base+"/v1/delete", map[string]any{"vertex": tok})
+		g.journal(OpDelete, tok, code == http.StatusOK)
+		return op, code
 	default:
-		return op, false
+		return op, 0
 	}
 }
 
 // upsert issues one write: every 4th rewrites an outstanding token
 // (the replace/tombstone path); the rest insert fresh ones.
-func (g *generator) upsert() bool {
+func (g *generator) upsert() int {
 	var tok string
 	if g.seq%4 == 3 && len(g.outstanding) > 0 {
 		tok = g.outstanding[int(g.rng.Uint64()%uint64(len(g.outstanding)))]
@@ -527,9 +566,9 @@ func (g *generator) upsert() bool {
 		}
 	}
 	g.seq++
-	ok := g.post(g.base+"/v1/upsert", map[string]any{"vertex": tok, "vector": g.randVec()})
-	g.journal(OpUpsert, tok, ok)
-	return ok
+	code := g.post(g.base+"/v1/upsert", map[string]any{"vertex": tok, "vector": g.randVec()})
+	g.journal(OpUpsert, tok, code == http.StatusOK)
+	return code
 }
 
 // randVec synthesizes a write payload in the served dimensionality.
@@ -541,32 +580,37 @@ func (g *generator) randVec() []float64 {
 	return v
 }
 
-func (g *generator) get(url string) bool {
+func (g *generator) get(url string) int {
 	resp, err := g.client.Get(url)
 	if err != nil {
-		return false
+		return 0
 	}
 	return drain(resp)
 }
 
-func (g *generator) post(url string, body any) bool {
+func (g *generator) post(url string, body any) int {
 	g.buf.Reset()
 	if err := json.NewEncoder(&g.buf).Encode(body); err != nil {
-		return false
+		return 0
 	}
 	resp, err := g.client.Post(url, "application/json", &g.buf)
 	if err != nil {
-		return false
+		return 0
 	}
 	return drain(resp)
 }
 
 // drain consumes and closes the body (required to reuse the
-// connection) and reports success.
-func drain(resp *http.Response) bool {
+// connection) and returns the response status — or 0 when the body
+// read fails, which is a transport error no matter what the status
+// line claimed.
+func drain(resp *http.Response) int {
 	_, err := io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return err == nil && resp.StatusCode == http.StatusOK
+	if err != nil {
+		return 0
+	}
+	return resp.StatusCode
 }
 
 // warmup issues one neighbors query per token, fanned across workers.
@@ -588,7 +632,7 @@ func warmup(client *http.Client, base string, tokens []string, k, workers int) e
 					firstErr.CompareAndSwap(nil, &err)
 					return
 				}
-				if !drain(resp) {
+				if drain(resp) != http.StatusOK {
 					err := fmt.Errorf("loadgen: warmup query for %q failed", tokens[i])
 					firstErr.CompareAndSwap(nil, &err)
 					return
@@ -653,7 +697,10 @@ func fetchDim(client *http.Client, base string) (int, error) {
 // summarize renders an aggregated opAgg into an OpResult. Latency
 // percentiles cover successful requests; error counts cover the rest.
 func summarize(op Op, agg opAgg, elapsed time.Duration) OpResult {
-	r := OpResult{Op: op, Requests: agg.requests, Errors: agg.errors}
+	r := OpResult{
+		Op: op, Requests: agg.requests, Errors: agg.errors,
+		Shed: agg.shed, Expired: agg.expired, NetErrors: agg.netErrors,
+	}
 	if elapsed > 0 {
 		r.QPS = float64(agg.requests) / elapsed.Seconds()
 	}
@@ -750,6 +797,8 @@ func (r *Result) Snapshot(date string) BenchSnapshot {
 				"p999-ms": o.P999Ms,
 				"max-ms":  o.MaxMs,
 				"errors":  float64(o.Errors),
+				"shed":    float64(o.Shed),
+				"expired": float64(o.Expired),
 			},
 		}
 	}

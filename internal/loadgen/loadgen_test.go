@@ -1,10 +1,13 @@
 package loadgen
 
 import (
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -312,8 +315,12 @@ func TestOverallMergeMatchesOracle(t *testing.T) {
 		for i := 0; i < perWorkerN; i++ {
 			op := int(rng.Uint64() % nOps)
 			ok := rng.Float64() > 0.05
+			code := http.StatusOK
+			if !ok {
+				code = http.StatusBadRequest
+			}
 			d := time.Duration(rng.Uint64() % 50_000_000) // 0–50ms
-			aggs[op].observe(ok, d)
+			aggs[op].observe(code, d)
 			total++
 			if ok {
 				union = append(union, float64(d)/float64(time.Millisecond))
@@ -487,5 +494,108 @@ func TestWriteJournal(t *testing.T) {
 	}
 	if len(res2.Writes) != 0 {
 		t.Fatalf("journal recorded %d events with RecordWrites off", len(res2.Writes))
+	}
+}
+
+// stubServer serves a minimal loadgen target: /v1/vocab with a fixed
+// token list plus a scripted /v1/neighbors handler, for tests that
+// need per-request control the real server doesn't expose.
+func stubServer(t *testing.T, neighbors http.HandlerFunc) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/vocab", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"tokens": []string{"a", "b", "c", "d"}})
+	})
+	mux.HandleFunc("/v1/neighbors", neighbors)
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+// TestStatusClassAccounting scripts one 429 (with Retry-After), one
+// 503, one aborted connection and then 200s, and asserts the result
+// splits them into Shed / Expired / NetErrors while Errors keeps
+// counting them all — the back-compat contract existing harnesses
+// (crash-smoke, the e2e suites) rely on.
+func TestStatusClassAccounting(t *testing.T) {
+	var calls atomic.Int64
+	url := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 3:
+			// A truncated body: the status line said 200 but the read
+			// fails mid-body. (A plain connection abort won't do here —
+			// the client transparently retries idempotent requests that
+			// die on a reused keep-alive connection.)
+			w.Header().Set("Content-Length", "100")
+			w.Write([]byte("short"))
+		default:
+			w.Write([]byte(`{"neighbors":[]}`))
+		}
+	})
+	res, err := Run(Config{BaseURL: url, Workers: 1, Requests: 8, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	o := res.Overall
+	if o.Requests != 8 || o.Errors != 3 {
+		t.Fatalf("requests/errors = %d/%d, want 8/3", o.Requests, o.Errors)
+	}
+	if o.Shed != 1 || o.Expired != 1 || o.NetErrors != 1 {
+		t.Fatalf("shed/expired/net = %d/%d/%d, want 1/1/1", o.Shed, o.Expired, o.NetErrors)
+	}
+	// The split survives the snapshot into the trajectory schema.
+	snap := res.Snapshot("2026-08-07")
+	m := snap.Benchmarks[0].Metrics
+	if m["shed"] != 1 || m["expired"] != 1 || m["errors"] != 3 {
+		t.Fatalf("snapshot metrics: %v", m)
+	}
+}
+
+// TestPacedLatencyIncludesQueueWait is the coordinated-omission
+// guard. One worker, open-loop pacing at 2000 QPS (slots every
+// 0.5ms), and a server that stalls the first request for 200ms: every
+// later request goes out far behind its scheduled arrival, and that
+// queue delay is latency a real open-loop client would have seen. The
+// reported percentiles must include it — measuring from the send
+// instead (the classic CO error) would report microseconds. The only
+// wall-clock dependence is "a 200ms stall dwarfs the first eight
+// 0.5ms slots", which holds on any machine since time.Sleep never
+// undershoots.
+func TestPacedLatencyIncludesQueueWait(t *testing.T) {
+	var calls atomic.Int64
+	url := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			time.Sleep(200 * time.Millisecond)
+		}
+		w.Write([]byte(`{"neighbors":[]}`))
+	})
+	res, err := Run(Config{BaseURL: url, Workers: 1, Requests: 8, QPS: 2000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Overall.Errors != 0 {
+		t.Fatalf("%d errors", res.Overall.Errors)
+	}
+	// Requests 2-8 were due within the first 3.5ms but could not start
+	// until the 200ms stall cleared: their reported latency is at least
+	// ~196ms, so even the median reflects the overload.
+	if res.Overall.P50Ms < 100 {
+		t.Fatalf("paced p50 = %.3fms; queue wait behind the stall was omitted (coordinated omission)", res.Overall.P50Ms)
+	}
+
+	// Contrast: closed-loop (QPS 0) measures service time from the
+	// send, so the same server without a stall reports sub-stall
+	// latencies — pinning that the fix is scoped to paced runs.
+	res2, err := Run(Config{BaseURL: url, Workers: 1, Requests: 8, Seed: 1})
+	if err != nil {
+		t.Fatalf("closed-loop Run: %v", err)
+	}
+	if res2.Overall.MaxMs >= 100 {
+		t.Fatalf("closed-loop max = %.3fms; expected plain service time", res2.Overall.MaxMs)
 	}
 }

@@ -1,0 +1,171 @@
+// Sweep mode: step the offered QPS up a ladder and find the latency
+// knee — the first offered rate the server cannot absorb, visible as
+// either a latency blow-up against the low-load baseline or the first
+// shed/failed requests. Each step is an independent open-loop run (the
+// coordinated-omission-safe pacing in Run), so the reported per-step
+// percentiles include the queue delay an overloaded server imposes —
+// exactly what makes the knee visible instead of flattening it.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SweepStep is one rung of the ladder: the rate that was offered and
+// the measured outcome of the run at that rate.
+type SweepStep struct {
+	OfferedQPS float64  `json:"offered_qps"`
+	Overall    OpResult `json:"overall"`
+}
+
+// Knee locates the saturation point in a sweep. Index is -1 when the
+// ladder never saturated (every step absorbed its offered rate within
+// the latency budget and error-free).
+type Knee struct {
+	Index      int     `json:"index"`
+	OfferedQPS float64 `json:"offered_qps,omitempty"`
+	// Reason is "errors" when the step failed requests (sheds and
+	// deadline expiries count: the server deliberately refusing load
+	// IS the saturation signal under admission control) or "latency"
+	// when its p99 exceeded KneeFactor times the first step's p99.
+	Reason string `json:"reason,omitempty"`
+	// BaselineP99Ms is the low-load p99 the latency criterion compared
+	// against (the first step's).
+	BaselineP99Ms float64 `json:"baseline_p99_ms,omitempty"`
+}
+
+// SweepResult is a completed QPS sweep.
+type SweepResult struct {
+	Steps      []SweepStep `json:"steps"`
+	KneeFactor float64     `json:"knee_factor"`
+	Knee       Knee        `json:"knee"`
+}
+
+// DefaultKneeFactor is the p99 multiplier over the low-load baseline
+// that declares a latency knee when no explicit factor is configured.
+const DefaultKneeFactor = 3
+
+// DetectKnee scans a ladder of measured steps for the saturation
+// point: the first step with any failed request, or — from the second
+// step on — a p99 above factor times the first step's p99 (the
+// low-load baseline; the first step cannot be its own latency knee).
+// A factor <= 0 means DefaultKneeFactor. Pure function of its inputs,
+// so synthetic ladders pin its behavior exactly.
+func DetectKnee(steps []SweepStep, factor float64) Knee {
+	if factor <= 0 {
+		factor = DefaultKneeFactor
+	}
+	knee := Knee{Index: -1}
+	if len(steps) == 0 {
+		return knee
+	}
+	knee.BaselineP99Ms = steps[0].Overall.P99Ms
+	for i, s := range steps {
+		switch {
+		case s.Overall.Errors > 0:
+			return Knee{Index: i, OfferedQPS: s.OfferedQPS, Reason: "errors", BaselineP99Ms: knee.BaselineP99Ms}
+		case i > 0 && knee.BaselineP99Ms > 0 && s.Overall.P99Ms > factor*knee.BaselineP99Ms:
+			return Knee{Index: i, OfferedQPS: s.OfferedQPS, Reason: "latency", BaselineP99Ms: knee.BaselineP99Ms}
+		}
+	}
+	return knee
+}
+
+// RunSweep runs cfg once per ladder rung with QPS overridden to that
+// rung's offered rate, in ladder order, and locates the knee. The
+// ladder must be positive and strictly ascending — a sweep that
+// revisits or lowers the rate has no single knee to report. cfg.QPS
+// is ignored; cfg.Duration (or cfg.Requests) bounds each step.
+func RunSweep(cfg Config, ladder []float64, factor float64) (*SweepResult, error) {
+	if len(ladder) == 0 {
+		return nil, fmt.Errorf("loadgen: empty sweep ladder")
+	}
+	if ladder[0] <= 0 || !sort.Float64sAreSorted(ladder) {
+		return nil, fmt.Errorf("loadgen: sweep ladder %v must be positive and ascending", ladder)
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] == ladder[i-1] {
+			return nil, fmt.Errorf("loadgen: sweep ladder %v repeats %g", ladder, ladder[i])
+		}
+	}
+	res := &SweepResult{KneeFactor: factor}
+	if factor <= 0 {
+		res.KneeFactor = DefaultKneeFactor
+	}
+	for _, qps := range ladder {
+		c := cfg
+		c.QPS = qps
+		// Warm up once for the whole sweep, not once per rung.
+		if len(res.Steps) > 0 {
+			c.WarmupPasses = 0
+		}
+		r, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: sweep step at %g qps: %w", qps, err)
+		}
+		res.Steps = append(res.Steps, SweepStep{OfferedQPS: qps, Overall: r.Overall})
+	}
+	res.Knee = DetectKnee(res.Steps, res.KneeFactor)
+	return res, nil
+}
+
+// ParseLadder parses "100,200,400,800" into a sweep ladder.
+func ParseLadder(s string) ([]float64, error) {
+	var ladder []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: bad ladder entry %q", part)
+		}
+		ladder = append(ladder, v)
+	}
+	return ladder, nil
+}
+
+// Snapshot renders the sweep into the BENCH trajectory schema: one
+// row per rung (named by its offered rate) plus a SweepKnee row
+// carrying the estimate, so the committed SWEEP_<date>.json diffs
+// like every other trajectory file.
+func (r *SweepResult) Snapshot(date string, stepDuration time.Duration) BenchSnapshot {
+	snap := (&Result{}).Snapshot(date)
+	snap.Benchmarks = nil
+	for _, s := range r.Steps {
+		entry := BenchEntry{
+			Name:       fmt.Sprintf("Sweep/offered=%g", s.OfferedQPS),
+			Package:    "v2v/internal/loadgen",
+			Iterations: int64(s.Overall.Requests),
+			Metrics: map[string]float64{
+				"offered-qps": s.OfferedQPS,
+				"qps":         s.Overall.QPS,
+				"p50-ms":      s.Overall.P50Ms,
+				"p95-ms":      s.Overall.P95Ms,
+				"p99-ms":      s.Overall.P99Ms,
+				"p999-ms":     s.Overall.P999Ms,
+				"max-ms":      s.Overall.MaxMs,
+				"errors":      float64(s.Overall.Errors),
+				"shed":        float64(s.Overall.Shed),
+				"expired":     float64(s.Overall.Expired),
+				"step-sec":    stepDuration.Seconds(),
+			},
+		}
+		snap.Benchmarks = append(snap.Benchmarks, entry)
+	}
+	kneeMetrics := map[string]float64{
+		"knee-index":      float64(r.Knee.Index),
+		"knee-factor":     r.KneeFactor,
+		"baseline-p99-ms": r.Knee.BaselineP99Ms,
+	}
+	if r.Knee.Index >= 0 {
+		kneeMetrics["knee-qps"] = r.Knee.OfferedQPS
+	}
+	snap.Benchmarks = append(snap.Benchmarks, BenchEntry{
+		Name:    "SweepKnee",
+		Package: "v2v/internal/loadgen",
+		Metrics: kneeMetrics,
+	})
+	return snap
+}

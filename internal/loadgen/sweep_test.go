@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// ladder builds synthetic sweep steps from (p99, errors) pairs at
+// doubling offered rates starting from 100 QPS.
+func ladder(rows ...[2]float64) []SweepStep {
+	steps := make([]SweepStep, len(rows))
+	qps := 100.0
+	for i, r := range rows {
+		steps[i] = SweepStep{
+			OfferedQPS: qps,
+			Overall:    OpResult{Op: "overall", Requests: 100, P99Ms: r[0], Errors: int(r[1])},
+		}
+		qps *= 2
+	}
+	return steps
+}
+
+// TestDetectKnee pins the knee criterion on synthetic ladders: first
+// errors anywhere, else first p99 above factor x the first step's
+// p99, else no knee.
+func TestDetectKnee(t *testing.T) {
+	cases := []struct {
+		name   string
+		steps  []SweepStep
+		factor float64
+		index  int
+		reason string
+	}{
+		{"flat", ladder([2]float64{1, 0}, [2]float64{1.1, 0}, [2]float64{0.9, 0}, [2]float64{1.2, 0}), 3, -1, ""},
+		{"gradual latency", ladder([2]float64{1, 0}, [2]float64{1.5, 0}, [2]float64{2.9, 0}, [2]float64{3.5, 0}, [2]float64{9, 0}), 3, 3, "latency"},
+		{"cliff to errors", ladder([2]float64{1, 0}, [2]float64{1.1, 0}, [2]float64{1.2, 0}, [2]float64{40, 17}), 3, 3, "errors"},
+		{"all overloaded", ladder([2]float64{50, 9}, [2]float64{60, 20}), 3, 0, "errors"},
+		{"errors win over latency at the same step", ladder([2]float64{1, 0}, [2]float64{10, 2}), 3, 1, "errors"},
+		{"first step cannot be its own latency knee", ladder([2]float64{5, 0}, [2]float64{5.1, 0}), 1.0001, 1, "latency"},
+		{"zero factor means default", ladder([2]float64{1, 0}, [2]float64{3.5, 0}), 0, 1, "latency"},
+		{"boundary is exclusive", ladder([2]float64{1, 0}, [2]float64{3, 0}), 3, -1, ""},
+		{"zero baseline never divides", ladder([2]float64{0, 0}, [2]float64{100, 0}), 3, -1, ""},
+		{"empty", nil, 3, -1, ""},
+	}
+	for _, c := range cases {
+		knee := DetectKnee(c.steps, c.factor)
+		if knee.Index != c.index || knee.Reason != c.reason {
+			t.Errorf("%s: knee = {index %d, reason %q}, want {%d, %q}", c.name, knee.Index, knee.Reason, c.index, c.reason)
+		}
+		if c.index >= 0 && knee.OfferedQPS != c.steps[c.index].OfferedQPS {
+			t.Errorf("%s: knee qps = %g, want %g", c.name, knee.OfferedQPS, c.steps[c.index].OfferedQPS)
+		}
+		if len(c.steps) > 0 && knee.BaselineP99Ms != c.steps[0].Overall.P99Ms {
+			t.Errorf("%s: baseline = %g, want %g", c.name, knee.BaselineP99Ms, c.steps[0].Overall.P99Ms)
+		}
+	}
+}
+
+func TestParseLadder(t *testing.T) {
+	l, err := ParseLadder("100, 200,400.5")
+	if err != nil || len(l) != 3 || l[2] != 400.5 {
+		t.Fatalf("ladder = %v, %v", l, err)
+	}
+	if _, err := ParseLadder("100,abc"); err == nil {
+		t.Fatal("accepted a non-numeric rung")
+	}
+}
+
+// TestRunSweepValidation pins the ladder contract without a server:
+// empty, unordered, non-positive and duplicated ladders are refused
+// before any request is issued.
+func TestRunSweepValidation(t *testing.T) {
+	cfg := Config{BaseURL: "http://127.0.0.1:1"} // never dialed
+	for _, bad := range [][]float64{nil, {200, 100}, {0, 100}, {-5}, {100, 100}} {
+		if _, err := RunSweep(cfg, bad, 3); err == nil {
+			t.Errorf("ladder %v accepted", bad)
+		}
+	}
+}
+
+// TestRunSweepAgainstServer runs a tiny real ladder against a healthy
+// in-process server: every step completes error-free, offered rates
+// come back in ladder order, and the snapshot carries one row per
+// rung plus the knee row.
+func TestRunSweepAgainstServer(t *testing.T) {
+	url := startServer(t, 100, 8, 64)
+	ladder := []float64{200, 400}
+	res, err := RunSweep(Config{
+		BaseURL:  url,
+		Workers:  2,
+		Requests: 40,
+		Seed:     3,
+	}, ladder, 0)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if len(res.Steps) != len(ladder) {
+		t.Fatalf("%d steps, want %d", len(res.Steps), len(ladder))
+	}
+	for i, s := range res.Steps {
+		if s.OfferedQPS != ladder[i] {
+			t.Fatalf("step %d offered %g, want %g", i, s.OfferedQPS, ladder[i])
+		}
+		if s.Overall.Errors != 0 || s.Overall.Requests == 0 {
+			t.Fatalf("step %d: %+v", i, s.Overall)
+		}
+	}
+	if res.KneeFactor != DefaultKneeFactor {
+		t.Fatalf("knee factor = %g, want default %d", res.KneeFactor, DefaultKneeFactor)
+	}
+
+	snap := res.Snapshot("2026-08-07", 2*time.Second)
+	if len(snap.Benchmarks) != len(ladder)+1 {
+		t.Fatalf("%d snapshot rows, want %d", len(snap.Benchmarks), len(ladder)+1)
+	}
+	last := snap.Benchmarks[len(snap.Benchmarks)-1]
+	if last.Name != "SweepKnee" {
+		t.Fatalf("last row = %q, want SweepKnee", last.Name)
+	}
+	if last.Metrics["knee-index"] != float64(res.Knee.Index) {
+		t.Fatalf("knee row: %v vs %+v", last.Metrics, res.Knee)
+	}
+	if snap.Benchmarks[0].Metrics["offered-qps"] != 200 || snap.Benchmarks[0].Metrics["step-sec"] != 2 {
+		t.Fatalf("step row metrics: %v", snap.Benchmarks[0].Metrics)
+	}
+}

@@ -33,7 +33,7 @@ import (
 // telemetry.Stage; a span whose stage is not listed here still shows
 // in the slow-query log but feeds no histogram.
 var stageNames = []string{
-	"parse", "gen_acquire", "cache_lookup", "index_search",
+	"parse", "queue_wait", "gen_acquire", "cache_lookup", "index_search",
 	"shard_wait", "merge", "wal_append", "wal_fsync", "apply",
 	"encode", "write",
 }
@@ -182,6 +182,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	if len(stages) > 0 {
 		ew.HistogramFamily("v2v_stage_seconds", "Per-stage request time (from the request traces).", stages...)
 	}
+
+	// Admission: per-class inflight/queue gauges and shed/expired
+	// counters. Every class is always reported (zeros included) so
+	// dashboards can alert on "shed > 0" without waiting for the first
+	// overload to create the series.
+	var inflight, queued, shed, expired, limits, qlimits []telemetry.Sample
+	for _, class := range admissionClasses {
+		cs := s.classes[class]
+		label := "class=" + strconv.Quote(class)
+		inflight = append(inflight, telemetry.Sample{Labels: label, Value: float64(cs.inflight.Load())})
+		var q int
+		var shedN uint64
+		limit := -1.0
+		qlimit := 0.0
+		if cs.adm != nil {
+			_, q = cs.adm.snapshot()
+			shedN = cs.adm.shed.Load()
+			limit = float64(cs.limit.Concurrency)
+			qlimit = float64(cs.limit.Queue)
+		}
+		queued = append(queued, telemetry.Sample{Labels: label, Value: float64(q)})
+		shed = append(shed, telemetry.Sample{Labels: label, Value: float64(shedN)})
+		expired = append(expired, telemetry.Sample{Labels: label, Value: float64(cs.expired.Load())})
+		limits = append(limits, telemetry.Sample{Labels: label, Value: limit})
+		qlimits = append(qlimits, telemetry.Sample{Labels: label, Value: qlimit})
+	}
+	ew.GaugeFamily("v2v_requests_inflight", "Requests currently executing, per endpoint class.", inflight...)
+	ew.GaugeFamily("v2v_admission_queued", "Requests parked in the admission wait queue, per class.", queued...)
+	ew.GaugeFamily("v2v_admission_limit", "Concurrency budget per class (-1 = unbounded).", limits...)
+	ew.GaugeFamily("v2v_admission_queue_limit", "Wait-queue capacity per class.", qlimits...)
+	ew.CounterFamily("v2v_admission_shed_total", "Requests shed with 429 (budget and queue full), per class.", shed...)
+	ew.CounterFamily("v2v_deadline_expired_total", "Requests answered 503 because their deadline expired, per class.", expired...)
 
 	ew.GaugeFamily("v2v_uptime_seconds", "Seconds since the server started.",
 		telemetry.Sample{Value: time.Since(s.started).Seconds()})

@@ -103,6 +103,14 @@ type Config struct {
 	// The zero value disables it. See wal.go and docs/SERVING.md.
 	WAL WALConfig
 
+	// Admission configures the overload-handling layer: bounded
+	// per-class concurrency with a small FIFO wait queue (excess load
+	// is shed with 429 + Retry-After) and optional per-class request
+	// deadlines (503 on expiry). The zero value enables admission with
+	// generous class defaults; see AdmissionConfig and
+	// docs/SERVING.md ("Overload and backpressure").
+	Admission AdmissionConfig
+
 	// SlowLogMs logs any request slower than this many milliseconds
 	// as one structured line with its per-stage span breakdown (see
 	// docs/OBSERVABILITY.md). 0 disables the slow-query log.
@@ -260,7 +268,8 @@ type Server struct {
 	mux         *http.ServeMux
 	counters    map[string]*endpointCounters
 	stages      map[string]*telemetry.Histogram
-	tracePool   sync.Pool // *telemetry.Trace, reset between requests
+	classes     map[string]*classState // admission + inflight per endpoint class
+	tracePool   sync.Pool              // *telemetry.Trace, reset between requests
 	build       telemetry.Build
 
 	// Durability (nil/zero without Config.WAL; see wal.go).
@@ -388,6 +397,7 @@ func newFromModel(cfg Config, m *word2vec.Model, tokens []string, prebuilt vecst
 	for _, name := range stageNames {
 		s.stages[name] = telemetry.NewHistogram()
 	}
+	s.initAdmission()
 	if _, err := s.swapModel(m, tokens, source, prebuilt); err != nil {
 		return nil, err
 	}
@@ -704,25 +714,58 @@ func errNotFound(format string, args ...any) *httpError {
 	return &httpError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
 }
 
-// instrument wraps a handler with the full request telemetry:
-// request/error counting (errors split by status class via a
-// wrapping statusWriter), a latency histogram observation, a pooled
-// per-request trace threaded through the request context for stage
-// spans, and the slow-query log. JSON error rendering for handlers
-// that return an error rides along as before.
+// instrument wraps a handler with the full request telemetry and the
+// admission layer: request/error counting (errors split by status
+// class via a wrapping statusWriter), a latency histogram
+// observation, a pooled per-request trace threaded through the
+// request context for stage spans, the per-class inflight gauge,
+// admission control (429 + Retry-After when the class's concurrency
+// budget and wait queue are both full; the time spent parked in the
+// queue lands in the "queue_wait" stage), the per-class deadline
+// (the request context expires and the handler answers 503 at its
+// next stage boundary), and the slow-query log — which also records
+// every deadline-expired request, so the partial stage trace showing
+// where the budget went is never lost.
 func (s *Server) instrument(name string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	c := s.counters[name]
+	cs := s.classes[endpointClass(name)]
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.requests.Add(1)
+		cs.inflight.Add(1)
+		defer cs.inflight.Add(-1)
 		tr := s.tracePool.Get().(*telemetry.Trace)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		if err := h(sw, r.WithContext(telemetry.NewContext(r.Context(), tr))); err != nil {
+		ctx := telemetry.NewContext(r.Context(), tr)
+		if cs.deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cs.deadline)
+			defer cancel()
+		}
+		err := func() error {
+			if cs.adm != nil {
+				t0 := time.Now()
+				aerr := cs.adm.acquire(ctx)
+				spanSince(tr, "queue_wait", t0)
+				if aerr != nil {
+					return aerr
+				}
+				defer cs.adm.release()
+			}
+			return h(sw, r.WithContext(ctx))
+		}()
+		if err != nil {
 			c.errors.Add(1)
 			code := http.StatusInternalServerError
 			var he *httpError
 			if errors.As(err, &he) {
 				code = he.code
+			}
+			if code == http.StatusTooManyRequests {
+				sw.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			}
+			if err == errDeadlineExpired {
+				cs.expired.Add(1)
 			}
 			writeJSON(sw, code, map[string]string{"error": err.Error()})
 		}
@@ -736,7 +779,7 @@ func (s *Server) instrument(name string, h func(w http.ResponseWriter, r *http.R
 			c.errors4xx.Add(1)
 		}
 		s.observeSpans(tr)
-		if th := s.slowThreshold(); th > 0 && elapsed >= th {
+		if th := s.slowThreshold(); th > 0 && (elapsed >= th || err == errDeadlineExpired) {
 			s.logSlow(name, status, elapsed, tr)
 		}
 		tr.Reset()
@@ -891,16 +934,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 
 // StatsResponse answers /stats.
 type StatsResponse struct {
-	UptimeSeconds float64                      `json:"uptime_seconds"`
-	Build         telemetry.Build              `json:"build"`
-	Generation    uint64                       `json:"generation"`
-	Reloads       uint64                       `json:"reloads"`
-	Model         ModelStats                   `json:"model"`
-	Writes        WriteStats                   `json:"writes"`
-	Shards        []vecstore.ShardStat         `json:"shards,omitempty"`
-	WAL           WALStats                     `json:"wal"`
-	Cache         CacheStats                   `json:"cache"`
-	Endpoints     map[string]EndpointStatsJSON `json:"endpoints"`
+	UptimeSeconds float64                        `json:"uptime_seconds"`
+	Build         telemetry.Build                `json:"build"`
+	Generation    uint64                         `json:"generation"`
+	Reloads       uint64                         `json:"reloads"`
+	Model         ModelStats                     `json:"model"`
+	Writes        WriteStats                     `json:"writes"`
+	Shards        []vecstore.ShardStat           `json:"shards,omitempty"`
+	WAL           WALStats                       `json:"wal"`
+	Cache         CacheStats                     `json:"cache"`
+	Admission     map[string]AdmissionClassStats `json:"admission"`
+	Endpoints     map[string]EndpointStatsJSON   `json:"endpoints"`
 }
 
 // WriteStats reports the online-write state of the serving stack.
@@ -998,8 +1042,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			Epoch:       st.epoch.Load(),
 			Tombstones:  st.dead(),
 		},
-		Shards: shardStats,
-		WAL:    s.walStats(),
+		Shards:    shardStats,
+		WAL:       s.walStats(),
+		Admission: s.admissionStats(),
 		Cache: CacheStats{
 			Enabled:  s.cache != nil,
 			Entries:  s.cache.len(),
@@ -1043,13 +1088,29 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
 		spanSince(tr, "write", t)
 		return nil
 	}
+	if err := ctxExpired(r.Context()); err != nil {
+		return err
+	}
 	var res []vecstore.Result
 	if st.sharded != nil {
-		res = st.sharded.SearchRowSpans(id, k, traceRecorder(tr))
+		// The ctx-aware fan-out abandons slow shards on expiry: they
+		// finish in the background under their own locks and their
+		// results are discarded, so the 503 goes out immediately. The
+		// deferred (idempotent) unlock releases this generation's
+		// reader lock as usual — shard searches never touch it.
+		if res, err = st.sharded.SearchRowSpansCtx(r.Context(), id, k, traceRecorder(tr)); err != nil {
+			return errDeadlineExpired
+		}
 	} else {
 		res = st.index.SearchRow(id, k)
 	}
 	t = spanSince(tr, "index_search", t)
+	// Post-search boundary: a search that ran past the budget must not
+	// be dressed up as success — the client has likely already given
+	// up on this response.
+	if err := ctxExpired(r.Context()); err != nil {
+		return err
+	}
 	buf, err = json.Marshal(NeighborsResponse{Vertex: tok, K: k, Neighbors: toNeighborJSON(st, res)})
 	if err != nil {
 		return err
@@ -1124,11 +1185,17 @@ func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) er
 	}
 	t = spanSince(tr, "cache_lookup", t)
 	if len(missQs) > 0 {
+		if err := ctxExpired(r.Context()); err != nil {
+			return err
+		}
 		// The query vertex ranks first in its own results (score 1
 		// under cosine); ask for k+1 and strip it so batch items match
 		// the single endpoint's SearchRow exactly.
 		batch := st.index.SearchBatch(missQs, k+1)
 		t = spanSince(tr, "index_search", t)
+		if err := ctxExpired(r.Context()); err != nil {
+			return err
+		}
 		for j, res := range batch {
 			i := missIdx[j]
 			filtered := make([]vecstore.Result, 0, k)
@@ -1276,6 +1343,9 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
 		spanSince(tr, "write", t)
 		return nil
 	}
+	if err := ctxExpired(r.Context()); err != nil {
+		return err
+	}
 	// Analogy targets are synthetic vectors (b - a + c); they are
 	// scored by the exact analogy path over the live store regardless
 	// of the configured neighbors index — scatter-gathered across the
@@ -1287,6 +1357,9 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
 		res = word2vec.AnalogyStore(st.store, a, b, c, k)
 	}
 	t = spanSince(tr, "index_search", t)
+	if err := ctxExpired(r.Context()); err != nil {
+		return err
+	}
 	nbrs := make([]NeighborJSON, len(res))
 	for i, n := range res {
 		nbrs[i] = NeighborJSON{Vertex: st.tokens[n.Word], Score: n.Similarity}
@@ -1621,6 +1694,11 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) error {
 	var lsn uint64
 	resp, pw, err := func() (UpsertResponse, postWrite, error) {
 		defer st.mu.Unlock()
+		// An expired deadline aborts before the append: nothing is
+		// logged or applied, so the 503 is a clean rejection.
+		if err := ctxExpired(r.Context()); err != nil {
+			return UpsertResponse{}, postWrite{}, err
+		}
 		if err := validateUpsert(st, &req); err != nil {
 			return UpsertResponse{}, postWrite{}, err
 		}
@@ -1651,7 +1729,7 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	t = time.Now()
-	if err := s.walWaitDurable(lsn); err != nil {
+	if err := s.walWaitDurableCtx(r.Context(), lsn); err != nil {
 		return err
 	}
 	t = spanSince(tr, "wal_fsync", t)
@@ -1683,6 +1761,9 @@ func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) error
 	out, pw, err := func() (UpsertBatchResponse, postWrite, error) {
 		defer st.mu.Unlock()
 		var out UpsertBatchResponse
+		if err := ctxExpired(r.Context()); err != nil {
+			return out, postWrite{}, err
+		}
 		// Validate everything first so the batch applies all-or-nothing.
 		for i := range req.Items {
 			if err := validateUpsert(st, &req.Items[i]); err != nil {
@@ -1717,7 +1798,7 @@ func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) error
 		return err
 	}
 	t = time.Now()
-	if err := s.walWaitDurable(lsn); err != nil {
+	if err := s.walWaitDurableCtx(r.Context(), lsn); err != nil {
 		return err
 	}
 	t = spanSince(tr, "wal_fsync", t)
@@ -1764,6 +1845,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 	var lsn uint64
 	resp, pw, err := func() (DeleteResponse, postWrite, error) {
 		defer st.mu.Unlock()
+		if err := ctxExpired(r.Context()); err != nil {
+			return DeleteResponse{}, postWrite{}, err
+		}
 		midx, err := mutableIndex(st)
 		if err != nil {
 			return DeleteResponse{}, postWrite{}, err
@@ -1788,7 +1872,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	t = time.Now()
-	if err := s.walWaitDurable(lsn); err != nil {
+	if err := s.walWaitDurableCtx(r.Context(), lsn); err != nil {
 		return err
 	}
 	t = spanSince(tr, "wal_fsync", t)
@@ -1821,6 +1905,9 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) error
 	out, pw, err := func() (DeleteBatchResponse, postWrite, error) {
 		defer st.mu.Unlock()
 		var out DeleteBatchResponse
+		if err := ctxExpired(r.Context()); err != nil {
+			return out, postWrite{}, err
+		}
 		midx, err := mutableIndex(st)
 		if err != nil {
 			return out, postWrite{}, err
@@ -1863,7 +1950,7 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) error
 		return err
 	}
 	t = time.Now()
-	if err := s.walWaitDurable(lsn); err != nil {
+	if err := s.walWaitDurableCtx(r.Context(), lsn); err != nil {
 		return err
 	}
 	t = spanSince(tr, "wal_fsync", t)

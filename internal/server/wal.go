@@ -24,6 +24,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -218,6 +219,40 @@ func (s *Server) walWaitDurable(lsn uint64) error {
 			msg: fmt.Sprintf("write-ahead log fsync failed: %v", err)}
 	}
 	return nil
+}
+
+// walWaitDurableCtx is walWaitDurable bounded by the request
+// deadline. Without a deadline on ctx it is exactly walWaitDurable —
+// no goroutine is spawned, and client-disconnect cancellation does
+// not abandon fsync waits. When the deadline expires mid-wait the
+// call answers the 503 deadline error immediately: the write is
+// already applied and logged but *not acknowledged* — the same
+// indeterminate contract a crash before the ack produces (see
+// docs/SERVING.md). The wait itself completes in the background; the
+// abandoned waiter may even be the group-commit leader, in which
+// case its goroutine runs the fsync to completion for the followers.
+func (s *Server) walWaitDurableCtx(ctx context.Context, lsn uint64) error {
+	if s.wal == nil || lsn == 0 {
+		return nil
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		return s.walWaitDurable(lsn)
+	}
+	if err := ctxExpired(ctx); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.wal.WaitDurable(lsn) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return &httpError{code: http.StatusInternalServerError,
+				msg: fmt.Sprintf("write-ahead log fsync failed: %v", err)}
+		}
+		return nil
+	case <-ctx.Done():
+		return errDeadlineExpired
+	}
 }
 
 // postWrite is what a write handler decides, still under the writer

@@ -115,7 +115,7 @@ func NewIVF(s *Store, metric Metric, cfg IVFConfig) (*IVF, error) {
 	backing := make([]int32, n)
 	off := 0
 	for c := range lists {
-		lists[c] = backing[off:off:off+counts[c]]
+		lists[c] = backing[off : off : off+counts[c]]
 		off += counts[c]
 	}
 	for i, c := range assign {

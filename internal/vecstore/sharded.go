@@ -1,6 +1,7 @@
 package vecstore
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -589,6 +590,60 @@ func (sh *Sharded) fanOut(rec SpanRecorder, search func(sid int, vs *vshard)) {
 	}
 }
 
+// fanOutCtx is fanOut with cancellation: when ctx expires before
+// every shard has answered, it returns ctx.Err() immediately instead
+// of joining. Abandoned shard searches finish on their own goroutines
+// (each still under only its shard's read lock) and drain into a
+// buffered channel, so nothing blocks and no lock leaks — but the
+// caller must discard any output the closures write, and no span is
+// replayed to rec on an abort (the recorder is typically backed by a
+// pooled per-request trace that is reused the moment the caller
+// returns).
+func (sh *Sharded) fanOutCtx(ctx context.Context, rec SpanRecorder, search func(sid int, vs *vshard)) error {
+	if ctx == nil || ctx.Done() == nil {
+		sh.fanOut(rec, search)
+		return nil
+	}
+	type shardDone struct {
+		sid int
+		d   time.Duration
+	}
+	measure := rec != nil
+	ch := make(chan shardDone, len(sh.shards))
+	for sid, vs := range sh.shards {
+		go func(sid int, vs *vshard) {
+			var start time.Time
+			if measure {
+				start = time.Now()
+			}
+			search(sid, vs)
+			var d time.Duration
+			if measure {
+				d = time.Since(start)
+			}
+			ch <- shardDone{sid: sid, d: d}
+		}(sid, vs)
+	}
+	var durs []time.Duration
+	if measure {
+		durs = make([]time.Duration, len(sh.shards))
+	}
+	for n := 0; n < len(sh.shards); n++ {
+		select {
+		case sd := <-ch:
+			if durs != nil {
+				durs[sd.sid] = sd.d
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for sid, d := range durs {
+		rec("shard_wait/"+strconv.Itoa(sid), d)
+	}
+	return nil
+}
+
 // timeSpan records the duration of fn under name when rec is non-nil.
 func timeSpan(rec SpanRecorder, name string, fn func()) {
 	if rec == nil {
@@ -665,6 +720,47 @@ func (sh *Sharded) SearchRowSpans(i, k int, rec SpanRecorder) []Result {
 		}
 	})
 	return out
+}
+
+// SearchRowSpansCtx is SearchRowSpans with cancellation: when ctx
+// expires mid-fan-out the scatter-gather is abandoned — the slow
+// shards finish in the background under their own read locks, their
+// results are discarded, and the call returns (nil, ctx.Err())
+// without waiting for them. With a nil or never-cancelled ctx it is
+// exactly SearchRowSpans.
+func (sh *Sharded) SearchRowSpansCtx(ctx context.Context, i, k int, rec SpanRecorder) ([]Result, error) {
+	vs0, local := sh.lockRow(i)
+	q := vs0.store.Row(local) // contents immutable; valid after unlock
+	vs0.mu.RUnlock()
+	if k <= 0 {
+		return nil, nil
+	}
+
+	perShard := make([][]Result, len(sh.shards))
+	err := sh.fanOutCtx(ctx, rec, func(sid int, vs *vshard) {
+		vs.mu.RLock()
+		defer vs.mu.RUnlock()
+		perShard[sid] = toGlobal(vs.idx.Search(q, k+1), vs.globals)
+	})
+	if err != nil {
+		// perShard may still be written by abandoned goroutines; it is
+		// dropped unread.
+		return nil, err
+	}
+	var out []Result
+	timeSpan(rec, "merge", func() {
+		merged := mergeTopK(perShard, k+1)
+		out = merged[:0]
+		for _, r := range merged {
+			if r.ID != i {
+				out = append(out, r)
+			}
+		}
+		if len(out) > k {
+			out = out[:k]
+		}
+	})
+	return out, nil
 }
 
 // SearchBatch implements Index: each shard answers the whole batch

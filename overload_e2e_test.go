@@ -1,0 +1,176 @@
+package v2v
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"v2v/internal/loadgen"
+)
+
+// overloadModel builds a small deterministic model for the overload
+// end-to-end runs.
+func overloadModel(vocab, dim int) *Model {
+	m := &Model{Dim: dim, Vocab: vocab, Vectors: make([]float32, vocab*dim)}
+	for i := range m.Vectors {
+		m.Vectors[i] = float32((i*2654435761)%997) / 997
+	}
+	return m
+}
+
+// TestOverloadSheddingE2E is the ISSUE acceptance criterion: a server
+// whose read class is deliberately tiny (2 slots + 2 queued) driven
+// closed-loop by 8 loadgen workers is overloaded by construction —
+// more requests in flight than the class can hold. The server must
+// answer every admitted request (bounded p99: the wait behind at most
+// 2 queued requests), shed the excess as 429s, and produce zero 5xx
+// and zero dropped connections while staying fully observable through
+// /stats.
+//
+// Each request is an uncached 16-query batch scan (~tens of ms of
+// compute), longer than the Go scheduler's preemption quantum: even
+// on GOMAXPROCS=1, in-flight handlers are preempted while later
+// arrivals reach the admission gate, so the class genuinely
+// overflows. Sub-millisecond requests would instead serialize on one
+// CPU and never trip the limit.
+func TestOverloadSheddingE2E(t *testing.T) {
+	srv, err := NewQueryServerFromModel(ServeConfig{
+		CacheSize: -1, // every query does real index work
+		Admission: ServeAdmissionConfig{
+			Read: ServeClassLimit{Concurrency: 2, Queue: 2},
+		},
+	}, overloadModel(20000, 64), nil)
+	if err != nil {
+		t.Fatalf("NewQueryServerFromModel: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:   hs.URL,
+		Workers:   8,
+		Requests:  100,
+		Mix:       map[loadgen.Op]float64{loadgen.OpNeighborsBatch: 1},
+		K:         10,
+		BatchSize: 16,
+		Seed:      21,
+	})
+	if err != nil {
+		t.Fatalf("loadgen.Run: %v", err)
+	}
+	o := res.Overall
+	t.Logf("overload run: %d requests, %d ok, %d shed, p99 %.3fms",
+		o.Requests, o.Requests-o.Errors, o.Shed, o.P99Ms)
+
+	// 8 closed-loop workers against 2+2 slots: excess load was shed.
+	if o.Shed == 0 {
+		t.Fatal("no requests shed: 8 workers against a 2+2 read class must overflow")
+	}
+	// Every admitted request succeeded; every failure was a deliberate
+	// 429. Zero 5xx (no deadline is configured, so no 503s either) and
+	// zero dropped connections.
+	if o.Errors != o.Shed || o.Expired != 0 || o.NetErrors != 0 {
+		t.Fatalf("errors %d / shed %d / expired %d / net %d: overload must shed cleanly, nothing else",
+			o.Errors, o.Shed, o.Expired, o.NetErrors)
+	}
+	if o.Requests-o.Errors == 0 {
+		t.Fatal("no requests admitted at all")
+	}
+	// Bounded p99 for the admitted requests: each waited behind at most
+	// 2 queued sub-millisecond queries. The 2s ceiling is orders of
+	// magnitude above any real value — it catches unbounded queueing,
+	// not slow hardware.
+	if o.P99Ms <= 0 || o.P99Ms > 2000 {
+		t.Fatalf("admitted p99 = %.3fms, want bounded (0, 2000]", o.P99Ms)
+	}
+
+	// The overload is visible in /stats: sheds recorded, nothing still
+	// in flight or queued after the run.
+	resp, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	var st struct {
+		Admission map[string]struct {
+			Inflight int    `json:"inflight"`
+			Queued   int    `json:"queued"`
+			Shed     uint64 `json:"shed"`
+		} `json:"admission"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding /stats: %v", err)
+	}
+	resp.Body.Close()
+	read := st.Admission["read"]
+	if read.Shed != uint64(o.Shed) {
+		t.Errorf("server counted %d sheds, client saw %d", read.Shed, o.Shed)
+	}
+	if read.Inflight != 0 || read.Queued != 0 {
+		t.Errorf("read class not drained after the run: %+v", read)
+	}
+}
+
+// TestLoadgenSweepE2E runs a short real-server QPS sweep and asserts
+// the committed-SWEEP-file contract: offered rates strictly ascend,
+// every step is error-free against an unconstrained server, and the
+// JSON snapshot round-trips with one row per rung plus the SweepKnee
+// row. This is the in-process twin of `make loadgen-sweep-short`.
+func TestLoadgenSweepE2E(t *testing.T) {
+	srv, err := NewQueryServerFromModel(ServeConfig{CacheSize: 256}, overloadModel(200, 8), nil)
+	if err != nil {
+		t.Fatalf("NewQueryServerFromModel: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	ladder := []float64{150, 300, 600}
+	res, err := loadgen.RunSweep(loadgen.Config{
+		BaseURL:  hs.URL,
+		Workers:  2,
+		Requests: 45,
+		Seed:     7,
+	}, ladder, 0)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+
+	raw, err := json.Marshal(res.Snapshot("2026-08-07", 0))
+	if err != nil {
+		t.Fatalf("marshaling sweep snapshot: %v", err)
+	}
+	var snap struct {
+		Date       string `json:"date"`
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("re-parsing sweep JSON: %v", err)
+	}
+	if snap.Date == "" || len(snap.Benchmarks) != len(ladder)+1 {
+		t.Fatalf("sweep JSON: date %q, %d rows, want %d", snap.Date, len(snap.Benchmarks), len(ladder)+1)
+	}
+	prev := 0.0
+	for _, b := range snap.Benchmarks[:len(ladder)] {
+		offered := b.Metrics["offered-qps"]
+		if offered <= prev {
+			t.Fatalf("offered QPS not strictly ascending: %g after %g (%s)", offered, prev, b.Name)
+		}
+		prev = offered
+		if b.Metrics["errors"] != 0 {
+			t.Fatalf("step %s saw %g errors against an unconstrained server", b.Name, b.Metrics["errors"])
+		}
+		if b.Metrics["qps"] <= 0 || b.Metrics["p99-ms"] <= 0 {
+			t.Fatalf("step %s missing measurements: %v", b.Name, b.Metrics)
+		}
+	}
+	knee := snap.Benchmarks[len(ladder)]
+	if knee.Name != "SweepKnee" {
+		t.Fatalf("last row = %q, want SweepKnee", knee.Name)
+	}
+	if _, ok := knee.Metrics["knee-index"]; !ok {
+		t.Fatalf("SweepKnee row missing knee-index: %v", knee.Metrics)
+	}
+}

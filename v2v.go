@@ -523,6 +523,19 @@ type ServeConfig = server.Config
 // ("Durability").
 type ServeWALConfig = server.WALConfig
 
+// ServeAdmissionConfig configures per-class admission control and
+// deadlines (ServeConfig.Admission): bounded concurrency plus a small
+// wait queue per request class, shedding excess load with 429 +
+// Retry-After, and optional per-class deadlines answered with 503
+// when they expire mid-request. See docs/SERVING.md ("Overload and
+// backpressure").
+type ServeAdmissionConfig = server.AdmissionConfig
+
+// ServeClassLimit bounds one request class (ServeAdmissionConfig.Read
+// / .Write / .Admin): in-flight concurrency, wait-queue depth and
+// deadline.
+type ServeClassLimit = server.ClassLimit
+
 // QueryServer is a long-lived HTTP/JSON query service over a trained
 // embedding: /v1/neighbors, /v1/similarity, /v1/analogy, /v1/predict
 // (plus batched variants), /healthz and /stats, with atomic hot model
