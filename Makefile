@@ -17,7 +17,7 @@ HNSW_OUT ?= hnsw-recall.json
 BENCH_PATTERN ?= BenchmarkGenerateUniform$$|BenchmarkTrainCBOWNegSampling$$|BenchmarkSearch|BenchmarkPredictScaling|BenchmarkPredictCosine$$
 BENCH_PKGS    ?= ./internal/walk ./internal/word2vec ./internal/vecstore ./internal/knn
 
-.PHONY: build test race vet bench bench-short serve-smoke crash-smoke crash-smoke-short \
+.PHONY: build test race vet bench bench-short serve-smoke router-smoke crash-smoke crash-smoke-short \
 	crash-smoke-sharded wal-fuzz loadgen-bench loadgen-short \
 	loadgen-write loadgen-write-short loadgen-sharded loadgen-sweep loadgen-sweep-short \
 	hnsw-recall hnsw-recall-full \
@@ -49,6 +49,18 @@ race:
 METRICS_SNAPSHOT_OUT ?=
 serve-smoke:
 	METRICS_SNAPSHOT_OUT=$(METRICS_SNAPSHOT_OUT) $(GO) test -run 'TestServeSmokeE2E|TestReloadShapeMismatchKeepsServing|TestOverloadSheddingE2E|TestLoadgenSweepE2E' -count 1 -v .
+
+# Distributed serving smoke: builds the real binary, spawns four
+# shard processes plus a scatter-gather router over them, and requires
+# every read endpoint to answer byte-for-byte identically to an
+# in-process `-shards 4` server on the same bundle; then SIGKILLs one
+# shard and asserts the documented degraded behavior (503 naming the
+# outage, fast — never a hang — with membership visible in /stats and
+# /metrics). Set ROUTER_SMOKE_OUT to save the fleet's combined log
+# (CI uploads it as an artifact).
+ROUTER_SMOKE_OUT ?=
+router-smoke:
+	ROUTER_SMOKE_OUT=$(ROUTER_SMOKE_OUT) $(GO) test -run TestRouterSmokeE2E -count 1 -v .
 
 # Crash-recovery fault-injection e2e: builds the real binary, serves a
 # snapshot with -wal, SIGKILLs the process in the middle of a mixed

@@ -40,6 +40,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"v2v/internal/loadgen"
@@ -51,7 +52,7 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the target server")
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the target server; comma-separate several to spread workers round-robin across replicas")
 		workers  = flag.Int("workers", 0, "concurrent client workers (0 = GOMAXPROCS)")
 		qps      = flag.Float64("qps", 0, "target aggregate requests/sec (0 = unlimited)")
 		requests = flag.Int("requests", 0, "total requests (0 = run for -duration)")
@@ -129,8 +130,21 @@ func main() {
 			*vectors, *dim, base, kind)
 	}
 
+	// Comma-separated -addr spreads workers round-robin over several
+	// targets (loadgen.Config.BaseURLs); -selfserve replaced base with
+	// its single in-process server above, so it is exempt.
+	var bases []string
+	for _, b := range strings.Split(base, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		fatal(fmt.Errorf("-addr is empty"))
+	}
 	runCfg := loadgen.Config{
-		BaseURL:      base,
+		BaseURL:      bases[0],
+		BaseURLs:     bases,
 		Workers:      *workers,
 		QPS:          *qps,
 		Requests:     *requests,

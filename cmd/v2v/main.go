@@ -52,6 +52,20 @@
 //	          [-read-concurrency N] [-read-queue N] [-deadline-ms D]
 //	          [-write-concurrency N] [-write-queue N] [-write-deadline-ms D]
 //	          [-retry-after 1] [-no-admission]
+//	          [-router -shard-addrs URL,URL,... [-allow-partial]
+//	           [-probe-ms 2000] [-remote-timeout-ms 5000]]
+//	          [-shards N -shard-id I]
+//
+// Distributed serving runs the shard boundary over HTTP: -shard-id I
+// serves one process's slice of an N-way partition (read-only public
+// API plus the internal /shard/v1/* surface), and -router serves
+// scatter-gather reads and hash-routed writes over the shard
+// processes listed in -shard-addrs (entry i must be the -shard-id i
+// process; membership is /healthz-probed every -probe-ms). Reads
+// answer byte-for-byte identically to a single process running
+// -shards N. With a shard down, reads answer 503 — or, with
+// -allow-partial, skip it and mark the response "partial": true. See
+// docs/SERVING.md ("Distributed serving").
 //
 // Admission control bounds in-flight requests per class (reads,
 // writes, admin) with a small wait queue each; excess load is shed
@@ -89,6 +103,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -301,6 +316,13 @@ func serveMain(args []string) {
 		noAdmission = fs.Bool("no-admission", false, "disable admission control entirely (no concurrency bounds, no shedding)")
 		retryAfter  = fs.Int("retry-after", 0, "Retry-After seconds advertised on shed (429) responses (0 = 1)")
 
+		router       = fs.Bool("router", false, "run as a scatter-gather router over the remote shard processes at -shard-addrs")
+		shardAddrs   = fs.String("shard-addrs", "", "comma-separated shard base URLs in shard order (entry i is the -shard-id i process; requires -router)")
+		allowPartial = fs.Bool("allow-partial", false, "router: skip unhealthy shards and flag responses partial instead of answering 503")
+		probeMs      = fs.Float64("probe-ms", 0, "router: shard health-probe interval in ms (0 = 2000)")
+		remoteMs     = fs.Float64("remote-timeout-ms", 0, "router: per-shard call timeout in ms when the request carries no deadline (0 = 5000)")
+		shardID      = fs.Int("shard-id", -1, "serve one shard of an N-way partition (requires -shards N; shard processes back a -router)")
+
 		walDir      = fs.String("wal", "", "write-ahead log directory (enables durable writes + crash recovery)")
 		walSync     = fs.String("wal-sync", "", "wal fsync policy: always (default), interval or never")
 		walSyncIvl  = fs.Duration("wal-sync-interval", 0, "flush period under -wal-sync interval (0 = 100ms)")
@@ -345,6 +367,33 @@ func serveMain(args []string) {
 	var err error
 	if cfg.Index, err = indexCfg(); err != nil {
 		fatal(err)
+	}
+	switch {
+	case *router && *shardID >= 0:
+		fatal(fmt.Errorf("-router and -shard-id are mutually exclusive (a process is a router or a shard, not both)"))
+	case *router:
+		for _, a := range strings.Split(*shardAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.ShardAddrs = append(cfg.ShardAddrs, a)
+			}
+		}
+		if len(cfg.ShardAddrs) == 0 {
+			fatal(fmt.Errorf("-router requires -shard-addrs host:port,... (one per shard, in shard order)"))
+		}
+		cfg.Router = true
+		cfg.AllowPartial = *allowPartial
+		cfg.ProbeInterval = time.Duration(*probeMs * float64(time.Millisecond))
+		cfg.RemoteTimeout = time.Duration(*remoteMs * float64(time.Millisecond))
+	case *shardID >= 0:
+		if cfg.Index.Shards < 2 {
+			fatal(fmt.Errorf("-shard-id requires -shards N with N >= 2 (the partition width)"))
+		}
+		cfg.ShardID = *shardID
+		cfg.ShardCount = cfg.Index.Shards
+	default:
+		if *shardAddrs != "" || *allowPartial || *probeMs != 0 || *remoteMs != 0 {
+			fatal(fmt.Errorf("-shard-addrs/-allow-partial/-probe-ms/-remote-timeout-ms require -router"))
+		}
 	}
 	if !*quiet {
 		cfg.Log = log.New(os.Stderr, "", log.LstdFlags)

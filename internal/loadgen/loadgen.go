@@ -95,6 +95,14 @@ type Config struct {
 	// BaseURL of the target server, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 
+	// BaseURLs lists several target servers (e.g. the replicas behind
+	// a load balancer, or a router plus its standby): workers are
+	// assigned round-robin, worker w driving BaseURLs[w % len]. When
+	// non-empty it overrides BaseURL. The vocabulary and served
+	// dimensionality are fetched from the first entry — the targets
+	// must serve the same model for the run to make sense.
+	BaseURLs []string
+
 	// Workers is the number of concurrent client goroutines
 	// (0 = GOMAXPROCS).
 	Workers int
@@ -254,10 +262,20 @@ func (a *opAgg) merge(o opAgg) {
 
 // Run executes the configured load and aggregates the measurements.
 func Run(cfg Config) (*Result, error) {
-	if cfg.BaseURL == "" {
-		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	bases := append([]string(nil), cfg.BaseURLs...)
+	if len(bases) == 0 {
+		if cfg.BaseURL == "" {
+			return nil, fmt.Errorf("loadgen: BaseURL is required")
+		}
+		bases = []string{cfg.BaseURL}
 	}
-	base := strings.TrimRight(cfg.BaseURL, "/")
+	for i := range bases {
+		bases[i] = strings.TrimRight(strings.TrimSpace(bases[i]), "/")
+		if bases[i] == "" {
+			return nil, fmt.Errorf("loadgen: BaseURLs[%d] is empty", i)
+		}
+	}
+	base := bases[0]
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -334,9 +352,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Every target is warmed: a cold cache on one replica would skew
+	// the measured run exactly the way warmup exists to prevent.
 	for pass := 0; pass < cfg.WarmupPasses; pass++ {
-		if err := warmup(client, base, tokens, k, workers); err != nil {
-			return nil, err
+		for _, b := range bases {
+			if err := warmup(client, b, tokens, k, workers); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -361,7 +383,7 @@ func Run(cfg Config) (*Result, error) {
 			rng := xrand.NewStream(cfg.Seed, uint64(w))
 			aggs := make([]opAgg, len(allOps))
 			g := generator{
-				client: client, base: base, tokens: tokens,
+				client: client, base: bases[w%len(bases)], tokens: tokens,
 				k: k, batch: batch, rng: rng,
 				dim: dim, worker: w, record: cfg.RecordWrites,
 			}

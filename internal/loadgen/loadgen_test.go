@@ -91,6 +91,61 @@ func TestRunBatchOps(t *testing.T) {
 	}
 }
 
+// TestRunMultiTarget drives two servers through Config.BaseURLs and
+// asserts workers actually spread round-robin: both targets see query
+// traffic, the vocabulary comes from the first entry only, and a set
+// BaseURL is ignored when BaseURLs is non-empty.
+func TestRunMultiTarget(t *testing.T) {
+	m := word2vec.NewModel(100, 8)
+	rng := xrand.New(7)
+	for i := range m.Vectors {
+		m.Vectors[i] = float32(rng.Float64()*2 - 1)
+	}
+	var hits [2]atomic.Int64
+	var vocabHits [2]atomic.Int64
+	mk := func(i int) string {
+		s, err := server.NewFromModel(server.Config{}, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := s.Handler()
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			if strings.HasPrefix(r.URL.Path, "/v1/vocab") {
+				vocabHits[i].Add(1)
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(hs.Close)
+		return hs.URL
+	}
+	u0, u1 := mk(0), mk(1)
+	res, err := Run(Config{
+		BaseURL:  "http://127.0.0.1:1", // must never be dialed
+		BaseURLs: []string{u0, u1},
+		Workers:  4,
+		Requests: 80,
+		Mix:      map[Op]float64{OpNeighbors: 1},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Overall.Errors != 0 {
+		t.Fatalf("%d errors against healthy targets", res.Overall.Errors)
+	}
+	if res.Overall.Requests != 80 {
+		t.Fatalf("issued %d requests, want 80", res.Overall.Requests)
+	}
+	if hits[0].Load() == 0 || hits[1].Load() == 0 {
+		t.Fatalf("round-robin left a target idle: %d vs %d hits", hits[0].Load(), hits[1].Load())
+	}
+	if vocabHits[0].Load() == 0 || vocabHits[1].Load() != 0 {
+		t.Fatalf("vocabulary fetch hit targets %d/%d times, want first target only",
+			vocabHits[0].Load(), vocabHits[1].Load())
+	}
+}
+
 // TestSpecialCharacterTokens runs the generator against a vocabulary
 // full of query-reserved characters (-named graphs produce these);
 // every request must still resolve, proving tokens are URL-escaped.

@@ -57,7 +57,8 @@ func endpointClass(name string) string {
 		return classSystem
 	case "reload":
 		return classAdmin
-	case "upsert", "upsert_batch", "delete", "delete_batch":
+	case "upsert", "upsert_batch", "delete", "delete_batch",
+		"shard_insert", "shard_delete":
 		return classWrite
 	default:
 		return classRead

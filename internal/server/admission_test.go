@@ -368,6 +368,12 @@ func TestEndpointClassMapping(t *testing.T) {
 		"delete": classWrite, "delete_batch": classWrite,
 		"reload":  classAdmin,
 		"healthz": classSystem, "stats": classSystem, "metrics": classSystem,
+		// The shard fan-out API: reads admit as reads (a router-side
+		// deadline must be honored under shard overload too), writes as
+		// writes.
+		"shard_search": classRead, "shard_search_batch": classRead,
+		"shard_scan": classRead, "shard_rows": classRead,
+		"shard_insert": classWrite, "shard_delete": classWrite,
 	}
 	for _, name := range endpointNames {
 		if got := endpointClass(name); got != want[name] {

@@ -1,0 +1,232 @@
+package server
+
+// The shard boundary of the serving tier. A sharded generation no
+// longer touches vecstore.Sharded directly from its handlers: every
+// shard access — fan-out searches with span recording and context
+// cancellation, hash-routed inserts and deletes, pair scores, row
+// fetches, occupancy stats, health — goes through the shardBackend
+// interface. Two implementations exist:
+//
+//   - localBackend wraps an in-process vecstore.Sharded coordinator:
+//     the pre-refactor behavior, delegated verbatim (the sharded
+//     parity suites prove bit-identical results).
+//   - remoteBackend (remote.go) talks HTTP to one shard process per
+//     partition: pooled clients, per-call deadlines, bounded retries
+//     on idempotent reads, health-checked membership.
+//
+// The split is what turns `v2v serve` into a router: handlers cannot
+// tell whether a shard is a goroutine or a process, so the router mode
+// is the same serving code over a different backend.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"v2v/internal/vecstore"
+	"v2v/internal/word2vec"
+)
+
+// searchMeta carries partial-result accounting out of a fan-out read.
+// The zero value means a complete answer over every shard — the only
+// thing localBackend ever returns. A remoteBackend running with
+// AllowPartial reports how much of the fleet actually answered so the
+// response can say so explicitly instead of passing a silently
+// truncated answer off as complete.
+type searchMeta struct {
+	// partial is true when at least one shard was skipped (unhealthy)
+	// or failed mid-query and the answer covers only the rest.
+	partial bool
+	// shardsAnswered counts the shards whose results are merged into
+	// the answer (== NumShards() when partial is false).
+	shardsAnswered int
+}
+
+// backendHealth is one shard's membership status as the backend sees
+// it — trivially healthy for in-process shards, probe-driven for
+// remote ones. Surfaced per shard in /stats and /metrics.
+type backendHealth struct {
+	Shard int `json:"shard"`
+	// Addr is the shard's base URL ("" for in-process shards).
+	Addr    string `json:"addr,omitempty"`
+	Healthy bool   `json:"healthy"`
+	// ProbeFailures counts consecutive failed health probes (0 when
+	// healthy or in-process).
+	ProbeFailures uint64 `json:"probe_failures,omitempty"`
+}
+
+// shardBackend is the serving tier's shard boundary (see the file
+// comment). Methods taking a context observe cancellation and
+// deadlines: an expired context aborts the access and returns
+// errDeadlineExpired (in-flight shard work is abandoned or drained,
+// never waited on). Implementations return *httpError values for
+// client-mappable failures, so handlers forward errors as-is.
+//
+// Occupancy accessors (Dim, Rows, Live, Dead, Deleted) are local and
+// infallible on both implementations: the router tracks liveness
+// itself (every write flows through it), so no read of them crosses
+// the network.
+type shardBackend interface {
+	// NumShards returns the partition width.
+	NumShards() int
+	// Dim returns the row dimensionality.
+	Dim() int
+	// Rows returns the number of global IDs ever assigned (live +
+	// tombstoned + compacted); IDs are never reused.
+	Rows() int
+	// Live returns the number of live rows across all shards.
+	Live() int
+	// Dead returns Rows() - Live().
+	Dead() int
+	// Deleted reports whether global row id is dead; out-of-range IDs
+	// report true.
+	Deleted(id int) bool
+
+	// SearchRow answers "k nearest rows to row id, excluding id":
+	// scatter the row's vector to every shard, merge flat top-k with
+	// the coordinator's tie-breaks, strip the query row. rec (may be
+	// nil) receives one "shard_wait/<sid>" span per completed shard
+	// and a "merge" span.
+	SearchRow(ctx context.Context, id, k int, rec vecstore.SpanRecorder) ([]vecstore.Result, searchMeta, error)
+	// SearchRowBatch answers SearchRow for every id, fanning the whole
+	// batch to each shard at once; results are per-id, already
+	// self-stripped and truncated to k.
+	SearchRowBatch(ctx context.Context, ids []int, k int) ([][]vecstore.Result, searchMeta, error)
+	// Analogy ranks rows by cosine similarity to
+	// vector(b) - vector(a) + vector(c), excluding the three query
+	// rows and tombstones — the exact float64 kernel of
+	// word2vec.AnalogyStore, scatter-gathered.
+	Analogy(ctx context.Context, a, b, c, k int, rec vecstore.SpanRecorder) ([]word2vec.Neighbor, searchMeta, error)
+	// Cosine returns the cosine similarity of rows a and b (0 when
+	// either is the zero vector).
+	Cosine(ctx context.Context, a, b int) (float64, error)
+	// PairScore is the link-prediction embedding score: dot when
+	// hadamard, else cosine.
+	PairScore(ctx context.Context, u, v int, hadamard bool) (float64, error)
+
+	// Insert appends a new row: the next global ID is assigned and the
+	// row routes to ShardOf(id, NumShards()). token names the row for
+	// shard-local vocabularies (in-process backends ignore it).
+	Insert(ctx context.Context, token string, v []float32) (int, error)
+	// Delete tombstones global row id on its owning shard.
+	Delete(ctx context.Context, id int) error
+
+	// ShardStats snapshots per-shard occupancy in shard order (remote
+	// backends serve the last probed values rather than fanning out).
+	ShardStats() []vecstore.ShardStat
+	// Health reports per-shard membership status in shard order.
+	Health() []backendHealth
+	// Close releases backend resources (probe goroutines, idle
+	// connections). The backend must not be used after Close.
+	Close()
+}
+
+// errShardUnavailable builds the 503 a router answers when a shard it
+// needs is down and partial results are not allowed (or the query's
+// own row lives on the dead shard).
+func errShardUnavailable(sid int, addr string, cause error) *httpError {
+	msg := fmt.Sprintf("shard %d (%s) unavailable", sid, addr)
+	if cause != nil {
+		msg = fmt.Sprintf("%s: %v", msg, cause)
+	}
+	return &httpError{code: http.StatusServiceUnavailable, msg: msg}
+}
+
+// ---- localBackend ---------------------------------------------------
+
+// localBackend adapts an in-process vecstore.Sharded coordinator to
+// the shardBackend interface. Every method is a verbatim delegation to
+// the pre-refactor call the handlers used to make, so a local sharded
+// generation is bit-identical to the code this interface was extracted
+// from.
+type localBackend struct {
+	sh *vecstore.Sharded
+}
+
+func newLocalBackend(sh *vecstore.Sharded) *localBackend { return &localBackend{sh: sh} }
+
+func (lb *localBackend) NumShards() int       { return lb.sh.NumShards() }
+func (lb *localBackend) Dim() int             { return lb.sh.Dim() }
+func (lb *localBackend) Rows() int            { return lb.sh.Rows() }
+func (lb *localBackend) Live() int            { return lb.sh.Live() }
+func (lb *localBackend) Dead() int            { return lb.sh.Dead() }
+func (lb *localBackend) Deleted(id int) bool  { return lb.sh.Deleted(id) }
+
+func (lb *localBackend) SearchRow(ctx context.Context, id, k int, rec vecstore.SpanRecorder) ([]vecstore.Result, searchMeta, error) {
+	res, err := lb.sh.SearchRowSpansCtx(ctx, id, k, rec)
+	if err != nil {
+		// The ctx-aware fan-out abandons slow shards on expiry: they
+		// finish in the background under their own locks and their
+		// results are discarded, so the 503 goes out immediately.
+		return nil, searchMeta{}, errDeadlineExpired
+	}
+	return res, searchMeta{}, nil
+}
+
+func (lb *localBackend) SearchRowBatch(ctx context.Context, ids []int, k int) ([][]vecstore.Result, searchMeta, error) {
+	if err := ctxExpired(ctx); err != nil {
+		return nil, searchMeta{}, err
+	}
+	// The query vertex ranks first in its own results (score 1 under
+	// cosine); ask for k+1 and strip it so batch items match the
+	// single endpoint's SearchRow exactly.
+	qs := make([][]float32, len(ids))
+	for i, id := range ids {
+		qs[i] = lb.sh.Row(id)
+	}
+	batch := lb.sh.SearchBatch(qs, k+1)
+	out := make([][]vecstore.Result, len(ids))
+	for j, res := range batch {
+		out[j] = stripSelf(res, ids[j], k)
+	}
+	return out, searchMeta{}, nil
+}
+
+func (lb *localBackend) Analogy(ctx context.Context, a, b, c, k int, rec vecstore.SpanRecorder) ([]word2vec.Neighbor, searchMeta, error) {
+	if err := ctxExpired(ctx); err != nil {
+		return nil, searchMeta{}, err
+	}
+	return word2vec.AnalogySharded(lb.sh, a, b, c, k), searchMeta{}, nil
+}
+
+func (lb *localBackend) Cosine(ctx context.Context, a, b int) (float64, error) {
+	return lb.sh.Cosine(a, b), nil
+}
+
+func (lb *localBackend) PairScore(ctx context.Context, u, v int, hadamard bool) (float64, error) {
+	if hadamard {
+		return lb.sh.Dot(u, v), nil
+	}
+	return lb.sh.Cosine(u, v), nil
+}
+
+func (lb *localBackend) Insert(ctx context.Context, token string, v []float32) (int, error) {
+	return lb.sh.Insert(v)
+}
+
+func (lb *localBackend) Delete(ctx context.Context, id int) error { return lb.sh.Delete(id) }
+
+func (lb *localBackend) ShardStats() []vecstore.ShardStat { return lb.sh.ShardStats() }
+
+func (lb *localBackend) Health() []backendHealth {
+	out := make([]backendHealth, lb.sh.NumShards())
+	for sid := range out {
+		out[sid] = backendHealth{Shard: sid, Healthy: true}
+	}
+	return out
+}
+
+func (lb *localBackend) Close() {}
+
+// stripSelf drops the query row from a k+1-deep result list and
+// truncates to k — shared by both backends so the self-exclusion
+// semantics cannot drift between them.
+func stripSelf(res []vecstore.Result, self, k int) []vecstore.Result {
+	out := make([]vecstore.Result, 0, k)
+	for _, h := range res {
+		if h.ID != self && len(out) < k {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -235,9 +235,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 		telemetry.Sample{Value: float64(s.deletes.Load())})
 
 	compactions := s.compactions.Load()
-	if st.sharded != nil {
+	if st.backend != nil {
 		var rows, live, dead, epochs, shardCkr []telemetry.Sample
-		for sid, ss := range st.sharded.ShardStats() {
+		for sid, ss := range st.backend.ShardStats() {
 			label := `shard="` + strconv.Itoa(sid) + `"`
 			rows = append(rows, telemetry.Sample{Labels: label, Value: float64(ss.Rows)})
 			live = append(live, telemetry.Sample{Labels: label, Value: float64(ss.Live)})
@@ -251,6 +251,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 		ew.GaugeFamily("v2v_shard_tombstones", "Tombstoned rows per shard.", dead...)
 		ew.GaugeFamily("v2v_shard_epoch", "Compaction epoch per shard.", epochs...)
 		ew.CounterFamily("v2v_shard_compactions_total", "Completed compactions per shard.", shardCkr...)
+		// Router mode: per-backend membership, so dashboards can alert
+		// on a shard dropping out before clients see 503s/partials.
+		if _, remote := st.backend.(*remoteBackend); remote {
+			var up, probeFails []telemetry.Sample
+			for _, bh := range st.backend.Health() {
+				label := `shard="` + strconv.Itoa(bh.Shard) + `",addr=` + strconv.Quote(bh.Addr)
+				v := 0.0
+				if bh.Healthy {
+					v = 1
+				}
+				up = append(up, telemetry.Sample{Labels: label, Value: v})
+				probeFails = append(probeFails, telemetry.Sample{Labels: label, Value: float64(bh.ProbeFailures)})
+			}
+			ew.GaugeFamily("v2v_backend_up", "1 when the shard backend passed its last health probe.", up...)
+			ew.GaugeFamily("v2v_backend_probe_failures", "Consecutive failed health probes per shard backend.", probeFails...)
+		}
 	}
 	ew.CounterFamily("v2v_compactions_total", "Completed compactions (server-level plus per-shard).",
 		telemetry.Sample{Value: float64(compactions)})

@@ -1,0 +1,677 @@
+package server
+
+// Router mode (Config.Router): the remoteBackend implementation of
+// shardBackend, talking HTTP to one shard process per partition, plus
+// the newRouter constructor. The router holds the full token table
+// (every write flows through it, so it tracks liveness itself) but no
+// vectors: row data, searches and exact scans come from the shard
+// fleet over the /shard/v1/* API (shard.go defines both wire halves).
+//
+// Fleet membership is health-checked: a prober GETs each shard's
+// /healthz on a fixed cadence and verifies the shard's identity block
+// (right shard ID, right partition width, right dimensionality), so a
+// misconfigured or restarted-with-the-wrong-flags process reads as
+// down instead of quietly merging wrong rows. An unhealthy shard is
+// skipped before any RPC: with AllowPartial the response says so
+// explicitly (partial=true, shards_answered=N), without it the read is
+// a 503 — never a hang, never a silently truncated answer.
+//
+// Parity with the in-process coordinator is by construction: the
+// shards run the same per-shard kernels over bit-identical slices
+// (snapshot.SliceShard), floats cross the wire in JSON's
+// shortest-round-trip encoding (exact for float32 rows and float64
+// targets/scores), and the router merges with the exported
+// vecstore.MergeTopK / CosineFromDot the coordinator itself uses.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"v2v/internal/snapshot"
+	"v2v/internal/vecstore"
+	"v2v/internal/word2vec"
+)
+
+const (
+	defaultProbeInterval = 2 * time.Second
+	defaultRemoteTimeout = 5 * time.Second
+)
+
+// remoteShard is one shard process as the router sees it: a pooled
+// HTTP client plus probe-maintained membership state.
+type remoteShard struct {
+	sid    int
+	addr   string // normalized base URL, no trailing slash
+	client *http.Client
+
+	healthy       atomic.Bool
+	probeFailures atomic.Uint64
+	// stat caches the occupancy block of the last successful probe, so
+	// /stats and /metrics never fan out.
+	stat atomic.Pointer[vecstore.ShardStat]
+}
+
+// remoteBackend implements shardBackend over a fleet of shard
+// processes. Liveness bookkeeping (rows assigned, tombstones) lives
+// here: every write flows through the router, so occupancy reads never
+// cross the network.
+type remoteBackend struct {
+	shards       []*remoteShard
+	dim          int
+	timeout      time.Duration
+	allowPartial bool
+	log          *log.Logger
+
+	// rows is the next global ID to assign == rows ever assigned.
+	// Writers hold the generation's writer lock, so load-then-add in
+	// Insert is not a race; the atomic lets readers skip the lock.
+	rows atomic.Int64
+	dead atomic.Int64
+	// deleted tracks tombstoned global IDs (Deleted() must answer
+	// locally — it runs inside token resolution on every read).
+	delMu   sync.RWMutex
+	deleted map[int]bool
+
+	probeInterval time.Duration
+	stop          chan struct{}
+	stopOnce      sync.Once
+	done          sync.WaitGroup
+}
+
+func newRemoteBackend(cfg Config, vocab, dim int, logger *log.Logger) *remoteBackend {
+	shards := make([]*remoteShard, len(cfg.ShardAddrs))
+	for i, addr := range cfg.ShardAddrs {
+		addr = strings.TrimRight(addr, "/")
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		shards[i] = &remoteShard{
+			sid:  i,
+			addr: addr,
+			client: &http.Client{Transport: &http.Transport{
+				MaxIdleConnsPerHost: 32,
+				IdleConnTimeout:     90 * time.Second,
+			}},
+		}
+	}
+	timeout := cfg.RemoteTimeout
+	if timeout <= 0 {
+		timeout = defaultRemoteTimeout
+	}
+	interval := cfg.ProbeInterval
+	if interval <= 0 {
+		interval = defaultProbeInterval
+	}
+	rb := &remoteBackend{
+		shards:        shards,
+		dim:           dim,
+		timeout:       timeout,
+		allowPartial:  cfg.AllowPartial,
+		log:           logger,
+		deleted:       make(map[int]bool),
+		probeInterval: interval,
+		stop:          make(chan struct{}),
+	}
+	rb.rows.Store(int64(vocab))
+	// One synchronous probe round before serving: startup logs (and the
+	// first requests) see the real fleet state, not all-down defaults.
+	rb.probeAll()
+	rb.done.Add(1)
+	go rb.probeLoop()
+	return rb
+}
+
+// ---- Health probing -------------------------------------------------
+
+// healthzProbe is the slice of a shard's /healthz response the prober
+// verifies (shard.go writes the full response).
+type healthzProbe struct {
+	Dim   int        `json:"dim"`
+	Shard *ShardInfo `json:"shard"`
+}
+
+func (rb *remoteBackend) probeLoop() {
+	defer rb.done.Done()
+	t := time.NewTicker(rb.probeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rb.stop:
+			return
+		case <-t.C:
+			rb.probeAll()
+		}
+	}
+}
+
+func (rb *remoteBackend) probeAll() {
+	var wg sync.WaitGroup
+	for _, sh := range rb.shards {
+		wg.Add(1)
+		go func(sh *remoteShard) {
+			defer wg.Done()
+			rb.probe(sh)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+func (rb *remoteBackend) probe(sh *remoteShard) {
+	ctx, cancel := context.WithTimeout(context.Background(), rb.probeInterval)
+	defer cancel()
+	var hz healthzProbe
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.addr+"/healthz", nil)
+	if err == nil {
+		resp, derr := sh.client.Do(req)
+		if derr == nil {
+			if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&hz) == nil {
+				// Identity check: answering HTTP is not enough — the
+				// process must be the shard this slot is configured for,
+				// or its global IDs would merge as garbage.
+				ok = hz.Shard != nil && hz.Shard.ID == sh.sid &&
+					hz.Shard.Of == len(rb.shards) && hz.Dim == rb.dim
+			}
+			resp.Body.Close()
+		}
+	}
+	if ok {
+		sh.probeFailures.Store(0)
+		sh.stat.Store(&vecstore.ShardStat{
+			Rows:    hz.Shard.Rows,
+			Live:    hz.Shard.Live,
+			Deleted: hz.Shard.Deleted,
+			Epoch:   hz.Shard.Epoch,
+		})
+		if !sh.healthy.Swap(true) {
+			rb.log.Printf("server: shard %d (%s) joined", sh.sid, sh.addr)
+		}
+		return
+	}
+	sh.probeFailures.Add(1)
+	if sh.healthy.Swap(false) {
+		rb.log.Printf("server: shard %d (%s) left (probe failed)", sh.sid, sh.addr)
+	}
+}
+
+// ---- RPC plumbing ---------------------------------------------------
+
+// call POSTs in to path on sh and decodes the 200 response into out.
+// The context is the deadline authority; a call with no inherited
+// deadline gets the backend's RemoteTimeout. idempotent calls retry
+// once — but only on transport errors, where the shard never answered;
+// once a shard has answered (any status), its verdict is forwarded,
+// never replayed. Context expiry maps to errDeadlineExpired (503),
+// exhausted transport attempts to errShardUnavailable.
+func (rb *remoteBackend) call(ctx context.Context, sh *remoteShard, path string, in, out any, idempotent bool) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rb.timeout)
+		defer cancel()
+	}
+	attempts := 1
+	if idempotent {
+		attempts = 2
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if ctx.Err() != nil {
+			return errDeadlineExpired
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, sh.addr+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := sh.client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return errDeadlineExpired
+			}
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			msg := strings.TrimSpace(string(raw))
+			var e struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+				msg = e.Error
+			}
+			return &httpError{code: resp.StatusCode, msg: fmt.Sprintf("shard %d: %s", sh.sid, msg)}
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			if ctx.Err() != nil {
+				return errDeadlineExpired
+			}
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return errShardUnavailable(sh.sid, sh.addr, lastErr)
+}
+
+// scatterShards fans fn out to every healthy shard and collects
+// results indexed by shard ID (zero value for shards that did not
+// answer). rec, when non-nil, receives one "shard_wait/<sid>" span per
+// shard that completed successfully — spans for abandoned shards are
+// never recorded, so an expired request's trace shows exactly the
+// shards that made the answer. Error policy: context expiry and shard
+// 4xx verdicts (a bug surface, not an availability event) always
+// propagate; other failures propagate in strict mode and demote the
+// shard to "skipped" under AllowPartial.
+func scatterShards[T any](ctx context.Context, rb *remoteBackend, rec vecstore.SpanRecorder, fn func(ctx context.Context, sh *remoteShard) (T, error)) ([]T, searchMeta, error) {
+	type done struct {
+		sid int
+		val T
+		dur time.Duration
+		err error
+	}
+	out := make([]T, len(rb.shards))
+	// Buffered to the fleet width: abandoned goroutines park their
+	// result and exit instead of leaking.
+	ch := make(chan done, len(rb.shards))
+	launched, answered := 0, 0
+	for _, sh := range rb.shards {
+		if !sh.healthy.Load() {
+			if !rb.allowPartial {
+				return nil, searchMeta{}, errShardUnavailable(sh.sid, sh.addr, nil)
+			}
+			continue
+		}
+		launched++
+		go func(sh *remoteShard) {
+			start := time.Now()
+			v, err := fn(ctx, sh)
+			ch <- done{sid: sh.sid, val: v, dur: time.Since(start), err: err}
+		}(sh)
+	}
+	for i := 0; i < launched; i++ {
+		select {
+		case d := <-ch:
+			if d.err != nil {
+				if d.err == errDeadlineExpired {
+					return nil, searchMeta{}, d.err
+				}
+				var he *httpError
+				if errors.As(d.err, &he) && he.code >= 400 && he.code < 500 {
+					return nil, searchMeta{}, d.err
+				}
+				if !rb.allowPartial {
+					return nil, searchMeta{}, d.err
+				}
+				continue
+			}
+			out[d.sid] = d.val
+			answered++
+			if rec != nil {
+				rec("shard_wait/"+strconv.Itoa(d.sid), d.dur)
+			}
+		case <-ctx.Done():
+			// Slow shards are abandoned, not waited on: the in-flight
+			// RPCs are cancelled through ctx and their goroutines drain
+			// into the buffered channel.
+			return nil, searchMeta{}, errDeadlineExpired
+		}
+	}
+	meta := searchMeta{}
+	if answered < len(rb.shards) {
+		meta.partial = true
+		meta.shardsAnswered = answered
+	}
+	return out, meta, nil
+}
+
+// fetchRows resolves global IDs to row vectors and squared norms from
+// their owning shards. A query's own rows have no partial substitute:
+// the owner must answer regardless of AllowPartial, or the read is a
+// 503.
+func (rb *remoteBackend) fetchRows(ctx context.Context, ids []int) ([][]float32, []float64, error) {
+	n := len(rb.shards)
+	byOwner := make(map[int][]int, n) // shard ID -> positions in ids
+	for pos, id := range ids {
+		byOwner[vecstore.ShardOf(id, n)] = append(byOwner[vecstore.ShardOf(id, n)], pos)
+	}
+	for sid := range byOwner {
+		if sh := rb.shards[sid]; !sh.healthy.Load() {
+			return nil, nil, errShardUnavailable(sid, sh.addr, errors.New("query row owner must answer"))
+		}
+	}
+	rows := make([][]float32, len(ids))
+	norms := make([]float64, len(ids))
+	ch := make(chan error, len(byOwner))
+	for sid, positions := range byOwner {
+		go func(sh *remoteShard, positions []int) {
+			req := shardRowsRequest{IDs: make([]int, len(positions))}
+			for i, pos := range positions {
+				req.IDs[i] = ids[pos]
+			}
+			var resp shardRowsResponse
+			err := rb.call(ctx, sh, "/shard/v1/rows", req, &resp, true)
+			if err == nil && (len(resp.Rows) != len(positions) || len(resp.SqNorms) != len(positions)) {
+				err = errShardUnavailable(sh.sid, sh.addr,
+					fmt.Errorf("rows response covers %d of %d requested rows", len(resp.Rows), len(positions)))
+			}
+			if err == nil {
+				for i, pos := range positions {
+					if len(resp.Rows[i]) != rb.dim {
+						err = errShardUnavailable(sh.sid, sh.addr,
+							fmt.Errorf("row %d has dimension %d, want %d", ids[pos], len(resp.Rows[i]), rb.dim))
+						break
+					}
+					rows[pos] = resp.Rows[i]
+					norms[pos] = resp.SqNorms[i]
+				}
+			}
+			ch <- err
+		}(rb.shards[sid], positions)
+	}
+	for i := 0; i < len(byOwner); i++ {
+		select {
+		case err := <-ch:
+			if err != nil {
+				return nil, nil, err
+			}
+		case <-ctx.Done():
+			return nil, nil, errDeadlineExpired
+		}
+	}
+	return rows, norms, nil
+}
+
+// filterKnown drops result IDs at or past the router's row horizon —
+// a shard can briefly hold a row the router failed to record (an
+// insert whose acknowledgment was lost); serving it would index past
+// the token table. Lists are filtered in place, preserving order.
+func (rb *remoteBackend) filterKnown(per [][]vecstore.Result) [][]vecstore.Result {
+	horizon := int(rb.rows.Load())
+	for sid, list := range per {
+		keep := list[:0]
+		for _, h := range list {
+			if h.ID < horizon {
+				keep = append(keep, h)
+			}
+		}
+		per[sid] = keep
+	}
+	return per
+}
+
+// ---- shardBackend ---------------------------------------------------
+
+func (rb *remoteBackend) NumShards() int { return len(rb.shards) }
+func (rb *remoteBackend) Dim() int       { return rb.dim }
+func (rb *remoteBackend) Rows() int      { return int(rb.rows.Load()) }
+func (rb *remoteBackend) Live() int      { return rb.Rows() - rb.Dead() }
+func (rb *remoteBackend) Dead() int      { return int(rb.dead.Load()) }
+
+func (rb *remoteBackend) Deleted(id int) bool {
+	if id < 0 || id >= rb.Rows() {
+		return true
+	}
+	rb.delMu.RLock()
+	defer rb.delMu.RUnlock()
+	return rb.deleted[id]
+}
+
+func (rb *remoteBackend) SearchRow(ctx context.Context, id, k int, rec vecstore.SpanRecorder) ([]vecstore.Result, searchMeta, error) {
+	rows, _, err := rb.fetchRows(ctx, []int{id})
+	if err != nil {
+		return nil, searchMeta{}, err
+	}
+	q := rows[0]
+	per, meta, err := scatterShards(ctx, rb, rec, func(ctx context.Context, sh *remoteShard) ([]vecstore.Result, error) {
+		var resp shardSearchResponse
+		// k+1 like the in-process coordinator: the query row ranks
+		// first in its own results and is stripped at the merge.
+		if err := rb.call(ctx, sh, "/shard/v1/search", shardSearchRequest{Vector: q, K: k + 1}, &resp, true); err != nil {
+			return nil, err
+		}
+		return resp.Results, nil
+	})
+	if err != nil {
+		return nil, searchMeta{}, err
+	}
+	start := time.Now()
+	res := stripSelf(vecstore.MergeTopK(rb.filterKnown(per), k+1), id, k)
+	if rec != nil {
+		rec("merge", time.Since(start))
+	}
+	return res, meta, nil
+}
+
+func (rb *remoteBackend) SearchRowBatch(ctx context.Context, ids []int, k int) ([][]vecstore.Result, searchMeta, error) {
+	rows, _, err := rb.fetchRows(ctx, ids)
+	if err != nil {
+		return nil, searchMeta{}, err
+	}
+	per, meta, err := scatterShards(ctx, rb, nil, func(ctx context.Context, sh *remoteShard) ([][]vecstore.Result, error) {
+		var resp shardSearchBatchResponse
+		if err := rb.call(ctx, sh, "/shard/v1/search/batch", shardSearchBatchRequest{Vectors: rows, K: k + 1}, &resp, true); err != nil {
+			return nil, err
+		}
+		if len(resp.Results) != len(ids) {
+			return nil, errShardUnavailable(sh.sid, sh.addr,
+				fmt.Errorf("batch response covers %d of %d queries", len(resp.Results), len(ids)))
+		}
+		return resp.Results, nil
+	})
+	if err != nil {
+		return nil, searchMeta{}, err
+	}
+	out := make([][]vecstore.Result, len(ids))
+	scratch := make([][]vecstore.Result, 0, len(per))
+	for j, id := range ids {
+		scratch = scratch[:0]
+		for _, lists := range per {
+			if lists == nil { // shard skipped
+				continue
+			}
+			scratch = append(scratch, lists[j])
+		}
+		out[j] = stripSelf(vecstore.MergeTopK(rb.filterKnown(scratch), k+1), id, k)
+	}
+	return out, meta, nil
+}
+
+func (rb *remoteBackend) Analogy(ctx context.Context, a, b, c, k int, rec vecstore.SpanRecorder) ([]word2vec.Neighbor, searchMeta, error) {
+	if k <= 0 {
+		return nil, searchMeta{}, nil
+	}
+	rows, _, err := rb.fetchRows(ctx, []int{a, b, c})
+	if err != nil {
+		return nil, searchMeta{}, err
+	}
+	va, vb, vc := rows[0], rows[1], rows[2]
+	// The exact float64 target of word2vec.AnalogyStore; shards
+	// recompute its norm from these exactly-transported values, so the
+	// distributed kernel is the in-process kernel.
+	target := make([]float64, rb.dim)
+	for i := range target {
+		target[i] = float64(vb[i]) - float64(va[i]) + float64(vc[i])
+	}
+	per, meta, err := scatterShards(ctx, rb, rec, func(ctx context.Context, sh *remoteShard) ([]vecstore.Result, error) {
+		var resp shardScanResponse
+		if err := rb.call(ctx, sh, "/shard/v1/scan", shardScanRequest{Target: target, Exclude: []int{a, b, c}, K: k}, &resp, true); err != nil {
+			return nil, err
+		}
+		return resp.Results, nil
+	})
+	if err != nil {
+		return nil, searchMeta{}, err
+	}
+	start := time.Now()
+	merged := vecstore.MergeTopK(rb.filterKnown(per), k)
+	ns := make([]word2vec.Neighbor, len(merged))
+	for i, r := range merged {
+		ns[i] = word2vec.Neighbor{Word: r.ID, Similarity: r.Score}
+	}
+	if rec != nil {
+		rec("merge", time.Since(start))
+	}
+	return ns, meta, nil
+}
+
+func (rb *remoteBackend) Cosine(ctx context.Context, a, b int) (float64, error) {
+	rows, sq, err := rb.fetchRows(ctx, []int{a, b})
+	if err != nil {
+		return 0, err
+	}
+	return vecstore.CosineFromDot(vecstore.DotF64(rows[0], rows[1]), sq[0], sq[1]), nil
+}
+
+func (rb *remoteBackend) PairScore(ctx context.Context, u, v int, hadamard bool) (float64, error) {
+	rows, sq, err := rb.fetchRows(ctx, []int{u, v})
+	if err != nil {
+		return 0, err
+	}
+	if hadamard {
+		return vecstore.DotF64(rows[0], rows[1]), nil
+	}
+	return vecstore.CosineFromDot(vecstore.DotF64(rows[0], rows[1]), sq[0], sq[1]), nil
+}
+
+func (rb *remoteBackend) Insert(ctx context.Context, token string, v []float32) (int, error) {
+	// The caller holds the generation's writer lock, so the
+	// load-then-add is not a race: this ID is ours to assign.
+	id := int(rb.rows.Load())
+	sid := vecstore.ShardOf(id, len(rb.shards))
+	sh := rb.shards[sid]
+	if !sh.healthy.Load() {
+		// Writes are never partial: the row has exactly one home.
+		return 0, errShardUnavailable(sid, sh.addr, errors.New("row owner must accept the write"))
+	}
+	var resp shardInsertResponse
+	if err := rb.call(ctx, sh, "/shard/v1/insert", shardInsertRequest{ID: id, Token: token, Vector: v}, &resp, false); err != nil {
+		return 0, err
+	}
+	rb.rows.Add(1)
+	return id, nil
+}
+
+func (rb *remoteBackend) Delete(ctx context.Context, id int) error {
+	sid := vecstore.ShardOf(id, len(rb.shards))
+	sh := rb.shards[sid]
+	if !sh.healthy.Load() {
+		return errShardUnavailable(sid, sh.addr, errors.New("row owner must accept the write"))
+	}
+	var resp shardDeleteResponse
+	if err := rb.call(ctx, sh, "/shard/v1/delete", shardDeleteRequest{ID: id}, &resp, false); err != nil {
+		return err
+	}
+	rb.delMu.Lock()
+	if !rb.deleted[id] {
+		rb.deleted[id] = true
+		rb.dead.Add(1)
+	}
+	rb.delMu.Unlock()
+	return nil
+}
+
+func (rb *remoteBackend) ShardStats() []vecstore.ShardStat {
+	out := make([]vecstore.ShardStat, len(rb.shards))
+	for i, sh := range rb.shards {
+		if st := sh.stat.Load(); st != nil {
+			out[i] = *st
+		}
+	}
+	return out
+}
+
+func (rb *remoteBackend) Health() []backendHealth {
+	out := make([]backendHealth, len(rb.shards))
+	for i, sh := range rb.shards {
+		out[i] = backendHealth{
+			Shard:         sh.sid,
+			Addr:          sh.addr,
+			Healthy:       sh.healthy.Load(),
+			ProbeFailures: sh.probeFailures.Load(),
+		}
+	}
+	return out
+}
+
+func (rb *remoteBackend) Close() {
+	rb.stopOnce.Do(func() { close(rb.stop) })
+	rb.done.Wait()
+	for _, sh := range rb.shards {
+		sh.client.CloseIdleConnections()
+	}
+}
+
+// ---- Router construction --------------------------------------------
+
+// newRouter builds a router-mode server (see the file comment): the
+// bundle's token table over a remoteBackend, no local vectors, no
+// index, no WAL.
+func newRouter(cfg Config) (*Server, error) {
+	if len(cfg.ShardAddrs) == 0 {
+		return nil, fmt.Errorf("server: Router requires ShardAddrs (one per shard, in shard order)")
+	}
+	if cfg.WAL.Dir != "" {
+		return nil, fmt.Errorf("server: WAL is not supported in router mode (durability belongs to the bundle; restart the fleet from it)")
+	}
+	m, tokens, err := snapshot.LoadFile(cfg.ModelPath)
+	if err != nil {
+		return nil, fmt.Errorf("server: loading model: %w", err)
+	}
+	if m.Vocab == 0 {
+		return nil, fmt.Errorf("server: model %q has no vectors", cfg.ModelPath)
+	}
+	if tokens == nil {
+		// Same decimal names SliceShard synthesizes on the shards.
+		tokens = make([]string, m.Vocab)
+		for i := range tokens {
+			tokens[i] = strconv.Itoa(i)
+		}
+	}
+	if len(tokens) != m.Vocab {
+		return nil, fmt.Errorf("server: %d tokens for %d rows", len(tokens), m.Vocab)
+	}
+	s := newShell(cfg)
+	rb := newRemoteBackend(cfg, m.Vocab, m.Dim, s.logger)
+	byToken := make(map[string]int, len(tokens))
+	for i, tok := range tokens {
+		byToken[tok] = i
+	}
+	gen := s.gen.Add(1)
+	s.state.Store(&modelState{
+		backend:  rb,
+		tokens:   tokens,
+		byToken:  byToken,
+		gen:      gen,
+		source:   cfg.ModelPath,
+		loadedAt: time.Now(),
+	})
+	s.initMux()
+	healthy := 0
+	for _, h := range rb.Health() {
+		if h.Healthy {
+			healthy++
+		}
+	}
+	s.logger.Printf("server: router over %d shards (%d healthy at startup): %d vectors, dim %d",
+		len(rb.shards), healthy, m.Vocab, m.Dim)
+	return s, nil
+}

@@ -121,6 +121,50 @@ type Config struct {
 	// internals and cost CPU while sampling, so they are opt-in.
 	Pprof bool
 
+	// Router runs this server as a scatter-gather router over the
+	// remote shard processes at ShardAddrs: reads fan out over HTTP
+	// and merge with the in-process coordinator's exact semantics,
+	// writes hash-route to exactly one shard. ModelPath must name the
+	// same bundle the shards were sliced from (the router serves its
+	// token table; row data stays in the shards). Router mode rejects
+	// WAL (the distributed tier has no durability story yet — restart
+	// the fleet together) and serves /v1/reload as 501.
+	Router bool
+
+	// ShardAddrs lists the shard base URLs in shard order
+	// ("host:port" or "http://host:port"); entry i must be the process
+	// started with ShardID=i. Required (non-empty) with Router.
+	ShardAddrs []string
+
+	// AllowPartial lets router reads skip unhealthy shards and answer
+	// from the rest, marking the response with "partial": true and a
+	// "shards_answered" count. Off by default: a needed-but-down shard
+	// answers 503 (never a silent partial, never a hang).
+	AllowPartial bool
+
+	// ProbeInterval is the router's health-probe cadence against each
+	// shard's /healthz (0 = 2s). A shard is dropped from membership on
+	// a failed probe or an identity/shape mismatch and rejoins on the
+	// next success.
+	ProbeInterval time.Duration
+
+	// RemoteTimeout bounds each shard HTTP call when the request
+	// context carries no deadline of its own (0 = 5s). With admission
+	// deadlines configured the per-class deadline governs instead.
+	RemoteTimeout time.Duration
+
+	// ShardCount > 0 runs this server as shard ShardID of a
+	// ShardCount-way partition: it loads ModelPath, slices out the
+	// rows ShardOf routes to ShardID, serves the standard read API
+	// over that partition, and exposes the /shard/v1/* fan-out API the
+	// router consumes. Shard mode forces ReadOnly on the public write
+	// endpoints (writes enter through the router), serves /v1/reload
+	// as 501, and rejects WAL.
+	ShardCount int
+
+	// ShardID is this process's shard index in [0, ShardCount).
+	ShardID int
+
 	// Log receives serving events (startup, reloads). Nil discards.
 	Log *log.Logger
 }
@@ -138,11 +182,21 @@ const (
 // lifetime, but writes mutate the store and index in place under mu;
 // epoch counts those writes for cache scoping.
 type modelState struct {
-	// store backs an unsharded generation; it is nil when sharded is
+	// store backs an unsharded generation; it is nil when backend is
 	// set (a sharded generation has no single store — rows live in
-	// shard-private stores behind the coordinator). Handlers go
-	// through the dim/live/row/cosine accessors, which dispatch.
-	store    *vecstore.Store
+	// shard-private stores behind an in-process coordinator or in
+	// remote shard processes). Handlers go through the
+	// dim/live/row/cosine accessors, which dispatch.
+	store *vecstore.Store
+	// backend is the generation's shard boundary: every shard access
+	// goes through it (see backend.go). Nil for an unsharded
+	// generation; a localBackend over sharded for in-process sharding;
+	// a remoteBackend in router mode.
+	backend shardBackend
+	// sharded is the concrete in-process coordinator when backend is a
+	// localBackend — the WAL checkpoint path needs GatherLive and the
+	// compactor needs to know the coordinator self-compacts. Nil in
+	// router mode (no durability tier there; see newRouter).
 	sharded  *vecstore.Sharded
 	tokens   []string
 	byToken  map[string]int
@@ -161,37 +215,41 @@ type modelState struct {
 }
 
 // Store accessors: every handler read of row data or occupancy goes
-// through these so a sharded generation (nil store) dispatches to the
-// coordinator and an unsharded one to its single store.
+// through these so a sharded generation (nil store) dispatches through
+// its shard backend and an unsharded one to its single store.
 
 func (st *modelState) dim() int {
-	if st.sharded != nil {
-		return st.sharded.Dim()
+	if st.backend != nil {
+		return st.backend.Dim()
 	}
 	return st.store.Dim()
 }
 
 func (st *modelState) live() int {
-	if st.sharded != nil {
-		return st.sharded.Live()
+	if st.backend != nil {
+		return st.backend.Live()
 	}
 	return st.store.Live()
 }
 
 func (st *modelState) dead() int {
-	if st.sharded != nil {
-		return st.sharded.Dead()
+	if st.backend != nil {
+		return st.backend.Dead()
 	}
 	return st.store.Dead()
 }
 
 func (st *modelState) rowDeleted(id int) bool {
-	if st.sharded != nil {
-		return st.sharded.Deleted(id)
+	if st.backend != nil {
+		return st.backend.Deleted(id)
 	}
 	return st.store.Deleted(id)
 }
 
+// row returns row data for the in-process paths (single store or
+// local coordinator). Router-mode handlers never call it — row data
+// lives in the shard processes and is fetched by the remote backend
+// inside its own operations.
 func (st *modelState) row(id int) []float32 {
 	if st.sharded != nil {
 		return st.sharded.Row(id)
@@ -199,31 +257,31 @@ func (st *modelState) row(id int) []float32 {
 	return st.store.Row(id)
 }
 
-func (st *modelState) cosine(a, b int) float64 {
-	if st.sharded != nil {
-		return st.sharded.Cosine(a, b)
+// cosineCtx is the cosine similarity of rows a and b, dispatched
+// across the shard boundary (the context bounds remote row fetches;
+// in-process paths never fail).
+func (st *modelState) cosineCtx(ctx context.Context, a, b int) (float64, error) {
+	if st.backend != nil {
+		return st.backend.Cosine(ctx, a, b)
 	}
-	return st.store.Cosine(a, b)
+	return st.store.Cosine(a, b), nil
 }
 
-// pairScore is the link-prediction embedding score
+// pairScoreCtx is the link-prediction embedding score
 // (linkpred.EmbeddingScorer semantics: dot when hadamard, else
-// cosine) dispatched across sharding.
-func (st *modelState) pairScore(u, v int, hadamard bool) float64 {
-	if st.sharded != nil {
-		if hadamard {
-			return st.sharded.Dot(u, v)
-		}
-		return st.sharded.Cosine(u, v)
+// cosine) dispatched across the shard boundary.
+func (st *modelState) pairScoreCtx(ctx context.Context, u, v int, hadamard bool) (float64, error) {
+	if st.backend != nil {
+		return st.backend.PairScore(ctx, u, v, hadamard)
 	}
-	return (&linkpred.EmbeddingScorer{Store: st.store, Hadamard: hadamard}).Score(u, v)
+	return (&linkpred.EmbeddingScorer{Store: st.store, Hadamard: hadamard}).Score(u, v), nil
 }
 
 // shardCount reports how many index shards serve this generation
 // (1 = unsharded).
 func (st *modelState) shardCount() int {
-	if st.sharded != nil {
-		return st.sharded.NumShards()
+	if st.backend != nil {
+		return st.backend.NumShards()
 	}
 	return 1
 }
@@ -234,6 +292,11 @@ var endpointNames = []string{
 	"neighbors", "neighbors_batch", "similarity", "similarity_batch",
 	"analogy", "predict", "predict_batch", "vocab", "reload", "healthz", "stats",
 	"metrics", "upsert", "upsert_batch", "delete", "delete_batch",
+	// The /shard/v1/* fan-out API a shard process serves to its router
+	// (registered only in shard mode; the counters always exist so the
+	// stats key set stays fixed).
+	"shard_search", "shard_search_batch", "shard_scan", "shard_rows",
+	"shard_insert", "shard_delete",
 }
 
 type endpointCounters struct {
@@ -272,6 +335,12 @@ type Server struct {
 	tracePool   sync.Pool              // *telemetry.Trace, reset between requests
 	build       telemetry.Build
 
+	// shard is non-nil when this process serves one partition of a
+	// sharded deployment (Config.ShardCount > 0); it carries the
+	// global-ID mapping the /shard/v1/* fan-out API translates
+	// through. See shard.go.
+	shard *shardState
+
 	// Durability (nil/zero without Config.WAL; see wal.go).
 	wal           *wal.Log
 	walSync       wal.SyncPolicy
@@ -293,6 +362,15 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.ModelPath == "" {
 		return nil, fmt.Errorf("server: Config.ModelPath is required (or use NewFromModel)")
+	}
+	if cfg.Router && cfg.ShardCount > 0 {
+		return nil, fmt.Errorf("server: Router and ShardCount are mutually exclusive (a process is a router or a shard, not both)")
+	}
+	if cfg.Router {
+		return newRouter(cfg)
+	}
+	if cfg.ShardCount > 0 {
+		return newShardProcess(cfg)
 	}
 	load := func() (*word2vec.Model, []string, vecstore.Index, error) {
 		return loadServable(cfg, cfg.ModelPath)
@@ -370,10 +448,11 @@ func NewFromModel(cfg Config, m *word2vec.Model, tokens []string) (*Server, erro
 	return newFromModel(cfg, m, tokens, nil, cfg.ModelPath)
 }
 
-// newFromModel implements NewFromModel, optionally seeding the first
-// generation with a prebuilt index; source names where the model came
-// from (/stats, the default /v1/reload path).
-func newFromModel(cfg Config, m *word2vec.Model, tokens []string, prebuilt vecstore.Index, source string) (*Server, error) {
+// newShell builds the Server scaffolding every serving mode shares —
+// logger, response cache, per-endpoint counters, stage histograms,
+// admission classes — with no generation published yet. Callers must
+// publish a first modelState and call initMux before serving.
+func newShell(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		logger:   cfg.Log,
@@ -398,6 +477,14 @@ func newFromModel(cfg Config, m *word2vec.Model, tokens []string, prebuilt vecst
 		s.stages[name] = telemetry.NewHistogram()
 	}
 	s.initAdmission()
+	return s
+}
+
+// newFromModel implements NewFromModel, optionally seeding the first
+// generation with a prebuilt index; source names where the model came
+// from (/stats, the default /v1/reload path).
+func newFromModel(cfg Config, m *word2vec.Model, tokens []string, prebuilt vecstore.Index, source string) (*Server, error) {
+	s := newShell(cfg)
 	if _, err := s.swapModel(m, tokens, source, prebuilt); err != nil {
 		return nil, err
 	}
@@ -427,6 +514,11 @@ func (s *Server) maxBatch() int {
 // cache. Requests racing the swap are answered consistently by
 // whichever generation they loaded first. Returns the new generation.
 func (s *Server) SwapModel(m *word2vec.Model, tokens []string, source string) (uint64, error) {
+	if s.cfg.Router || s.cfg.ShardCount > 0 {
+		// One process swapping alone would serve a torn mix of models
+		// against the rest of its fleet; restart the deployment instead.
+		return 0, fmt.Errorf("server: model swaps are not supported in router/shard mode")
+	}
 	return s.swapModel(m, tokens, source, nil)
 }
 
@@ -516,8 +608,13 @@ func (s *Server) swapModel(m *word2vec.Model, tokens []string, source string, pr
 			Vectors: append([]float32(nil), m.Vectors...)}
 		ckptLSN = s.wal.LastLSN()
 	}
+	var backend shardBackend
+	if sharded != nil {
+		backend = newLocalBackend(sharded)
+	}
 	s.state.Store(&modelState{
 		store:    store,
+		backend:  backend,
 		sharded:  sharded,
 		tokens:   tokens,
 		byToken:  byToken,
@@ -599,7 +696,11 @@ func (s *Server) lockCurrent() *modelState {
 
 // Reload loads path (empty = the path the current generation came
 // from, falling back to Config.ModelPath) and swaps it in under load.
+// Not supported in router/shard mode (the fleet must swap together).
 func (s *Server) Reload(path string) (uint64, error) {
+	if s.cfg.Router || s.cfg.ShardCount > 0 {
+		return 0, fmt.Errorf("server: reload is not supported in router/shard mode")
+	}
 	if path == "" {
 		if st := s.state.Load(); st != nil && st.source != "" {
 			path = st.source
@@ -891,6 +992,13 @@ type NeighborsResponse struct {
 	Vertex    string         `json:"vertex,omitempty"`
 	K         int            `json:"k"`
 	Neighbors []NeighborJSON `json:"neighbors"`
+	// Partial is true only when a router running with -allow-partial
+	// skipped unhealthy shards: the neighbors above cover
+	// ShardsAnswered of the fleet's shards, not all of them. Complete
+	// answers omit both fields, so healthy-path responses are
+	// byte-identical to a non-router server's.
+	Partial        bool `json:"partial,omitempty"`
+	ShardsAnswered int  `json:"shards_answered,omitempty"`
 }
 
 // SimilarityResponse answers /v1/similarity.
@@ -921,7 +1029,7 @@ func toNeighborJSON(st *modelState, res []vecstore.Result) []NeighborJSON {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	st, unlock := s.readState()
 	defer unlock()
-	return writeJSONUnlocked(w, unlock, map[string]any{
+	resp := map[string]any{
 		"status":     "ok",
 		"generation": st.gen,
 		"epoch":      st.epoch.Load(),
@@ -929,7 +1037,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		"dim":        st.dim(),
 		"shards":     st.shardCount(),
 		"build":      s.build,
-	})
+	}
+	// A shard process identifies its slice here: the router's health
+	// probe parses this block to verify it is talking to the shard it
+	// thinks it is (and to cache per-shard occupancy for /stats).
+	if info := s.shardInfo(); info != nil {
+		resp["shard"] = info
+	}
+	return writeJSONUnlocked(w, unlock, resp)
 }
 
 // StatsResponse answers /stats.
@@ -941,7 +1056,14 @@ type StatsResponse struct {
 	Model         ModelStats                     `json:"model"`
 	Writes        WriteStats                     `json:"writes"`
 	Shards        []vecstore.ShardStat           `json:"shards,omitempty"`
-	WAL           WALStats                       `json:"wal"`
+	// Backends reports per-shard membership health — present only in
+	// router mode, where shards are remote processes that can fail
+	// independently (in-process shards are trivially healthy).
+	Backends []backendHealth `json:"backends,omitempty"`
+	// Shard identifies this process's slice of a sharded deployment —
+	// present only in shard mode.
+	Shard *ShardInfo `json:"shard,omitempty"`
+	WAL   WALStats   `json:"wal"`
 	Cache         CacheStats                     `json:"cache"`
 	Admission     map[string]AdmissionClassStats `json:"admission"`
 	Endpoints     map[string]EndpointStatsJSON   `json:"endpoints"`
@@ -1011,15 +1133,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			MaxMs:     snap.MaxMs(),
 		}
 	}
-	// In sharded mode the coordinator compacts its own shards; report
-	// those rebuilds in the same counter the server-level compactor
-	// feeds, plus the per-shard occupancy block.
+	// In sharded mode the backend compacts (or its shard processes
+	// compact) on its own side of the boundary; report those rebuilds
+	// in the same counter the server-level compactor feeds, plus the
+	// per-shard occupancy block.
 	compactions := s.compactions.Load()
 	var shardStats []vecstore.ShardStat
-	if st.sharded != nil {
-		shardStats = st.sharded.ShardStats()
+	var backends []backendHealth
+	if st.backend != nil {
+		shardStats = st.backend.ShardStats()
 		for _, ss := range shardStats {
 			compactions += ss.Compactions
+		}
+		if _, remote := st.backend.(*remoteBackend); remote {
+			backends = st.backend.Health()
 		}
 	}
 	return writeJSONUnlocked(w, unlock, StatsResponse{
@@ -1043,6 +1170,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 			Tombstones:  st.dead(),
 		},
 		Shards:    shardStats,
+		Backends:  backends,
+		Shard:     s.shardInfo(),
 		WAL:       s.walStats(),
 		Admission: s.admissionStats(),
 		Cache: CacheStats{
@@ -1092,14 +1221,16 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	var res []vecstore.Result
-	if st.sharded != nil {
-		// The ctx-aware fan-out abandons slow shards on expiry: they
-		// finish in the background under their own locks and their
-		// results are discarded, so the 503 goes out immediately. The
-		// deferred (idempotent) unlock releases this generation's
+	var meta searchMeta
+	if st.backend != nil {
+		// The shard boundary: fan out through the backend (goroutines
+		// in-process, HTTP in router mode). A ctx-aware fan-out
+		// abandons slow shards on expiry — they finish on their own and
+		// their results are discarded, so the 503 goes out immediately.
+		// The deferred (idempotent) unlock releases this generation's
 		// reader lock as usual — shard searches never touch it.
-		if res, err = st.sharded.SearchRowSpansCtx(r.Context(), id, k, traceRecorder(tr)); err != nil {
-			return errDeadlineExpired
+		if res, meta, err = st.backend.SearchRow(r.Context(), id, k, traceRecorder(tr)); err != nil {
+			return err
 		}
 	} else {
 		res = st.index.SearchRow(id, k)
@@ -1111,11 +1242,16 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) error {
 	if err := ctxExpired(r.Context()); err != nil {
 		return err
 	}
-	buf, err = json.Marshal(NeighborsResponse{Vertex: tok, K: k, Neighbors: toNeighborJSON(st, res)})
+	buf, err = json.Marshal(NeighborsResponse{Vertex: tok, K: k, Neighbors: toNeighborJSON(st, res),
+		Partial: meta.partial, ShardsAnswered: meta.shardsAnswered})
 	if err != nil {
 		return err
 	}
-	s.cache.put(key, buf)
+	// A partial answer reflects a degraded fleet, not the data: it
+	// must not be served from cache after the shards recover.
+	if !meta.partial {
+		s.cache.put(key, buf)
+	}
 	t = spanSince(tr, "encode", t)
 	unlock()
 	writeJSONBytes(w, http.StatusOK, buf)
@@ -1168,7 +1304,6 @@ func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) er
 	keys := make([]string, len(req.Vertices))
 	var missIdx []int
 	var missIDs []int
-	var missQs [][]float32
 	for i, tok := range req.Vertices {
 		id, err := st.resolve(tok)
 		if err != nil {
@@ -1181,38 +1316,56 @@ func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) er
 		}
 		missIdx = append(missIdx, i)
 		missIDs = append(missIDs, id)
-		missQs = append(missQs, st.row(id))
 	}
 	t = spanSince(tr, "cache_lookup", t)
-	if len(missQs) > 0 {
+	if len(missIDs) > 0 {
 		if err := ctxExpired(r.Context()); err != nil {
 			return err
 		}
-		// The query vertex ranks first in its own results (score 1
-		// under cosine); ask for k+1 and strip it so batch items match
-		// the single endpoint's SearchRow exactly.
-		batch := st.index.SearchBatch(missQs, k+1)
+		var batch [][]vecstore.Result
+		var meta searchMeta
+		if st.backend != nil {
+			// One shard-boundary crossing for the whole batch: every
+			// shard answers all the misses at once, per-query merges
+			// happen behind the interface.
+			var err error
+			if batch, meta, err = st.backend.SearchRowBatch(r.Context(), missIDs, k); err != nil {
+				return err
+			}
+		} else {
+			// The query vertex ranks first in its own results (score 1
+			// under cosine); ask for k+1 and strip it so batch items
+			// match the single endpoint's SearchRow exactly.
+			qs := make([][]float32, len(missIDs))
+			for j, id := range missIDs {
+				qs[j] = st.row(id)
+			}
+			raw := st.index.SearchBatch(qs, k+1)
+			batch = make([][]vecstore.Result, len(raw))
+			for j, res := range raw {
+				batch[j] = stripSelf(res, missIDs[j], k)
+			}
+		}
 		t = spanSince(tr, "index_search", t)
 		if err := ctxExpired(r.Context()); err != nil {
 			return err
 		}
-		for j, res := range batch {
+		for j, filtered := range batch {
 			i := missIdx[j]
-			filtered := make([]vecstore.Result, 0, k)
-			for _, h := range res {
-				if h.ID != missIDs[j] && len(filtered) < k {
-					filtered = append(filtered, h)
-				}
-			}
 			buf, err := json.Marshal(NeighborsResponse{
 				Vertex:    req.Vertices[i],
 				K:         k,
 				Neighbors: toNeighborJSON(st, filtered),
+				Partial:   meta.partial, ShardsAnswered: meta.shardsAnswered,
 			})
 			if err != nil {
 				return err
 			}
-			s.cache.put(keys[i], buf)
+			// Cache-spliced items above were complete answers; freshly
+			// computed partial ones must not outlive the degradation.
+			if !meta.partial {
+				s.cache.put(keys[i], buf)
+			}
 			parts[i] = buf
 		}
 	}
@@ -1253,8 +1406,12 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) error 
 	if err != nil {
 		return err
 	}
+	sim, err := st.cosineCtx(r.Context(), a, b)
+	if err != nil {
+		return err
+	}
 	return writeJSONUnlocked(w, unlock, SimilarityResponse{
-		A: aTok, B: bTok, Similarity: st.cosine(a, b),
+		A: aTok, B: bTok, Similarity: sim,
 	})
 }
 
@@ -1291,7 +1448,11 @@ func (s *Server) handleSimilarityBatch(w http.ResponseWriter, r *http.Request) e
 		if err != nil {
 			return err
 		}
-		out.Results[i] = SimilarityResponse{A: p[0], B: p[1], Similarity: st.cosine(a, b)}
+		sim, err := st.cosineCtx(r.Context(), a, b)
+		if err != nil {
+			return err
+		}
+		out.Results[i] = SimilarityResponse{A: p[0], B: p[1], Similarity: sim}
 	}
 	return writeJSONUnlocked(w, unlock, out)
 }
@@ -1351,8 +1512,11 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
 	// of the configured neighbors index — scatter-gathered across the
 	// shards when sharded, with identical results.
 	var res []word2vec.Neighbor
-	if st.sharded != nil {
-		res = word2vec.AnalogySharded(st.sharded, a, b, c, k)
+	var meta searchMeta
+	if st.backend != nil {
+		if res, meta, err = st.backend.Analogy(r.Context(), a, b, c, k, traceRecorder(tr)); err != nil {
+			return err
+		}
 	} else {
 		res = word2vec.AnalogyStore(st.store, a, b, c, k)
 	}
@@ -1364,11 +1528,14 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) error {
 	for i, n := range res {
 		nbrs[i] = NeighborJSON{Vertex: st.tokens[n.Word], Score: n.Similarity}
 	}
-	buf, err = json.Marshal(NeighborsResponse{K: k, Neighbors: nbrs})
+	buf, err = json.Marshal(NeighborsResponse{K: k, Neighbors: nbrs,
+		Partial: meta.partial, ShardsAnswered: meta.shardsAnswered})
 	if err != nil {
 		return err
 	}
-	s.cache.put(key, buf)
+	if !meta.partial {
+		s.cache.put(key, buf)
+	}
 	t = spanSince(tr, "encode", t)
 	unlock()
 	writeJSONBytes(w, http.StatusOK, buf)
@@ -1403,9 +1570,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	score, err := st.pairScoreCtx(r.Context(), u, v, hadamard)
+	if err != nil {
+		return err
+	}
 	name := (&linkpred.EmbeddingScorer{Hadamard: hadamard}).Name()
 	return writeJSONUnlocked(w, unlock, PredictResponse{
-		U: uTok, V: vTok, Score: st.pairScore(u, v, hadamard), Scorer: name,
+		U: uTok, V: vTok, Score: score, Scorer: name,
 	})
 }
 
@@ -1448,7 +1619,11 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) erro
 		if err != nil {
 			return err
 		}
-		out.Results[i] = PredictResponse{U: p[0], V: p[1], Score: st.pairScore(u, v, req.Hadamard), Scorer: name}
+		score, err := st.pairScoreCtx(r.Context(), u, v, req.Hadamard)
+		if err != nil {
+			return err
+		}
+		out.Results[i] = PredictResponse{U: p[0], V: p[1], Score: score, Scorer: name}
 	}
 	return writeJSONUnlocked(w, unlock, out)
 }
@@ -1532,6 +1707,12 @@ type ReloadResponse struct {
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) error {
+	if s.cfg.Router || s.cfg.ShardCount > 0 {
+		// A hot reload must swap the whole fleet's world atomically;
+		// one process reloading alone would serve a torn mix of models.
+		// Restart the deployment together instead.
+		return &httpError{code: http.StatusNotImplemented, msg: "reload is not supported in router/shard mode; restart the deployment with the new bundle"}
+	}
 	var req ReloadRequest
 	if err := decodePost(r, &req); err != nil {
 		return err
@@ -1616,13 +1797,37 @@ type DeleteBatchResponse struct {
 // errReadOnly is the write-endpoint answer on a read-only server.
 var errReadOnly = &httpError{code: http.StatusForbidden, msg: "server is read-only (started without write support)"}
 
-// mutableIndex surfaces the write extension of the served index.
-func mutableIndex(st *modelState) (vecstore.MutableIndex, error) {
-	midx, ok := st.index.(vecstore.MutableIndex)
-	if !ok {
-		return nil, &httpError{code: http.StatusNotImplemented, msg: fmt.Sprintf("index %T does not support online writes", st.index)}
+// writable reports whether this generation can accept online writes:
+// any generation with a shard backend can (local coordinators are
+// mutable by construction; routers hash-route writes to a shard),
+// otherwise the served index must implement vecstore.MutableIndex.
+func (st *modelState) writable() error {
+	if st.backend != nil {
+		return nil
 	}
-	return midx, nil
+	if _, ok := st.index.(vecstore.MutableIndex); !ok {
+		return &httpError{code: http.StatusNotImplemented, msg: fmt.Sprintf("index %T does not support online writes", st.index)}
+	}
+	return nil
+}
+
+// insertRow appends a row across the shard boundary (or into the
+// mutable index) and returns its global ID. Callers hold st's writer
+// lock; writable() must have succeeded.
+func (st *modelState) insertRow(ctx context.Context, token string, v []float32) (int, error) {
+	if st.backend != nil {
+		return st.backend.Insert(ctx, token, v)
+	}
+	return st.index.(vecstore.MutableIndex).Insert(v)
+}
+
+// deleteRow tombstones a global row across the shard boundary (or in
+// the mutable index). Callers hold st's writer lock.
+func (st *modelState) deleteRow(ctx context.Context, id int) error {
+	if st.backend != nil {
+		return st.backend.Delete(ctx, id)
+	}
+	return st.index.(vecstore.MutableIndex).Delete(id)
 }
 
 // validateUpsert checks one upsert item against the current store
@@ -1653,16 +1858,17 @@ func validateUpsert(st *modelState, item *UpsertRequest) error {
 // appended and indexed (in-place overwrites would silently corrupt
 // HNSW/IVF structure; tombstone-and-reinsert keeps every index
 // coherent). The token table grows in step with the store so row IDs
-// and token slots stay aligned.
-func (s *Server) applyUpsert(st *modelState, midx vecstore.MutableIndex, item *UpsertRequest) (UpsertResponse, error) {
+// and token slots stay aligned. The context bounds remote shard RPCs
+// in router mode; in-process paths ignore it.
+func (s *Server) applyUpsert(ctx context.Context, st *modelState, item *UpsertRequest) (UpsertResponse, error) {
 	updated := false
 	if old, ok := st.byToken[item.Vertex]; ok {
-		if err := midx.Delete(old); err != nil {
+		if err := st.deleteRow(ctx, old); err != nil {
 			return UpsertResponse{}, fmt.Errorf("replacing %q: %w", item.Vertex, err)
 		}
 		updated = true
 	}
-	id, err := midx.Insert(item.Vector)
+	id, err := st.insertRow(ctx, item.Vertex, item.Vector)
 	if err != nil {
 		return UpsertResponse{}, err
 	}
@@ -1702,8 +1908,7 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) error {
 		if err := validateUpsert(st, &req); err != nil {
 			return UpsertResponse{}, postWrite{}, err
 		}
-		midx, err := mutableIndex(st)
-		if err != nil {
+		if err := st.writable(); err != nil {
 			return UpsertResponse{}, postWrite{}, err
 		}
 		// Log before apply: if the append fails the store is untouched
@@ -1711,11 +1916,12 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) error {
 		// the frame write happens under the lock — the fsync wait comes
 		// after the unlock, so concurrent writes share one fsync.
 		t0 := time.Now()
+		var err error
 		if lsn, err = s.walAppendNoSync(wal.Record{Op: wal.OpUpsert, Token: req.Vertex, Vector: req.Vector}); err != nil {
 			return UpsertResponse{}, postWrite{}, err
 		}
 		t0 = spanSince(tr, "wal_append", t0)
-		resp, err := s.applyUpsert(st, midx, &req)
+		resp, err := s.applyUpsert(r.Context(), st, &req)
 		if err != nil {
 			return UpsertResponse{}, postWrite{}, err
 		}
@@ -1770,8 +1976,7 @@ func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) error
 				return out, postWrite{}, err
 			}
 		}
-		midx, err := mutableIndex(st)
-		if err != nil {
+		if err := st.writable(); err != nil {
 			return out, postWrite{}, err
 		}
 		// The whole batch is one log frame: replay applies it
@@ -1781,13 +1986,14 @@ func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) error
 			recs[i] = wal.Record{Op: wal.OpUpsert, Token: req.Items[i].Vertex, Vector: req.Items[i].Vector}
 		}
 		t0 := time.Now()
+		var err error
 		if lsn, err = s.walAppendNoSync(recs...); err != nil {
 			return out, postWrite{}, err
 		}
 		t0 = spanSince(tr, "wal_append", t0)
 		out.Results = make([]UpsertResponse, len(req.Items))
 		for i := range req.Items {
-			if out.Results[i], err = s.applyUpsert(st, midx, &req.Items[i]); err != nil {
+			if out.Results[i], err = s.applyUpsert(r.Context(), st, &req.Items[i]); err != nil {
 				return out, postWrite{}, err
 			}
 		}
@@ -1809,12 +2015,12 @@ func (s *Server) handleUpsertBatch(w http.ResponseWriter, r *http.Request) error
 }
 
 // applyDelete performs one delete under st's writer lock.
-func (s *Server) applyDelete(st *modelState, midx vecstore.MutableIndex, tok string) (DeleteResponse, error) {
+func (s *Server) applyDelete(ctx context.Context, st *modelState, tok string) (DeleteResponse, error) {
 	id, ok := st.byToken[tok]
 	if !ok {
 		return DeleteResponse{}, errNotFound("unknown vertex %q", tok)
 	}
-	if err := midx.Delete(id); err != nil {
+	if err := st.deleteRow(ctx, id); err != nil {
 		return DeleteResponse{}, err
 	}
 	delete(st.byToken, tok)
@@ -1848,8 +2054,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 		if err := ctxExpired(r.Context()); err != nil {
 			return DeleteResponse{}, postWrite{}, err
 		}
-		midx, err := mutableIndex(st)
-		if err != nil {
+		if err := st.writable(); err != nil {
 			return DeleteResponse{}, postWrite{}, err
 		}
 		// Resolve before logging: a 404 must not burn a log record.
@@ -1857,11 +2062,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) error {
 			return DeleteResponse{}, postWrite{}, errNotFound("unknown vertex %q", req.Vertex)
 		}
 		t0 := time.Now()
+		var err error
 		if lsn, err = s.walAppendNoSync(wal.Record{Op: wal.OpDelete, Token: req.Vertex}); err != nil {
 			return DeleteResponse{}, postWrite{}, err
 		}
 		t0 = spanSince(tr, "wal_append", t0)
-		resp, err := s.applyDelete(st, midx, req.Vertex)
+		resp, err := s.applyDelete(r.Context(), st, req.Vertex)
 		if err != nil {
 			return DeleteResponse{}, postWrite{}, err
 		}
@@ -1908,8 +2114,7 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) error
 		if err := ctxExpired(r.Context()); err != nil {
 			return out, postWrite{}, err
 		}
-		midx, err := mutableIndex(st)
-		if err != nil {
+		if err := st.writable(); err != nil {
 			return out, postWrite{}, err
 		}
 		// All-or-nothing: every vertex must exist — and appear only
@@ -1933,13 +2138,14 @@ func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) error
 			recs[i] = wal.Record{Op: wal.OpDelete, Token: tok}
 		}
 		t0 := time.Now()
+		var err error
 		if lsn, err = s.walAppendNoSync(recs...); err != nil {
 			return out, postWrite{}, err
 		}
 		t0 = spanSince(tr, "wal_append", t0)
 		out.Results = make([]DeleteResponse, len(req.Vertices))
 		for i, tok := range req.Vertices {
-			if out.Results[i], err = s.applyDelete(st, midx, tok); err != nil {
+			if out.Results[i], err = s.applyDelete(r.Context(), st, tok); err != nil {
 				return out, postWrite{}, err
 			}
 		}
@@ -1990,11 +2196,13 @@ type compactSnapshot struct {
 // from each paying their own gather + rebuild while one is already
 // in flight.
 func (s *Server) planCompaction(st *modelState) *compactSnapshot {
-	if st.sharded != nil {
-		// The coordinator compacts shard by shard in the background
-		// (see vecstore.Sharded.SetCompactFraction); a whole-world
-		// gather + rebuild here would reintroduce the global stall
-		// sharding exists to avoid.
+	if st.store == nil {
+		// The shard backend compacts on its own side of the boundary:
+		// an in-process coordinator shard by shard in the background
+		// (see vecstore.Sharded.SetCompactFraction), remote shard
+		// processes each for themselves. A whole-world gather + rebuild
+		// here would reintroduce the global stall sharding exists to
+		// avoid — and in router mode there is no store to gather.
 		return nil
 	}
 	frac := s.cfg.CompactFraction

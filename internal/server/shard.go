@@ -1,0 +1,448 @@
+package server
+
+// Shard-process mode (Config.ShardCount > 0): this process serves one
+// partition of a sharded deployment. It loads the bundle, slices out
+// the rows vecstore.ShardOf routes to its ShardID (snapshot.SliceShard
+// — the same partition an in-process coordinator computes), serves the
+// standard public read API over that slice, and exposes the
+// /shard/v1/* fan-out API its router consumes:
+//
+//	POST /shard/v1/search        — top-k for one query vector (global IDs)
+//	POST /shard/v1/search/batch  — top-k for many query vectors
+//	POST /shard/v1/scan          — exact float64 kernel scan (analogy)
+//	POST /shard/v1/rows          — row data + squared norms by global ID
+//	POST /shard/v1/insert        — append a router-assigned global row
+//	POST /shard/v1/delete        — tombstone a global row
+//
+// Everything the fan-out API answers is in global row IDs: the shard
+// translates through its globals table (ascending — slice order at
+// startup, monotonic router-assigned IDs after), so the router's merge
+// sees exactly what the in-process coordinator's merge sees. Shard
+// mode forces the public write endpoints read-only (writes enter
+// through the router), serves /v1/reload as 501, rejects WAL, and
+// disables server-level compaction: a compaction would renumber local
+// rows and silently detach them from the global map.
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+
+	"v2v/internal/snapshot"
+	"v2v/internal/vecstore"
+)
+
+// shardState is the partition identity of a shard process: which slice
+// it serves and the local→global row mapping. globals is append-only
+// and guarded by the generation's mu (reads under RLock, inserts under
+// Lock); shard mode never swaps generations, so the mapping's identity
+// is stable for the process lifetime.
+type shardState struct {
+	id, of  int
+	globals []int // ascending global IDs; globals[local] = global
+}
+
+// toGlobal maps local-ID results to global-ID results. Locals ascend
+// with globals, so the (score desc, ID asc) result order is preserved
+// by construction — the property the router's merge depends on.
+func (sh *shardState) toGlobal(res []vecstore.Result) []vecstore.Result {
+	out := make([]vecstore.Result, len(res))
+	for i, h := range res {
+		out[i] = vecstore.Result{ID: sh.globals[h.ID], Score: h.Score}
+	}
+	return out
+}
+
+// localOf finds the local row for a global ID (binary search — globals
+// is always ascending).
+func (sh *shardState) localOf(global int) (int, bool) {
+	i := sort.SearchInts(sh.globals, global)
+	if i < len(sh.globals) && sh.globals[i] == global {
+		return i, true
+	}
+	return 0, false
+}
+
+// ShardInfo identifies a shard process's slice in /healthz and /stats.
+// The router's health probe checks ID/Of/dim against its own
+// configuration, so probing a wrong process (or a shard started with
+// the wrong -shard-id) reads as down instead of healthy-with-garbage.
+type ShardInfo struct {
+	// ID and Of are the partition coordinates: this process serves
+	// shard ID of an Of-way partition.
+	ID int `json:"id"`
+	Of int `json:"of"`
+	// Rows, Live and Deleted count this shard's local rows.
+	Rows    int `json:"rows"`
+	Live    int `json:"live"`
+	Deleted int `json:"deleted"`
+	// Epoch counts accepted writes on this shard.
+	Epoch uint64 `json:"epoch"`
+}
+
+// shardInfo snapshots the shard identity block, nil when this process
+// is not a shard.
+func (s *Server) shardInfo() *ShardInfo {
+	if s.shard == nil {
+		return nil
+	}
+	st := s.state.Load()
+	return &ShardInfo{
+		ID:      s.shard.id,
+		Of:      s.shard.of,
+		Rows:    st.store.Len(),
+		Live:    st.store.Live(),
+		Deleted: st.store.Dead(),
+		Epoch:   st.epoch.Load(),
+	}
+}
+
+// newShardProcess builds a shard-mode server (see the file comment).
+func newShardProcess(cfg Config) (*Server, error) {
+	if cfg.ShardID < 0 || cfg.ShardID >= cfg.ShardCount {
+		return nil, fmt.Errorf("server: ShardID %d out of range [0, %d)", cfg.ShardID, cfg.ShardCount)
+	}
+	if cfg.WAL.Dir != "" {
+		return nil, fmt.Errorf("server: WAL is not supported in shard mode (durability belongs to the bundle; restart the fleet from it)")
+	}
+	if err := cfg.Index.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := snapshot.LoadBundle(cfg.ModelPath)
+	if err != nil {
+		return nil, fmt.Errorf("server: loading bundle: %w", err)
+	}
+	slice, err := snapshot.SliceShard(b, cfg.ShardID, cfg.ShardCount)
+	if err != nil {
+		return nil, fmt.Errorf("server: slicing shard %d/%d: %w", cfg.ShardID, cfg.ShardCount, err)
+	}
+	if slice.Model.Vocab == 0 {
+		return nil, fmt.Errorf("server: shard %d owns no rows of this %d-row bundle (partition wider than the data)", cfg.ShardID, b.Model.Vocab)
+	}
+	scfg := cfg
+	// Public writes enter through the router's hash routing; accepting
+	// them here would put rows on the wrong shard.
+	scfg.ReadOnly = true
+	// A compaction would renumber local rows and silently detach them
+	// from the global map; tombstones are reclaimed by re-slicing a
+	// fresh bundle instead.
+	scfg.CompactFraction = -1
+	// The slice is served through one local index; per-shard build
+	// randomness matches the in-process coordinator's derivation.
+	scfg.Index.Shards = 0
+	scfg.Index.Seed = vecstore.ShardSeed(cfg.Index.Seed, cfg.ShardID)
+	var prebuilt vecstore.Index
+	if g := slice.Graph; g != nil && scfg.Index.Kind == vecstore.KindHNSW &&
+		g.Metric == scfg.Index.Metric && (scfg.Index.M == 0 || scfg.Index.M == g.M) &&
+		scfg.Index.EfConstruction == 0 {
+		prebuilt, err = vecstore.HNSWFromGraph(slice.Model.Store(), g, scfg.Index.EfSearch, scfg.Index.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("server: binding shard %d bundled graph: %w", cfg.ShardID, err)
+		}
+	}
+	s, err := newFromModel(scfg, slice.Model, slice.Tokens, prebuilt, cfg.ModelPath)
+	if err != nil {
+		return nil, err
+	}
+	s.shard = &shardState{id: cfg.ShardID, of: cfg.ShardCount, globals: slice.Globals}
+	s.registerShardAPI()
+	s.logger.Printf("server: shard %d/%d: serving %d of %d rows", cfg.ShardID, cfg.ShardCount, slice.Model.Vocab, b.Model.Vocab)
+	return s, nil
+}
+
+func (s *Server) registerShardAPI() {
+	s.mux.HandleFunc("/shard/v1/search", s.instrument("shard_search", s.handleShardSearch))
+	s.mux.HandleFunc("/shard/v1/search/batch", s.instrument("shard_search_batch", s.handleShardSearchBatch))
+	s.mux.HandleFunc("/shard/v1/scan", s.instrument("shard_scan", s.handleShardScan))
+	s.mux.HandleFunc("/shard/v1/rows", s.instrument("shard_rows", s.handleShardRows))
+	s.mux.HandleFunc("/shard/v1/insert", s.instrument("shard_insert", s.handleShardInsert))
+	s.mux.HandleFunc("/shard/v1/delete", s.instrument("shard_delete", s.handleShardDelete))
+}
+
+// ---- Fan-out wire types (shared with remoteBackend in remote.go; the
+// router and the shard marshal the same structs, so the JSON shape
+// cannot drift between them. Floats ride JSON's shortest-round-trip
+// encoding, which is exact for float32 rows and float64 scores). -----
+
+type shardSearchRequest struct {
+	Vector []float32 `json:"vector"`
+	K      int       `json:"k"`
+}
+
+type shardSearchResponse struct {
+	Results []vecstore.Result `json:"results"` // global IDs
+}
+
+type shardSearchBatchRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+	K       int         `json:"k"`
+}
+
+type shardSearchBatchResponse struct {
+	Results [][]vecstore.Result `json:"results"` // per query, global IDs
+}
+
+type shardScanRequest struct {
+	// Target is the exact float64 kernel target (e.g. b - a + c for
+	// analogy); the shard recomputes the target norm locally from these
+	// exact values, so every shard scores with the same float64 kernel
+	// the in-process scan uses.
+	Target  []float64 `json:"target"`
+	Exclude []int     `json:"exclude,omitempty"` // global IDs to skip
+	K       int       `json:"k"`
+}
+
+type shardScanResponse struct {
+	Results []vecstore.Result `json:"results"` // global IDs
+}
+
+type shardRowsRequest struct {
+	IDs []int `json:"ids"` // global IDs; every one must live here
+}
+
+type shardRowsResponse struct {
+	Rows    [][]float32 `json:"rows"`
+	SqNorms []float64   `json:"sqnorms"`
+}
+
+type shardInsertRequest struct {
+	ID     int       `json:"id"` // router-assigned global ID
+	Token  string    `json:"token"`
+	Vector []float32 `json:"vector"`
+}
+
+type shardInsertResponse struct {
+	ID    int    `json:"id"`
+	Epoch uint64 `json:"epoch"`
+}
+
+type shardDeleteRequest struct {
+	ID int `json:"id"` // global ID
+}
+
+type shardDeleteResponse struct {
+	ID    int    `json:"id"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// ---- Fan-out handlers ----------------------------------------------
+
+func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) error {
+	var req shardSearchRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	st, unlock := s.readState()
+	defer unlock()
+	if len(req.Vector) != st.dim() {
+		return errBadRequest("query has dimension %d, shard dimension is %d", len(req.Vector), st.dim())
+	}
+	// The router asks for the handler-level k+1 (self-stripping happens
+	// at the merge), so accept one past the public cap.
+	if req.K <= 0 || req.K > s.maxK()+1 {
+		return errBadRequest("invalid k %d", req.K)
+	}
+	if err := ctxExpired(r.Context()); err != nil {
+		return err
+	}
+	res := st.index.Search(req.Vector, req.K)
+	return writeJSONUnlocked(w, unlock, shardSearchResponse{Results: s.shard.toGlobal(res)})
+}
+
+func (s *Server) handleShardSearchBatch(w http.ResponseWriter, r *http.Request) error {
+	var req shardSearchBatchRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	if len(req.Vectors) == 0 {
+		return errBadRequest("empty 'vectors'")
+	}
+	if max := s.maxBatch(); len(req.Vectors) > max {
+		return errBadRequest("batch of %d exceeds limit %d", len(req.Vectors), max)
+	}
+	if req.K <= 0 || req.K > s.maxK()+1 {
+		return errBadRequest("invalid k %d", req.K)
+	}
+	st, unlock := s.readState()
+	defer unlock()
+	for i, q := range req.Vectors {
+		if len(q) != st.dim() {
+			return errBadRequest("query %d has dimension %d, shard dimension is %d", i, len(q), st.dim())
+		}
+	}
+	if err := ctxExpired(r.Context()); err != nil {
+		return err
+	}
+	batch := st.index.SearchBatch(req.Vectors, req.K)
+	out := make([][]vecstore.Result, len(batch))
+	for i, res := range batch {
+		out[i] = s.shard.toGlobal(res)
+	}
+	return writeJSONUnlocked(w, unlock, shardSearchBatchResponse{Results: out})
+}
+
+// handleShardScan is the remote half of the coordinator's ScanExact:
+// every live, non-excluded local row is scored with the exact float64
+// kernel (dot with the target over the row norm), pushed into a TopK
+// under its GLOBAL id, in ascending global order — the same
+// tie-breaking ScanExact's per-shard scan produces, so the router's
+// merge is bit-identical to the in-process merge.
+func (s *Server) handleShardScan(w http.ResponseWriter, r *http.Request) error {
+	var req shardScanRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	st, unlock := s.readState()
+	defer unlock()
+	if len(req.Target) != st.dim() {
+		return errBadRequest("target has dimension %d, shard dimension is %d", len(req.Target), st.dim())
+	}
+	if req.K <= 0 || req.K > s.maxK() {
+		return errBadRequest("invalid k %d", req.K)
+	}
+	if err := ctxExpired(r.Context()); err != nil {
+		return err
+	}
+	var tNorm float64
+	for _, x := range req.Target {
+		tNorm += x * x
+	}
+	tNorm = math.Sqrt(tNorm)
+	ex := make(map[int]bool, len(req.Exclude))
+	for _, id := range req.Exclude {
+		ex[id] = true
+	}
+	store := st.store
+	var top vecstore.TopK
+	top.Reset(req.K)
+	for local := 0; local < store.Len(); local++ {
+		gid := s.shard.globals[local]
+		if ex[gid] || store.Deleted(local) {
+			continue
+		}
+		vu := store.Row(local)
+		var dot, un float64
+		for i := range vu {
+			dot += float64(vu[i]) * req.Target[i]
+			un += float64(vu[i]) * float64(vu[i])
+		}
+		sim := 0.0
+		if un > 0 && tNorm > 0 {
+			sim = dot / (math.Sqrt(un) * tNorm)
+		}
+		top.Push(gid, sim)
+	}
+	return writeJSONUnlocked(w, unlock, shardScanResponse{Results: top.Append(nil)})
+}
+
+func (s *Server) handleShardRows(w http.ResponseWriter, r *http.Request) error {
+	var req shardRowsRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	if len(req.IDs) == 0 {
+		return errBadRequest("empty 'ids'")
+	}
+	if max := s.maxBatch(); len(req.IDs) > max {
+		return errBadRequest("batch of %d exceeds limit %d", len(req.IDs), max)
+	}
+	st, unlock := s.readState()
+	defer unlock()
+	resp := shardRowsResponse{
+		Rows:    make([][]float32, len(req.IDs)),
+		SqNorms: make([]float64, len(req.IDs)),
+	}
+	norms := st.store.SqNorms()
+	for i, gid := range req.IDs {
+		local, ok := s.shard.localOf(gid)
+		if !ok {
+			return errNotFound("row %d is not on shard %d/%d", gid, s.shard.id, s.shard.of)
+		}
+		// Tombstoned rows still answer: row contents are immutable, and
+		// the in-process coordinator serves them the same way (handlers
+		// never resolve a deleted token, so this only ever feeds pair
+		// scores and fan-out queries for live rows).
+		resp.Rows[i] = st.store.Row(local)
+		resp.SqNorms[i] = norms[local]
+	}
+	return writeJSONUnlocked(w, unlock, resp)
+}
+
+func (s *Server) handleShardInsert(w http.ResponseWriter, r *http.Request) error {
+	var req shardInsertRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	st := s.lockCurrent()
+	defer st.mu.Unlock()
+	if err := ctxExpired(r.Context()); err != nil {
+		return err
+	}
+	if len(req.Vector) != st.dim() {
+		return errBadRequest("vector has dimension %d, shard dimension is %d", len(req.Vector), st.dim())
+	}
+	sh := s.shard
+	if got := vecstore.ShardOf(req.ID, sh.of); got != sh.id {
+		return errBadRequest("row %d routes to shard %d, this is shard %d", req.ID, got, sh.id)
+	}
+	if n := len(sh.globals); n > 0 && req.ID <= sh.globals[n-1] {
+		if req.ID == sh.globals[n-1] && st.tokens[len(st.tokens)-1] == req.Token {
+			// Idempotent ack: this exact insert already landed (the
+			// router lost the first acknowledgment).
+			writeJSON(w, http.StatusOK, shardInsertResponse{ID: req.ID, Epoch: st.epoch.Load()})
+			return nil
+		}
+		return &httpError{code: http.StatusConflict,
+			msg: fmt.Sprintf("row %d is not past this shard's newest global row %d", req.ID, sh.globals[n-1])}
+	}
+	midx, ok := st.index.(vecstore.MutableIndex)
+	if !ok {
+		return &httpError{code: http.StatusNotImplemented,
+			msg: fmt.Sprintf("index %T does not support online writes", st.index)}
+	}
+	local, err := midx.Insert(req.Vector)
+	if err != nil {
+		return err
+	}
+	st.tokens = append(st.tokens, req.Token)
+	st.byToken[req.Token] = local
+	sh.globals = append(sh.globals, req.ID)
+	s.upserts.Add(1)
+	epoch := st.epoch.Add(1)
+	writeJSON(w, http.StatusOK, shardInsertResponse{ID: req.ID, Epoch: epoch})
+	return nil
+}
+
+func (s *Server) handleShardDelete(w http.ResponseWriter, r *http.Request) error {
+	var req shardDeleteRequest
+	if err := decodePost(r, &req); err != nil {
+		return err
+	}
+	st := s.lockCurrent()
+	defer st.mu.Unlock()
+	if err := ctxExpired(r.Context()); err != nil {
+		return err
+	}
+	local, ok := s.shard.localOf(req.ID)
+	if !ok {
+		return errNotFound("row %d is not on shard %d/%d", req.ID, s.shard.id, s.shard.of)
+	}
+	midx, ok := st.index.(vecstore.MutableIndex)
+	if !ok {
+		return &httpError{code: http.StatusNotImplemented,
+			msg: fmt.Sprintf("index %T does not support online writes", st.index)}
+	}
+	if err := midx.Delete(local); err != nil {
+		return err
+	}
+	// Keep the shard's own read API consistent: the tombstoned row's
+	// token stops resolving here too.
+	if tok := st.tokens[local]; st.byToken[tok] == local {
+		delete(st.byToken, tok)
+	}
+	s.deletes.Add(1)
+	epoch := st.epoch.Add(1)
+	writeJSON(w, http.StatusOK, shardDeleteResponse{ID: req.ID, Epoch: epoch})
+	return nil
+}

@@ -153,8 +153,7 @@ func (s *Server) openWAL(baseLSN uint64) error {
 func (s *Server) applyWALFrame(lsn uint64, recs []wal.Record) error {
 	st := s.lockCurrent()
 	defer st.mu.Unlock()
-	midx, err := mutableIndex(st)
-	if err != nil {
+	if err := st.writable(); err != nil {
 		return fmt.Errorf("frame %d: %w", lsn, err)
 	}
 	for i := range recs {
@@ -164,11 +163,11 @@ func (s *Server) applyWALFrame(lsn uint64, recs []wal.Record) error {
 			if err := validateUpsert(st, &req); err != nil {
 				return fmt.Errorf("frame %d upsert %q: %w", lsn, recs[i].Token, err)
 			}
-			if _, err := s.applyUpsert(st, midx, &req); err != nil {
+			if _, err := s.applyUpsert(context.Background(), st, &req); err != nil {
 				return fmt.Errorf("frame %d upsert %q: %w", lsn, recs[i].Token, err)
 			}
 		case wal.OpDelete:
-			if _, err := s.applyDelete(st, midx, recs[i].Token); err != nil {
+			if _, err := s.applyDelete(context.Background(), st, recs[i].Token); err != nil {
 				var he *httpError
 				if errors.As(err, &he) && he.code == http.StatusNotFound {
 					continue
@@ -436,9 +435,14 @@ func (s *Server) walStats() WALStats {
 }
 
 // Close releases the server's durable resources (the write-ahead
-// log). Serve calls it on shutdown; embedders that never call Serve
-// (tests, in-process harnesses) should close explicitly. Idempotent.
+// log) and its shard backend (health-probe goroutines, idle remote
+// connections in router mode). Serve calls it on shutdown; embedders
+// that never call Serve (tests, in-process harnesses) should close
+// explicitly. Idempotent.
 func (s *Server) Close() error {
+	if st := s.state.Load(); st != nil && st.backend != nil {
+		st.backend.Close()
+	}
 	if s.wal == nil {
 		return nil
 	}

@@ -297,7 +297,10 @@ func LoadBundleFile(path string) (*word2vec.Model, []string, *vecstore.HNSWGraph
 	}
 	if !IsSnapshot(head) {
 		m, tokens, err := word2vec.Load(br)
-		return m, tokens, nil, err
+		if err != nil {
+			return nil, nil, nil, notModelError(head, err)
+		}
+		return m, tokens, nil, nil
 	}
 	m, tokens, err := load(br, size)
 	if err != nil {

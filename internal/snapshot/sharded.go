@@ -196,7 +196,7 @@ func LoadBundle(path string) (*Bundle, error) {
 	if !IsSnapshot(head) {
 		m, tokens, err := word2vec.Load(br)
 		if err != nil {
-			return nil, err
+			return nil, notModelError(head, err)
 		}
 		return &Bundle{Model: m, Tokens: tokens}, nil
 	}

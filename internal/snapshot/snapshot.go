@@ -239,7 +239,20 @@ func LoadAuto(r io.Reader) (*word2vec.Model, []string, error) {
 	if IsSnapshot(head) {
 		return load(br, -1)
 	}
-	return word2vec.Load(br)
+	m, tokens, err := word2vec.Load(br)
+	if err != nil {
+		return nil, nil, notModelError(head, err)
+	}
+	return m, tokens, nil
+}
+
+// notModelError names the magic bytes actually seen when a stream is
+// neither a binary snapshot nor parseable word2vec text. Without it a
+// wrong-format file (an index graph, a gzip, a stray binary) surfaces
+// as a baffling text-parse error; with it the error says what the
+// file starts with and what was expected.
+func notModelError(head []byte, err error) error {
+	return fmt.Errorf("snapshot: file starts with %q — not the snapshot magic %q and not word2vec text: %w", head, Magic, err)
 }
 
 // SaveFile writes a snapshot to path via a same-directory temp file
@@ -288,5 +301,9 @@ func LoadFile(path string) (*word2vec.Model, []string, error) {
 	if IsSnapshot(head) {
 		return load(br, size)
 	}
-	return word2vec.Load(br)
+	m, tokens, err := word2vec.Load(br)
+	if err != nil {
+		return nil, nil, notModelError(head, err)
+	}
+	return m, tokens, nil
 }

@@ -301,3 +301,44 @@ func BenchmarkLoadText(b *testing.B) {
 		}
 	}
 }
+
+// TestWrongFormatErrorNamesMagic pins the error every file-loading
+// entry point produces for a wrong-format file: it must name the
+// bytes the file actually starts with and the magic that was
+// expected, instead of surfacing a baffling word2vec text-parse
+// artifact.
+func TestWrongFormatErrorNamesMagic(t *testing.T) {
+	head := "\x89ELF\x01\x02\x03\x04"
+	path := filepath.Join(t.TempDir(), "bogus.bin")
+	if err := os.WriteFile(path, []byte(head+"not a model in any format"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s accepted a wrong-format file", name)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("%q", head)) {
+			t.Errorf("%s error does not name the observed head %q: %v", name, head, err)
+		}
+		if !strings.Contains(err.Error(), Magic) {
+			t.Errorf("%s error does not name the expected magic %q: %v", name, Magic, err)
+		}
+	}
+	_, _, err := LoadFile(path)
+	check("LoadFile", err)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, aerr := LoadAuto(f)
+	f.Close()
+	check("LoadAuto", aerr)
+
+	_, berr := LoadBundle(path)
+	check("LoadBundle", berr)
+
+	_, _, _, gerr := LoadBundleFile(path)
+	check("LoadBundleFile", gerr)
+}
